@@ -1,0 +1,99 @@
+// Ablation — packet parallelism (multicast subgroups) and worker mapping
+// (Section IV-C), plus multi-communicator oversubscription (Section V-C).
+//
+// Expect:
+//  - with one receive worker, adding subgroups changes little (the worker
+//    is the bottleneck);
+//  - scaling workers with subgroups scales receive throughput until the
+//    link saturates;
+//  - asymmetric mapping (1 send worker serving all subgroups, one receive
+//    worker per subgroup) matches the paper's recommended split;
+//  - oversubscribing communicators onto a fixed engine degrades per-op
+//    latency gracefully.
+#include "bench/bench_common.hpp"
+
+namespace {
+using namespace mccl;
+
+void BM_Subgroups(benchmark::State& state) {
+  const std::size_t subgroups = static_cast<std::size_t>(state.range(0));
+  const std::size_t recv_workers = static_cast<std::size_t>(state.range(1));
+  coll::CommConfig cfg;
+  cfg.cutoff_alpha = 1 * kSecond;
+  cfg.send_engine = coll::EngineKind::kCpu;
+  cfg.progress_engine = coll::EngineKind::kDpa;
+  cfg.subgroups = subgroups;
+  cfg.recv_workers = recv_workers;
+  cfg.send_workers = 1;  // the paper's asymmetric send/receive split
+  cfg.staging_slots = 4096;
+  bench::DatapathResult r;
+  for (auto _ : state) {
+    bench::World w(bench::dpa_testbed_topology(),
+                   bench::dpa_testbed_cluster(), cfg, 2);
+    r = bench::run_datapath(w, 8 * MiB);
+    bench::record_sim_time(state, r.transfer);
+  }
+  state.counters["Gbit_s"] = r.gbps;
+}
+
+void BM_MultiCommunicator(benchmark::State& state) {
+  // Several communicators run an allgather simultaneously over the same
+  // hosts; their progress threads share the same DPA complex.
+  const std::size_t comms = static_cast<std::size_t>(state.range(0));
+  const std::size_t ranks = 4;
+  Time dur = 0;
+  for (auto _ : state) {
+    coll::ClusterConfig kcfg = bench::synthetic_cluster();
+    coll::Cluster cluster(fabric::make_star(ranks, {}), kcfg);
+    std::vector<fabric::NodeId> hosts;
+    for (std::size_t h = 0; h < ranks; ++h)
+      hosts.push_back(static_cast<fabric::NodeId>(h));
+    coll::CommConfig cfg;
+    cfg.progress_engine = coll::EngineKind::kDpa;
+    cfg.cutoff_alpha = 1 * kSecond;
+    std::vector<std::unique_ptr<coll::Communicator>> cs;
+    std::vector<coll::OpBase*> ops;
+    for (std::size_t c = 0; c < comms; ++c)
+      cs.push_back(std::make_unique<coll::Communicator>(cluster, hosts, cfg));
+    const Time t0 = cluster.engine().now();
+    for (auto& c : cs)
+      ops.push_back(&c->start_allgather(256 * KiB,
+                                        coll::AllgatherAlgo::kMcast));
+    cluster.run_until_done([&] {
+      for (auto* op : ops)
+        if (!op->done()) return false;
+      return true;
+    });
+    dur = cluster.engine().now() - t0;
+    bench::record_sim_time(state, dur);
+  }
+  state.counters["per_op_us"] = to_microseconds(dur);
+}
+
+void register_all() {
+  auto* b = benchmark::RegisterBenchmark("Ablation/subgroups_x_workers",
+                                         BM_Subgroups);
+  for (long sg : {1, 2, 4, 8})
+    for (long w : {1L, sg})
+      b->Args({sg, w});
+  b->UseManualTime()->Iterations(1);
+
+  auto* m = benchmark::RegisterBenchmark("Ablation/multi_communicator",
+                                         BM_MultiCommunicator);
+  for (long c : {1, 2, 4, 8}) m->Args({c});
+  m->UseManualTime()->Iterations(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Ablation: subgroup/worker mapping and multi-communicator "
+                "oversubscription",
+                "Expect: throughput scales only when workers scale with "
+                "subgroups; concurrent communicators share the engine "
+                "gracefully.");
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

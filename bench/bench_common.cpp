@@ -1,0 +1,104 @@
+#include "bench/bench_common.hpp"
+
+#include <cstdio>
+
+namespace mccl::bench {
+
+coll::ClusterConfig synthetic_cluster() {
+  coll::ClusterConfig cfg;
+  cfg.nic.carry_payload = false;
+  // Address-space-only arena: generous, nothing is materialized.
+  cfg.nic.memory_capacity = std::uint64_t{1} << 44;  // 16 TiB
+  return cfg;
+}
+
+fabric::Topology ucc_testbed_topology(std::size_t hosts) {
+  // 188 hosts on 12 leaves x 16 hosts, 6 spines, 3 trunks per leaf-spine
+  // pair: 18 switches, matching the testbed's switch count, at 56 Gbit/s.
+  fabric::LinkParams link{56.0, 500 * kNanosecond};
+  (void)hosts;
+  return fabric::make_fat_tree(12, 16, 6, 3, link, link);
+}
+
+coll::ClusterConfig ucc_testbed_cluster() {
+  coll::ClusterConfig cfg = synthetic_cluster();
+  cfg.fabric.switch_latency = 150 * kNanosecond;
+  return cfg;
+}
+
+fabric::Topology dpa_testbed_topology() {
+  return fabric::make_back_to_back({200.0, 500 * kNanosecond});
+}
+
+coll::ClusterConfig dpa_testbed_cluster() {
+  coll::ClusterConfig cfg = synthetic_cluster();
+  return cfg;
+}
+
+World::World(fabric::Topology topo, coll::ClusterConfig kcfg,
+             coll::CommConfig ccfg, std::size_t ranks) {
+  MCCL_CHECK(ranks <= topo.num_hosts());
+  cluster = std::make_unique<coll::Cluster>(std::move(topo), kcfg);
+  std::vector<fabric::NodeId> ids;
+  for (std::size_t h = 0; h < ranks; ++h)
+    ids.push_back(static_cast<fabric::NodeId>(h));
+  comm = std::make_unique<coll::Communicator>(*cluster, ids, ccfg);
+}
+
+void record_sim_time(benchmark::State& state, Time duration) {
+  state.SetIterationTime(to_seconds(duration));
+}
+
+void set_gbps(benchmark::State& state, const char* name,
+              std::uint64_t bytes, Time duration) {
+  state.counters[name] =
+      benchmark::Counter(gbps(bytes, duration), benchmark::Counter::kAvgIterations);
+}
+
+void set_gibps(benchmark::State& state, const char* name,
+               std::uint64_t bytes, Time duration) {
+  state.counters[name] =
+      benchmark::Counter(gibps(bytes, duration), benchmark::Counter::kAvgIterations);
+}
+
+DatapathResult run_datapath(World& w, std::uint64_t bytes) {
+  coll::Endpoint& leaf = w.comm->ep(1);
+  for (std::size_t i = 0; i < leaf.num_recv_workers(); ++i)
+    leaf.recv_worker(i).reset_stats();
+
+  coll::OpBase& op =
+      w.comm->start_broadcast(0, bytes, coll::BcastAlgo::kMcast);
+  w.cluster->run_until_done([&op] { return op.done(); });
+
+  DatapathResult r;
+  r.transfer = op.rank_phases(1).transfer;
+  r.gibps = gibps(bytes, r.transfer);
+  r.gbps = gbps(bytes, r.transfer);
+  Time busy = 0;
+  double instr = 0, stall = 0;
+  for (std::size_t i = 0; i < leaf.num_recv_workers(); ++i) {
+    exec::Worker& wk = leaf.recv_worker(i);
+    r.cqes += wk.cqes_seen();
+    busy += wk.busy_time();
+    instr += wk.total_instr();
+    stall += wk.total_stall();
+  }
+  if (r.cqes > 0) {
+    const double ghz = leaf.costs().ghz;
+    r.cycles_per_cqe =
+        static_cast<double>(busy) * ghz / 1000.0 / static_cast<double>(r.cqes);
+    r.instr_per_cqe = instr / static_cast<double>(r.cqes);
+    r.ipc = instr / (static_cast<double>(busy) * ghz / 1000.0);
+  }
+  if (r.transfer > 0)
+    r.chunk_rate_mps =
+        static_cast<double>(r.cqes) / to_seconds(r.transfer) / 1e6;
+  return r;
+}
+
+void banner(const char* figure, const char* expectation) {
+  std::printf("\n=== %s ===\n%s\n(all times are *simulated* hardware time)\n\n",
+              figure, expectation);
+}
+
+}  // namespace mccl::bench

@@ -1,0 +1,100 @@
+// Figure 3 — Data movement at the training-node boundary for the
+// {Reduce-Scatter, Allgather} pair: INC+Mcast vs Ring+Ring.
+//
+// Paper shape: Ring+Ring loads both NIC directions with N(P-1) for both
+// collectives; INC+Mcast sends N(P-1)/receives N for Reduce-Scatter and the
+// mirror image for Allgather — the two collectives stop sharing bottlenecks.
+// The simulated cross-check measures actual per-NIC byte counters.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+using namespace mccl;
+
+void model_table() {
+  const std::size_t P = 16;
+  const std::uint64_t N = 1 * MiB;
+  const auto rr = model::node_boundary_ring_ring(P, N);
+  const auto im = model::node_boundary_inc_mcast(P, N);
+  std::printf("P=%zu, N=%llu bytes (units of N below)\n\n", P,
+              static_cast<unsigned long long>(N));
+  std::printf("%-24s %12s %12s\n", "collective/NIC path", "INC+Mcast",
+              "Ring+Ring");
+  std::printf("%-24s %11.0fN %11.0fN\n", "Reduce-Scatter send",
+              static_cast<double>(im.rs_send) / N,
+              static_cast<double>(rr.rs_send) / N);
+  std::printf("%-24s %11.0fN %11.0fN\n", "Reduce-Scatter recv",
+              static_cast<double>(im.rs_recv) / N,
+              static_cast<double>(rr.rs_recv) / N);
+  std::printf("%-24s %11.0fN %11.0fN\n", "Allgather send",
+              static_cast<double>(im.ag_send) / N,
+              static_cast<double>(rr.ag_send) / N);
+  std::printf("%-24s %11.0fN %11.0fN\n", "Allgather recv",
+              static_cast<double>(im.ag_recv) / N,
+              static_cast<double>(rr.ag_recv) / N);
+}
+
+// Measured per-NIC boundary bytes from the simulator.
+void BM_NodeBoundary(benchmark::State& state) {
+  const bool optimal = state.range(0) != 0;
+  const std::size_t P = 8;
+  const std::uint64_t N = 256 * KiB;
+  std::uint64_t ag_send = 0, ag_recv = 0, rs_send = 0, rs_recv = 0;
+  for (auto _ : state) {
+    auto measure = [&](bool allgather) {
+      bench::World w(fabric::make_star(P, {}), bench::synthetic_cluster(),
+                     {}, P);
+      w.cluster->fabric().reset_counters();
+      Time dur;
+      if (allgather)
+        dur = w.comm
+                  ->allgather(N, optimal ? coll::AllgatherAlgo::kMcast
+                                         : coll::AllgatherAlgo::kRing)
+                  .duration();
+      else
+        dur = w.comm
+                  ->reduce_scatter(N, optimal ? coll::ReduceScatterAlgo::kInc
+                                              : coll::ReduceScatterAlgo::kRing)
+                  .duration();
+      std::uint64_t tx = 0, rx = 0;
+      const auto& topo = w.cluster->fabric().topology();
+      for (std::size_t d = 0; d < topo.num_dirs(); ++d) {
+        if (topo.dirs()[d].from == 0)
+          tx += w.cluster->fabric().dir_counters(d).bytes;
+        if (topo.dirs()[d].to == 0)
+          rx += w.cluster->fabric().dir_counters(d).bytes;
+      }
+      return std::tuple{tx, rx, dur};
+    };
+    auto [ats, atr, adur] = measure(true);
+    auto [rts, rtr, rdur] = measure(false);
+    ag_send = ats;
+    ag_recv = atr;
+    rs_send = rts;
+    rs_recv = rtr;
+    bench::record_sim_time(state, adur + rdur);
+  }
+  state.counters["ag_send_over_N"] = static_cast<double>(ag_send) / N;
+  state.counters["ag_recv_over_N"] = static_cast<double>(ag_recv) / N;
+  state.counters["rs_send_over_N"] = static_cast<double>(rs_send) / N;
+  state.counters["rs_recv_over_N"] = static_cast<double>(rs_recv) / N;
+}
+BENCHMARK(BM_NodeBoundary)
+    ->Arg(0)  // Ring+Ring
+    ->Arg(1)  // INC+Mcast
+    ->UseManualTime()
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "Figure 3: data movement at the training-node boundary",
+      "Expect: Ring+Ring = N(P-1) on every path; INC+Mcast = {N(P-1) send, "
+      "N recv}\nfor Reduce-Scatter and the mirror image for Allgather.");
+  model_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 7 — Maximum Allgather bitmap and receive-buffer sizes as a
+// function of the PSN bits allocated in the 32-bit CQE immediate.
+//
+// Paper shape: with a 4 KiB chunk, ~24 PSN bits address a ~64 GiB receive
+// buffer while the bitmap (2^bits / 8 bytes) still fits the 1.5 MB DPA LLC;
+// the remaining immediate bits carry the collective id.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+using namespace mccl;
+
+constexpr std::uint64_t kDpaLlc = 1'500'000;          // 1.5 MB
+constexpr std::uint64_t kGpu80G = 80ull * 1000000000;  // A100/H100-class
+
+void model_table() {
+  std::printf("%9s %16s %14s %8s %12s\n", "psn_bits", "max_recvbuf",
+              "bitmap_bytes", "id_bits", "fits_DPA_LLC");
+  for (unsigned bits = 10; bits <= 30; bits += 2) {
+    const std::uint64_t buf = model::max_recv_buffer_bytes(bits, 4096);
+    const std::uint64_t bm = model::bitmap_bytes(bits);
+    std::printf("%9u %13.3f GiB %11.1f KiB %8u %12s\n", bits,
+                static_cast<double>(buf) / GiB,
+                static_cast<double>(bm) / KiB,
+                model::collective_id_bits(bits),
+                bm <= kDpaLlc ? "yes" : "NO");
+  }
+  // Headline claims from Section III-D.
+  const unsigned llc_bits = [] {
+    unsigned b = 0;
+    while (model::bitmap_bytes(b + 1) <= kDpaLlc && b < 32) ++b;
+    return b;
+  }();
+  std::printf("\nLargest bitmap fitting the DPA LLC: %u PSN bits -> %.1f GiB "
+              "receive buffer\n",
+              llc_bits,
+              static_cast<double>(model::max_recv_buffer_bytes(llc_bits, 4096)) /
+                  GiB);
+  std::printf("(GPU-memory scale for reference: 80 GB device needs %s)\n",
+              model::max_recv_buffer_bytes(llc_bits, 4096) >= kGpu80G
+                  ? "no more bits"
+                  : "more bits");
+}
+
+void BM_BitmapSizing(benchmark::State& state) {
+  const unsigned bits = static_cast<unsigned>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(model::max_recv_buffer_bytes(bits, 4096));
+  state.counters["recvbuf_GiB"] =
+      static_cast<double>(model::max_recv_buffer_bytes(bits, 4096)) / GiB;
+  state.counters["bitmap_KiB"] =
+      static_cast<double>(model::bitmap_bytes(bits)) / KiB;
+  state.counters["fits_llc"] = model::bitmap_bytes(bits) <= kDpaLlc;
+}
+BENCHMARK(BM_BitmapSizing)->DenseRange(10, 30, 4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "Figure 7: bitmap / receive-buffer sizing vs PSN immediate bits",
+      "Expect: ~24 bits -> tens-of-GiB receive buffers with a ~2 MiB bitmap "
+      "at the LLC boundary.");
+  model_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Table I — Average DPA single-thread receive-datapath metrics with an
+// 8 MiB receive buffer and 4 KiB chunks.
+//
+// Paper values:     throughput  instr/CQE  cycles/CQE   IPC
+//   UC datapath      11.9 GiB/s     66        598       0.11
+//   UD datapath       5.2 GiB/s    113       1084       0.10
+//
+// Expect the same ordering and ratios: UD pays ~2x the per-CQE latency of
+// UC (staging copy + heavier bookkeeping) and both run at IPC ~0.1 — pure
+// data-movement code.
+#include "bench/bench_common.hpp"
+
+namespace {
+using namespace mccl;
+
+void BM_SingleThreadDatapath(benchmark::State& state) {
+  const bool uc = state.range(0) != 0;
+  coll::CommConfig cfg;
+  // Datapath study: the receiver is intentionally allowed to be slower than
+  // the link, so give the cutoff timer ample slack (no slow-path rescue).
+  cfg.cutoff_alpha = 1 * kSecond;
+  cfg.send_engine = coll::EngineKind::kCpu;  // x86 client drives the roots
+  cfg.transport = uc ? coll::Transport::kUcMcast : coll::Transport::kUd;
+  cfg.progress_engine = coll::EngineKind::kDpa;
+  cfg.subgroups = 1;
+  cfg.send_workers = 1;
+  cfg.recv_workers = 1;  // single DPA hardware thread
+  cfg.staging_slots = 4096;
+
+  bench::DatapathResult r;
+  for (auto _ : state) {
+    bench::World w(bench::dpa_testbed_topology(),
+                   bench::dpa_testbed_cluster(), cfg, 2);
+    r = bench::run_datapath(w, 8 * MiB);
+    bench::record_sim_time(state, r.transfer);
+  }
+  state.counters["GiB_s"] = r.gibps;
+  state.counters["instr_per_CQE"] = r.instr_per_cqe;
+  state.counters["cycles_per_CQE"] = r.cycles_per_cqe;
+  state.counters["IPC"] = r.ipc;
+}
+BENCHMARK(BM_SingleThreadDatapath)
+    ->Arg(0)  // UD
+    ->Arg(1)  // UC
+    ->UseManualTime()
+    ->Iterations(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Table I: DPA single-thread receive datapath (8 MiB, 4 KiB "
+                "chunks)",
+                "Expect: UC ~2x the UD throughput; cycles/CQE ~600 (UC) vs "
+                "~1100 (UD); IPC ~0.1 for both.");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

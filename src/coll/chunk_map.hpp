@@ -1,0 +1,89 @@
+// Chunk geometry for the multicast fast path.
+//
+// An op moves `blocks` equal blocks of `block_bytes` (one per broadcasting
+// root; a plain Broadcast has one block, an Allgather has P). Each block is
+// fragmented into chunks of `chunk_bytes`; the *global chunk id* — carried
+// in the CQE immediate (the PSN of Section III-A) — addresses the receive
+// region directly, so out-of-order and multi-root arrivals land at the right
+// offset without sender-specific state.
+//
+// Within a block, chunk indices are partitioned contiguously across
+// `subgroups` multicast subgroups (Section IV-C: contiguous send-buffer
+// blocks map to subgroup QPs, keeping bitmaps thread-local).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/check.hpp"
+
+namespace mccl::coll {
+
+struct ChunkMap {
+  std::uint64_t block_bytes = 0;
+  std::uint32_t chunk_bytes = 4096;
+  std::size_t subgroups = 1;
+  std::size_t blocks = 1;
+
+  ChunkMap() = default;
+  ChunkMap(std::uint64_t block, std::uint32_t chunk, std::size_t sgs,
+           std::size_t nblocks)
+      : block_bytes(block),
+        chunk_bytes(chunk),
+        subgroups(sgs),
+        blocks(nblocks) {
+    MCCL_CHECK(block_bytes > 0 && chunk_bytes > 0 && subgroups >= 1);
+    MCCL_CHECK(blocks >= 1);
+    MCCL_CHECK_MSG(subgroups <= chunks_per_block(),
+                   "more subgroups than chunks per block");
+  }
+
+  std::size_t chunks_per_block() const {
+    return static_cast<std::size_t>((block_bytes + chunk_bytes - 1) /
+                                    chunk_bytes);
+  }
+  std::size_t total_chunks() const { return blocks * chunks_per_block(); }
+
+  std::size_t block_of(std::uint32_t id) const {
+    return id / chunks_per_block();
+  }
+  /// Chunk index within its block.
+  std::size_t index_of(std::uint32_t id) const {
+    return id % chunks_per_block();
+  }
+  std::uint32_t id_of(std::size_t block, std::size_t index) const {
+    return static_cast<std::uint32_t>(block * chunks_per_block() + index);
+  }
+
+  /// Byte offset of the chunk in the receive region.
+  std::uint64_t offset_of(std::uint32_t id) const {
+    return block_of(id) * block_bytes +
+           static_cast<std::uint64_t>(index_of(id)) * chunk_bytes;
+  }
+  /// Byte offset of the chunk within its root's send buffer.
+  std::uint64_t send_offset_of(std::uint32_t id) const {
+    return static_cast<std::uint64_t>(index_of(id)) * chunk_bytes;
+  }
+  std::uint32_t len_of(std::uint32_t id) const {
+    const std::uint64_t begin =
+        static_cast<std::uint64_t>(index_of(id)) * chunk_bytes;
+    return static_cast<std::uint32_t>(
+        begin + chunk_bytes <= block_bytes ? chunk_bytes
+                                           : block_bytes - begin);
+  }
+
+  /// Subgroup serving this chunk (balanced contiguous partition of the
+  /// block-local index space).
+  std::size_t subgroup_of(std::uint32_t id) const {
+    return index_of(id) * subgroups / chunks_per_block();
+  }
+  /// Number of block-local chunk indices assigned to subgroup `s`.
+  std::size_t chunks_in_subgroup(std::size_t s) const {
+    const std::size_t cpb = chunks_per_block();
+    // indices i with i*S/cpb == s form a contiguous [lo, hi) range.
+    const std::size_t lo = (s * cpb + subgroups - 1) / subgroups;
+    const std::size_t hi = ((s + 1) * cpb + subgroups - 1) / subgroups;
+    return hi - lo;
+  }
+};
+
+}  // namespace mccl::coll

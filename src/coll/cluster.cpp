@@ -1,0 +1,31 @@
+#include "src/coll/cluster.hpp"
+
+namespace mccl::coll {
+
+Cluster::Cluster(fabric::Topology topology, ClusterConfig config)
+    : config_(config) {
+  fabric_ =
+      std::make_unique<fabric::Fabric>(engine_, std::move(topology),
+                                       config.fabric);
+  inc_ = std::make_unique<inc::Engine>(*fabric_);
+  const std::size_t hosts = fabric_->topology().num_hosts();
+  nics_.reserve(hosts);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    nics_.push_back(std::make_unique<rdma::Nic>(
+        engine_, *fabric_, static_cast<fabric::NodeId>(h), config.nic));
+    nics_.back()->set_inc_handler(
+        [this, h](const fabric::PacketPtr& p) {
+          inc_->on_host_packet(static_cast<fabric::NodeId>(h), p);
+        });
+    cpus_.push_back(std::make_unique<exec::Complex>(engine_, config.cpu));
+    dpas_.push_back(std::make_unique<exec::Complex>(engine_, config.dpa));
+  }
+}
+
+Time Cluster::run_until_done(const std::function<bool()>& done) {
+  const bool ok = engine_.run_while_pending(done);
+  MCCL_CHECK_MSG(ok, "simulation drained without reaching completion");
+  return engine_.now();
+}
+
+}  // namespace mccl::coll

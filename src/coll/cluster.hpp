@@ -1,0 +1,66 @@
+// Cluster: the simulated machine room.
+//
+// Owns the event engine, the fabric, one NIC per host, one host-CPU complex
+// per host and one DPA complex per host. Communicators are built over a
+// subset of hosts. The Cluster also hands out globally unique collective
+// ids and rkeys so that concurrent communicators never collide.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/exec/worker.hpp"
+#include "src/fabric/fabric.hpp"
+#include "src/inc/engine.hpp"
+#include "src/rdma/nic.hpp"
+#include "src/sim/engine.hpp"
+
+namespace mccl::coll {
+
+struct ClusterConfig {
+  fabric::Fabric::Config fabric;
+  rdma::NicConfig nic;
+  exec::Complex::Config cpu = exec::Complex::cpu_config();
+  exec::Complex::Config dpa = exec::Complex::dpa_config();
+};
+
+class Cluster {
+ public:
+  Cluster(fabric::Topology topology, ClusterConfig config = {});
+
+  sim::Engine& engine() { return engine_; }
+  fabric::Fabric& fabric() { return *fabric_; }
+  inc::Engine& inc() { return *inc_; }
+  const ClusterConfig& config() const { return config_; }
+
+  std::size_t num_hosts() const { return nics_.size(); }
+  rdma::Nic& nic(std::size_t host) { return *nics_[host]; }
+  exec::Complex& cpu(std::size_t host) { return *cpus_[host]; }
+  exec::Complex& dpa(std::size_t host) { return *dpas_[host]; }
+
+  /// Globally unique 12-bit collective instance id.
+  std::uint16_t next_op_id() {
+    MCCL_CHECK_MSG(next_op_id_ < (1u << 12), "collective id space exhausted");
+    return next_op_id_++;
+  }
+  /// Globally unique rkey for symmetric (same value on every rank)
+  /// registrations, e.g. the fetch-layer receive buffer registration.
+  std::uint32_t next_shared_rkey() { return next_rkey_++; }
+
+  /// Runs the simulation until `done` returns true; returns the time.
+  Time run_until_done(const std::function<bool()>& done);
+
+ private:
+  sim::Engine engine_;
+  ClusterConfig config_;
+  std::unique_ptr<fabric::Fabric> fabric_;
+  std::unique_ptr<inc::Engine> inc_;
+  std::vector<std::unique_ptr<rdma::Nic>> nics_;
+  std::vector<std::unique_ptr<exec::Complex>> cpus_;
+  std::vector<std::unique_ptr<exec::Complex>> dpas_;
+  std::uint16_t next_op_id_ = 1;
+  std::uint32_t next_rkey_ = 1 << 20;  // above per-NIC sequential keys
+};
+
+}  // namespace mccl::coll

@@ -1,0 +1,181 @@
+#include "src/coll/communicator.hpp"
+
+#include <algorithm>
+
+#include "src/coll/mcast_coll.hpp"
+#include "src/coll/p2p_coll.hpp"
+#include "src/coll/reduce_scatter.hpp"
+#include "src/coll/vandegeijn.hpp"
+
+namespace mccl::coll {
+
+// ---------------------------------------------------------------------------
+// OpBase
+// ---------------------------------------------------------------------------
+
+OpBase::OpBase(Communicator& comm, std::string name)
+    : comm_(comm),
+      name_(std::move(name)),
+      id_(comm.cluster().next_op_id()),
+      finish_(comm.size(), 0),
+      phases_(comm.size()) {}
+
+OpBase::~OpBase() = default;
+
+bool OpBase::done() const { return completed_ == comm_.size(); }
+
+Time OpBase::finish_time() const {
+  return *std::max_element(finish_.begin(), finish_.end());
+}
+
+Phases OpBase::max_phases() const {
+  Phases out;
+  for (const Phases& p : phases_) {
+    out.barrier = std::max(out.barrier, p.barrier);
+    out.transfer = std::max(out.transfer, p.transfer);
+    out.reliability = std::max(out.reliability, p.reliability);
+    out.handshake = std::max(out.handshake, p.handshake);
+  }
+  return out;
+}
+
+void OpBase::mark_started() { start_time_ = comm_.cluster().engine().now(); }
+
+void OpBase::rank_done(std::size_t r) {
+  MCCL_CHECK(finish_[r] == 0);
+  finish_[r] = comm_.cluster().engine().now();
+  ++completed_;
+}
+
+// ---------------------------------------------------------------------------
+// Communicator
+// ---------------------------------------------------------------------------
+
+Communicator::Communicator(Cluster& cluster,
+                           std::vector<fabric::NodeId> hosts,
+                           CommConfig config)
+    : cluster_(cluster), config_(config) {
+  MCCL_CHECK(hosts.size() >= 2);
+  MCCL_CHECK(config_.subgroups >= 1 && config_.chains >= 1);
+  MCCL_CHECK(config_.send_workers >= 1 && config_.recv_workers >= 1);
+  for (std::size_t r = 0; r < hosts.size(); ++r) {
+    rank_of_[hosts[r]] = r;
+    eps_.push_back(std::make_unique<Endpoint>(*this, r, hosts[r]));
+  }
+  for (std::size_t s = 0; s < config_.subgroups; ++s)
+    groups_.push_back(cluster_.fabric().create_mcast_group());
+  for (auto& ep : eps_) {
+    ep->setup_workers();
+    ep->setup_subgroups();
+  }
+}
+
+Communicator::~Communicator() = default;
+
+std::size_t Communicator::rank_of_host(fabric::NodeId host) const {
+  auto it = rank_of_.find(host);
+  MCCL_CHECK_MSG(it != rank_of_.end(), "host is not part of communicator");
+  return it->second;
+}
+
+bool Communicator::data_mode() const {
+  return cluster_.config().nic.carry_payload;
+}
+
+OpBase& Communicator::start_broadcast(std::size_t root, std::uint64_t bytes,
+                                      BcastAlgo algo) {
+  if (algo == BcastAlgo::kMcast) {
+    McastCollective::Params p;
+    p.roots = {root};
+    p.block_bytes = bytes;
+    ops_.push_back(std::make_unique<McastCollective>(*this, "mcast_broadcast",
+                                                     std::move(p)));
+  } else if (algo == BcastAlgo::kScatterAllgather) {
+    ops_.push_back(
+        std::make_unique<ScatterAllgatherBcast>(*this, root, bytes));
+  } else {
+    ops_.push_back(std::make_unique<P2PBroadcast>(*this, root, bytes, algo));
+  }
+  ops_.back()->start();
+  return *ops_.back();
+}
+
+OpBase& Communicator::start_allgather(std::uint64_t bytes,
+                                      AllgatherAlgo algo) {
+  switch (algo) {
+    case AllgatherAlgo::kMcast: {
+      McastCollective::Params p;
+      p.roots.resize(size());
+      for (std::size_t r = 0; r < size(); ++r) p.roots[r] = r;
+      p.block_bytes = bytes;
+      ops_.push_back(std::make_unique<McastCollective>(
+          *this, "mcast_allgather", std::move(p)));
+      break;
+    }
+    case AllgatherAlgo::kRing:
+      ops_.push_back(std::make_unique<RingAllgather>(*this, bytes));
+      break;
+    case AllgatherAlgo::kLinear:
+      ops_.push_back(std::make_unique<LinearAllgather>(*this, bytes));
+      break;
+    case AllgatherAlgo::kRecDoubling:
+      ops_.push_back(std::make_unique<RecDoublingAllgather>(*this, bytes));
+      break;
+  }
+  ops_.back()->start();
+  return *ops_.back();
+}
+
+OpBase& Communicator::start_reduce_scatter(std::uint64_t block_bytes,
+                                           ReduceScatterAlgo algo) {
+  if (algo == ReduceScatterAlgo::kRing)
+    ops_.push_back(std::make_unique<RingReduceScatter>(*this, block_bytes));
+  else
+    ops_.push_back(std::make_unique<IncReduceScatter>(*this, block_bytes));
+  ops_.back()->start();
+  return *ops_.back();
+}
+
+OpBase& Communicator::start_barrier() {
+  ops_.push_back(std::make_unique<BarrierOp>(*this));
+  ops_.back()->start();
+  return *ops_.back();
+}
+
+OpResult Communicator::finish(OpBase& op) {
+  const std::uint64_t rnr_before = [&] {
+    std::uint64_t total = 0;
+    for (auto& ep : eps_) total += ep->rnr_drops();
+    return total;
+  }();
+  cluster_.run_until_done([&op] { return op.done(); });
+  OpResult res;
+  res.start = op.start_time();
+  res.finish = op.finish_time();
+  res.rank_finish = op.rank_finish();
+  res.max_phases = op.max_phases();
+  res.data_verified = op.verify();
+  res.fetched_chunks = op.fetched_chunks();
+  std::uint64_t rnr_after = 0;
+  for (auto& ep : eps_) rnr_after += ep->rnr_drops();
+  res.rnr_drops = rnr_after - rnr_before;
+  return res;
+}
+
+OpResult Communicator::broadcast(std::size_t root, std::uint64_t bytes,
+                                 BcastAlgo algo) {
+  return finish(start_broadcast(root, bytes, algo));
+}
+
+OpResult Communicator::allgather(std::uint64_t bytes, AllgatherAlgo algo) {
+  return finish(start_allgather(bytes, algo));
+}
+
+OpResult Communicator::reduce_scatter(std::uint64_t block_bytes,
+                                      ReduceScatterAlgo algo) {
+  return finish(start_reduce_scatter(block_bytes, algo));
+}
+
+OpResult Communicator::barrier() { return finish(start_barrier()); }
+
+}  // namespace mccl::coll

@@ -1,0 +1,317 @@
+// Communicator: ranks, progress-engine workers, control plane, multicast
+// subgroups — and the collective-operation API.
+//
+// One Communicator spans a set of hosts (one rank per host, as in the
+// paper's 1-PPN evaluation). Construction wires, per rank:
+//  - an application thread (host CPU worker) running the control plane:
+//    RNR barrier, chain tokens, final handshake, fetch coordination;
+//  - `send_workers` + `recv_workers` progress workers on the configured
+//    engine (host CPU or DPA) — flow-direction parallelism;
+//  - `subgroups` multicast groups, each with its own UD/UC QP, CQs and
+//    staging ring — packet parallelism; subgroup CQs are distributed over
+//    the receive workers;
+//  - lazily, pairwise RC QPs for the control plane and for the data plane
+//    of the P2P baselines and the reliability fetch layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/coll/cluster.hpp"
+#include "src/coll/ctrl.hpp"
+#include "src/exec/cost_model.hpp"
+
+namespace mccl::coll {
+
+class Communicator;
+class OpBase;
+
+enum class Transport : std::uint8_t {
+  kUd,       // UD multicast datagrams + receive-side staging (Section III)
+  kUcMcast,  // proposed UC multicast RDMA Writes, no staging (Section V-B)
+};
+
+enum class EngineKind : std::uint8_t {
+  kCpu,  // progress workers on host CPU cores
+  kDpa,  // progress workers on DPA hardware threads (SmartNIC offload)
+};
+
+struct CommConfig {
+  Transport transport = Transport::kUd;
+  EngineKind progress_engine = EngineKind::kCpu;
+  /// Where the *send* workers run; defaults to progress_engine. The paper's
+  /// DPA experiments drive the receiver from an x86 client, i.e. send
+  /// workers on the CPU while receive workers are offloaded.
+  std::optional<EngineKind> send_engine;
+  std::size_t subgroups = 1;      // multicast subgroups (packet parallelism)
+  std::size_t chains = 1;         // broadcast chains (multicast parallelism)
+  std::size_t send_workers = 1;   // flow-direction parallelism
+  std::size_t recv_workers = 1;
+  std::uint32_t chunk_bytes = 4096;  // fast-path fragmentation granularity
+  std::size_t send_batch = 16;       // doorbell batching factor
+  std::size_t staging_slots = 2048;  // staging ring slots per subgroup (UD)
+  Time cutoff_alpha = 500 * kMicrosecond;  // cutoff-timer slack
+  bool reliability = true;                 // enable the slow-path fetch ring
+  std::optional<exec::DatapathCosts> costs_override;  // else by engine kind
+};
+
+/// Per-rank protocol phase timestamps (durations), the Fig 10 breakdown.
+struct Phases {
+  Time barrier = 0;      // RNR synchronization
+  Time transfer = 0;     // multicast / data movement
+  Time reliability = 0;  // slow-path recovery (0 if no drops)
+  Time handshake = 0;    // final ring handshake
+  Time total() const { return barrier + transfer + reliability + handshake; }
+};
+
+/// Result of a completed (blocking) collective.
+struct OpResult {
+  Time start = 0;
+  Time finish = 0;  // max completion over ranks
+  Time duration() const { return finish - start; }
+  std::vector<Time> rank_finish;
+  Phases max_phases;  // per-phase max over ranks
+  bool data_verified = false;
+  std::uint64_t fetched_chunks = 0;  // chunks recovered via the slow path
+  std::uint64_t rnr_drops = 0;
+};
+
+enum class BcastAlgo : std::uint8_t {
+  kMcast,       // the paper's multicast Broadcast
+  kBinomial,    // k-nomial tree (radix 2), whole-message forwarding
+  kBinaryTree,  // balanced binary tree
+  kLinear,      // root unicasts to every peer
+  kScatterAllgather,  // van de Geijn: binomial scatter + ring allgather —
+                      // the production large-message algorithm
+};
+enum class AllgatherAlgo : std::uint8_t {
+  kMcast,        // the paper's bandwidth-optimal composition of Broadcasts
+  kRing,         // NCCL-style ring
+  kLinear,       // all-to-all writes
+  kRecDoubling,  // recursive doubling (power-of-two rank counts)
+};
+enum class ReduceScatterAlgo : std::uint8_t { kRing, kInc };
+
+// ---------------------------------------------------------------------------
+// Endpoint: per-rank resources
+// ---------------------------------------------------------------------------
+
+class Endpoint {
+ public:
+  /// Handler for control-plane messages addressed to one collective op.
+  using CtrlHandler =
+      std::function<void(const CtrlMsg&, std::size_t src_rank,
+                         const rdma::Cqe&)>;
+  /// Handler for fast-path chunk arrivals (runs on a receive worker, after
+  /// the per-CQE datapath cost has been charged).
+  using ChunkHandler =
+      std::function<void(std::uint32_t chunk, std::size_t subgroup,
+                         const rdma::Cqe&)>;
+
+  Endpoint(Communicator& comm, std::size_t rank, fabric::NodeId host);
+
+  std::size_t rank() const { return rank_; }
+  fabric::NodeId host() const { return host_; }
+  rdma::Nic& nic() { return nic_; }
+  Communicator& comm() { return comm_; }
+  const exec::DatapathCosts& costs() const { return costs_; }
+
+  exec::Worker& app_worker() { return *app_worker_; }
+  exec::Worker& send_worker(std::size_t i) {
+    return *send_workers_[i % send_workers_.size()];
+  }
+  /// Costs for the send datapath (may run on a different engine).
+  const exec::DatapathCosts& send_costs() const { return send_costs_; }
+  exec::Worker& recv_worker(std::size_t i) {
+    return *recv_workers_[i % recv_workers_.size()];
+  }
+  std::size_t num_send_workers() const { return send_workers_.size(); }
+  std::size_t num_recv_workers() const { return recv_workers_.size(); }
+
+  /// Link speed of this host's injection port (cutoff-timer input).
+  double link_gbps() const;
+
+  // --- control plane -------------------------------------------------------
+  /// Posts a control message to `peer` (charged on the app worker).
+  void ctrl_send(std::size_t peer, const CtrlMsg& msg);
+  void register_ctrl(std::uint16_t op, CtrlHandler handler);
+  void unregister_ctrl(std::uint16_t op);
+
+  // --- P2P data plane (baselines + fetch layer) -----------------------------
+  rdma::RcQp& data_qp(std::size_t peer);
+  /// Completions of data-plane messages are dispatched like control
+  /// messages: the immediate encodes a CtrlMsg naming the op.
+  rdma::Cq& data_recv_cq() { return *data_rcq_; }
+  rdma::Cq& data_send_cq() { return *data_scq_; }
+  /// Registers the handler for this op's RDMA Read completions (fetch layer)
+  /// and data sends (wr_id-keyed).
+  void register_read_handler(std::uint16_t op,
+                             std::function<void(const rdma::Cqe&)> handler);
+  void unregister_read_handler(std::uint16_t op);
+
+  // --- multicast fast path ---------------------------------------------------
+  struct Subgroup {
+    rdma::UdQp* ud = nullptr;
+    rdma::UcQp* uc = nullptr;
+    rdma::Cq* rcq = nullptr;
+    rdma::Cq* scq = nullptr;
+    std::uint64_t staging_base = 0;  // UD staging ring
+    std::size_t posted = 0;          // receive WRs currently in the RQ
+  };
+  Subgroup& subgroup(std::size_t s) { return subgroups_[s]; }
+  std::size_t num_subgroups() const { return subgroups_.size(); }
+  void register_mcast_op(std::uint8_t tag, ChunkHandler handler);
+  void unregister_mcast_op(std::uint8_t tag);
+  /// Reposts a UD staging slot after its copy drained (UD datapath step 4).
+  void repost_staging(std::size_t subgroup, std::uint64_t slot_addr);
+  /// Tops up the zero-length receive WRs consumed by UC write-with-imm.
+  void top_up_uc_recvs(std::size_t subgroup);
+
+  std::uint64_t rnr_drops() const;
+
+ private:
+  friend class Communicator;
+  void setup_workers();
+  void setup_subgroups();
+  void on_ctrl_cqe(const rdma::Cqe& cqe);
+  void on_data_cqe(const rdma::Cqe& cqe);
+  void on_data_send_cqe(const rdma::Cqe& cqe);
+  void on_chunk_cqe(std::size_t subgroup, const rdma::Cqe& cqe);
+
+  Communicator& comm_;
+  std::size_t rank_;
+  fabric::NodeId host_;
+  rdma::Nic& nic_;
+  exec::DatapathCosts costs_;
+  exec::DatapathCosts send_costs_;
+  exec::DatapathCosts cpu_costs_;  // app worker always runs on the host CPU
+
+  exec::Worker* app_worker_ = nullptr;
+  std::vector<exec::Worker*> send_workers_;
+  std::vector<exec::Worker*> recv_workers_;
+
+  rdma::Cq* ctrl_rcq_ = nullptr;
+  rdma::Cq* data_rcq_ = nullptr;
+  rdma::Cq* data_scq_ = nullptr;
+  std::unordered_map<std::size_t, rdma::RcQp*> ctrl_qps_;  // peer -> qp
+  std::unordered_map<std::size_t, rdma::RcQp*> data_qps_;
+  std::unordered_map<std::uint16_t, CtrlHandler> ctrl_handlers_;
+  std::unordered_map<std::uint16_t, std::function<void(const rdma::Cqe&)>>
+      read_handlers_;
+  std::unordered_map<std::uint8_t, ChunkHandler> mcast_ops_;
+  std::vector<Subgroup> subgroups_;
+};
+
+// ---------------------------------------------------------------------------
+// OpBase: a collective instance spanning all ranks
+// ---------------------------------------------------------------------------
+
+class OpBase {
+ public:
+  OpBase(Communicator& comm, std::string name);
+  virtual ~OpBase();
+
+  std::uint16_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  bool done() const;
+  Time start_time() const { return start_time_; }
+  Time finish_time() const;
+  const std::vector<Time>& rank_finish() const { return finish_; }
+  Phases max_phases() const;
+  const Phases& rank_phases(std::size_t r) const { return phases_[r]; }
+  std::uint64_t fetched_chunks() const { return fetched_chunks_; }
+
+  /// Launches the op (records the start time, posts initial tasks).
+  virtual void start() = 0;
+  /// Byte-for-byte output validation (true in synthetic mode).
+  virtual bool verify() const = 0;
+
+ protected:
+  void mark_started();
+  void rank_done(std::size_t r);
+
+  Communicator& comm_;
+  std::string name_;
+  std::uint16_t id_;
+  Time start_time_ = 0;
+  std::vector<Time> finish_;
+  std::vector<Phases> phases_;
+  std::size_t completed_ = 0;
+  std::uint64_t fetched_chunks_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Communicator
+// ---------------------------------------------------------------------------
+
+class Communicator {
+ public:
+  Communicator(Cluster& cluster, std::vector<fabric::NodeId> hosts,
+               CommConfig config = {});
+  ~Communicator();
+
+  Cluster& cluster() { return cluster_; }
+  const CommConfig& config() const { return config_; }
+  std::size_t size() const { return eps_.size(); }
+  Endpoint& ep(std::size_t rank) { return *eps_[rank]; }
+  std::size_t rank_of_host(fabric::NodeId host) const;
+  fabric::McastGroupId subgroup_group(std::size_t s) const {
+    return groups_[s];
+  }
+  bool data_mode() const;  // false when the cluster runs payload-free
+
+  // --- non-blocking API ------------------------------------------------------
+  OpBase& start_broadcast(std::size_t root, std::uint64_t bytes,
+                          BcastAlgo algo);
+  OpBase& start_allgather(std::uint64_t bytes, AllgatherAlgo algo);
+  OpBase& start_reduce_scatter(std::uint64_t block_bytes,
+                               ReduceScatterAlgo algo);
+  OpBase& start_barrier();
+
+  // --- blocking API ----------------------------------------------------------
+  OpResult broadcast(std::size_t root, std::uint64_t bytes, BcastAlgo algo);
+  OpResult allgather(std::uint64_t bytes, AllgatherAlgo algo);
+  OpResult reduce_scatter(std::uint64_t block_bytes, ReduceScatterAlgo algo);
+  OpResult barrier();
+
+  /// Runs the simulation until `op` completes and builds its result.
+  OpResult finish(OpBase& op);
+
+  /// Pairwise RC QP management (both directions created and connected).
+  /// ctrl_qp/data_qp are cached communicator-wide meshes: the control plane
+  /// multiplexes ops by immediate, and the fetch layer issues only RDMA
+  /// Reads (no receive-WR consumption), so sharing is safe.
+  rdma::RcQp& ctrl_qp(std::size_t from, std::size_t to);
+  rdma::RcQp& data_qp(std::size_t from, std::size_t to);
+  /// Dedicated (uncached) QP pair for one op's two-sided data stream —
+  /// concurrent baselines must not interleave WR consumption on a shared
+  /// receive queue. Returns (a-side, b-side).
+  std::pair<rdma::RcQp*, rdma::RcQp*> create_qp_pair(std::size_t a,
+                                                     std::size_t b);
+
+ private:
+  friend class OpBase;
+  OpResult run_blocking(OpBase& op);
+
+  Cluster& cluster_;
+  CommConfig config_;
+  std::vector<std::unique_ptr<Endpoint>> eps_;
+  std::unordered_map<fabric::NodeId, std::size_t> rank_of_;
+  std::vector<fabric::McastGroupId> groups_;  // one per subgroup
+  std::vector<std::unique_ptr<OpBase>> ops_;
+  std::uint8_t next_tag_ = 1;
+
+ public:
+  /// Allocates the next fast-path op tag (8 bits, recycled modulo 256).
+  std::uint8_t next_mcast_tag() {
+    if (next_tag_ == 0) ++next_tag_;
+    return next_tag_++;
+  }
+};
+
+}  // namespace mccl::coll

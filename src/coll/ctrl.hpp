@@ -1,0 +1,64 @@
+// Control-plane message encoding.
+//
+// All slow-path coordination (RNR barrier, broadcast-chain activation
+// tokens, final handshake, fetch requests/acks) travels as zero-length RC
+// sends whose 32-bit immediate encodes | type:4 | op:12 | arg:16 |.
+//
+// The fast path uses a different immediate layout (see mcast_coll.hpp):
+// | op_tag:8 | chunk:24 | — Fig 7's split of the CQE immediate between PSN
+// bits and collective-ID bits.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/check.hpp"
+
+namespace mccl::coll {
+
+enum class CtrlType : std::uint8_t {
+  kBarrier = 1,     // dissemination-barrier round token (arg = round)
+  kChainToken = 2,  // multicast sequencer activation (arg unused)
+  kFinal = 3,       // final-handshake packet (arg unused)
+  kFetchReq = 4,    // reliability: request permission to fetch chunks
+  kFetchAck = 5,    // reliability: left neighbor has all chunks
+  kStep = 6,        // generic step token for P2P baselines (arg = step)
+};
+
+struct CtrlMsg {
+  CtrlType type = CtrlType::kBarrier;
+  std::uint16_t op = 0;   // collective instance id (12 bits used)
+  std::uint16_t arg = 0;
+};
+
+inline std::uint32_t encode_ctrl(const CtrlMsg& m) {
+  MCCL_CHECK(m.op < (1u << 12));
+  return (static_cast<std::uint32_t>(m.type) << 28) |
+         (static_cast<std::uint32_t>(m.op) << 16) | m.arg;
+}
+
+inline CtrlMsg decode_ctrl(std::uint32_t imm) {
+  CtrlMsg m;
+  m.type = static_cast<CtrlType>(imm >> 28);
+  m.op = static_cast<std::uint16_t>((imm >> 16) & 0xfff);
+  m.arg = static_cast<std::uint16_t>(imm & 0xffff);
+  return m;
+}
+
+/// Fast-path immediate: | op_tag:8 | chunk:24 |.
+inline constexpr std::uint32_t kChunkBits = 24;
+
+inline std::uint32_t encode_chunk_imm(std::uint8_t op_tag,
+                                      std::uint32_t chunk) {
+  MCCL_CHECK(chunk < (1u << kChunkBits));
+  return (static_cast<std::uint32_t>(op_tag) << kChunkBits) | chunk;
+}
+
+inline std::uint8_t imm_op_tag(std::uint32_t imm) {
+  return static_cast<std::uint8_t>(imm >> kChunkBits);
+}
+
+inline std::uint32_t imm_chunk(std::uint32_t imm) {
+  return imm & ((1u << kChunkBits) - 1);
+}
+
+}  // namespace mccl::coll

@@ -1,0 +1,271 @@
+#include "src/coll/communicator.hpp"
+
+namespace mccl::coll {
+
+namespace {
+constexpr std::size_t kCtrlRecvCredits = 512;
+}
+
+Endpoint::Endpoint(Communicator& comm, std::size_t rank, fabric::NodeId host)
+    : comm_(comm),
+      rank_(rank),
+      host_(host),
+      nic_(comm.cluster().nic(static_cast<std::size_t>(host))),
+      cpu_costs_(exec::cpu_costs()) {
+  if (comm.config().costs_override) {
+    costs_ = *comm.config().costs_override;
+  } else {
+    costs_ = comm.config().progress_engine == EngineKind::kDpa
+                 ? exec::dpa_costs()
+                 : exec::cpu_costs();
+  }
+  const EngineKind send_kind =
+      comm.config().send_engine.value_or(comm.config().progress_engine);
+  if (comm.config().costs_override &&
+      send_kind == comm.config().progress_engine) {
+    send_costs_ = *comm.config().costs_override;
+  } else {
+    send_costs_ = send_kind == EngineKind::kDpa ? exec::dpa_costs()
+                                                : exec::cpu_costs();
+  }
+}
+
+void Endpoint::setup_workers() {
+  Cluster& cl = comm_.cluster();
+  const std::size_t h = static_cast<std::size_t>(host_);
+  app_worker_ = &cl.cpu(h).create_worker();
+  const EngineKind send_kind =
+      comm_.config().send_engine.value_or(comm_.config().progress_engine);
+  exec::Complex& send_complex =
+      send_kind == EngineKind::kDpa ? cl.dpa(h) : cl.cpu(h);
+  exec::Complex& recv_complex =
+      comm_.config().progress_engine == EngineKind::kDpa ? cl.dpa(h)
+                                                         : cl.cpu(h);
+  // Receive workers first: the compact co-location study (Section VI-C)
+  // measures *receive* threads filling cores from core 0.
+  for (std::size_t i = 0; i < comm_.config().recv_workers; ++i)
+    recv_workers_.push_back(&recv_complex.create_worker());
+  for (std::size_t i = 0; i < comm_.config().send_workers; ++i)
+    send_workers_.push_back(&send_complex.create_worker());
+
+  ctrl_rcq_ = &nic_.create_cq();
+  data_rcq_ = &nic_.create_cq();
+  data_scq_ = &nic_.create_cq();
+  app_worker_->subscribe(
+      *ctrl_rcq_, [this](const rdma::Cqe& cqe) { on_ctrl_cqe(cqe); },
+      cpu_costs_.control);
+  app_worker_->subscribe(
+      *data_rcq_, [this](const rdma::Cqe& cqe) { on_data_cqe(cqe); },
+      cpu_costs_.control);
+  app_worker_->subscribe(
+      *data_scq_, [this](const rdma::Cqe& cqe) { on_data_send_cqe(cqe); },
+      cpu_costs_.control);
+}
+
+void Endpoint::setup_subgroups() {
+  const CommConfig& cfg = comm_.config();
+  subgroups_.resize(cfg.subgroups);
+  for (std::size_t s = 0; s < cfg.subgroups; ++s) {
+    Subgroup& g = subgroups_[s];
+    g.rcq = &nic_.create_cq();
+    g.scq = &nic_.create_cq();
+    const fabric::McastGroupId group = comm_.subgroup_group(s);
+    if (cfg.transport == Transport::kUd) {
+      g.ud = &nic_.create_ud_qp(g.scq, g.rcq);
+      nic_.attach_ud_mcast(group, *g.ud);
+      // Staging ring: `staging_slots` chunk-sized slots, pre-posted; a slot
+      // returns to the RQ once its DMA copy to the user buffer drains.
+      g.staging_base =
+          nic_.memory().alloc(static_cast<std::uint64_t>(cfg.staging_slots) *
+                              cfg.chunk_bytes);
+      for (std::size_t i = 0; i < cfg.staging_slots; ++i) {
+        const std::uint64_t slot =
+            g.staging_base + static_cast<std::uint64_t>(i) * cfg.chunk_bytes;
+        g.ud->post_recv({.wr_id = slot, .laddr = slot,
+                         .len = cfg.chunk_bytes});
+      }
+      g.posted = cfg.staging_slots;
+    } else {
+      g.uc = &nic_.create_uc_qp(g.scq, g.rcq);
+      nic_.attach_uc_mcast(group, *g.uc);
+      g.uc->set_mcast_destination(group);
+      for (std::size_t i = 0; i < cfg.staging_slots; ++i)
+        g.uc->post_recv({});
+      g.posted = cfg.staging_slots;
+    }
+
+    // Flow-direction parallelism: receive workers own subgroup receive CQs,
+    // send workers own subgroup send CQs.
+    const exec::Cost recv_cost = cfg.transport == Transport::kUd
+                                     ? costs_.recv_chunk_ud
+                                     : costs_.recv_chunk_uc;
+    recv_worker(s).subscribe(
+        *g.rcq,
+        [this, s](const rdma::Cqe& cqe) { on_chunk_cqe(s, cqe); },
+        recv_cost);
+    send_worker(s).subscribe(
+        *g.scq,
+        [this, s](const rdma::Cqe& cqe) { on_chunk_cqe(s, cqe); },
+        send_costs_.doorbell);
+  }
+}
+
+double Endpoint::link_gbps() const {
+  const auto& ports = comm_.cluster().fabric().topology().ports(host_);
+  MCCL_CHECK(!ports.empty());
+  return ports.front().params.gbps;
+}
+
+void Endpoint::ctrl_send(std::size_t peer, const CtrlMsg& msg) {
+  const std::uint32_t imm = encode_ctrl(msg);
+  app_worker_->post(cpu_costs_.control, [this, peer, imm] {
+    rdma::SendFlags flags;
+    flags.imm = imm;
+    flags.has_imm = true;
+    flags.signaled = false;
+    comm_.ctrl_qp(rank_, peer).post_send(0, 0, flags);
+  });
+}
+
+void Endpoint::register_ctrl(std::uint16_t op, CtrlHandler handler) {
+  ctrl_handlers_[op] = std::move(handler);
+}
+
+void Endpoint::unregister_ctrl(std::uint16_t op) { ctrl_handlers_.erase(op); }
+
+rdma::RcQp& Endpoint::data_qp(std::size_t peer) {
+  return comm_.data_qp(rank_, peer);
+}
+
+void Endpoint::register_read_handler(
+    std::uint16_t op, std::function<void(const rdma::Cqe&)> handler) {
+  read_handlers_[op] = std::move(handler);
+}
+
+void Endpoint::unregister_read_handler(std::uint16_t op) {
+  read_handlers_.erase(op);
+}
+
+void Endpoint::register_mcast_op(std::uint8_t tag, ChunkHandler handler) {
+  mcast_ops_[tag] = std::move(handler);
+}
+
+void Endpoint::unregister_mcast_op(std::uint8_t tag) {
+  mcast_ops_.erase(tag);
+}
+
+void Endpoint::repost_staging(std::size_t subgroup, std::uint64_t slot_addr) {
+  Subgroup& g = subgroups_[subgroup];
+  MCCL_CHECK(g.ud != nullptr);
+  g.ud->post_recv({.wr_id = slot_addr, .laddr = slot_addr,
+                   .len = comm_.config().chunk_bytes});
+  ++g.posted;
+}
+
+void Endpoint::top_up_uc_recvs(std::size_t subgroup) {
+  Subgroup& g = subgroups_[subgroup];
+  MCCL_CHECK(g.uc != nullptr);
+  while (g.posted < comm_.config().staging_slots) {
+    g.uc->post_recv({});
+    ++g.posted;
+  }
+}
+
+std::uint64_t Endpoint::rnr_drops() const { return nic_.ud_rnr_drops(); }
+
+void Endpoint::on_ctrl_cqe(const rdma::Cqe& cqe) {
+  // Recycle the consumed control-receive credit.
+  rdma::Qp* qp = nic_.find_qp(cqe.qpn);
+  MCCL_CHECK(qp != nullptr);
+  qp->post_recv({});
+  MCCL_CHECK(cqe.has_imm);
+  const CtrlMsg msg = decode_ctrl(cqe.imm);
+  const std::size_t src = comm_.rank_of_host(cqe.src);
+  auto it = ctrl_handlers_.find(msg.op);
+  MCCL_CHECK_MSG(it != ctrl_handlers_.end(),
+                 "control message for unknown collective");
+  it->second(msg, src, cqe);
+}
+
+void Endpoint::on_data_cqe(const rdma::Cqe& cqe) {
+  MCCL_CHECK(cqe.has_imm);
+  const CtrlMsg msg = decode_ctrl(cqe.imm);
+  const std::size_t src = comm_.rank_of_host(cqe.src);
+  auto it = ctrl_handlers_.find(msg.op);
+  MCCL_CHECK_MSG(it != ctrl_handlers_.end(),
+                 "data message for unknown collective");
+  it->second(msg, src, cqe);
+}
+
+void Endpoint::on_data_send_cqe(const rdma::Cqe& cqe) {
+  const std::uint16_t op = static_cast<std::uint16_t>(cqe.wr_id >> 32);
+  auto it = read_handlers_.find(op);
+  if (it == read_handlers_.end()) return;  // op does not track completions
+  it->second(cqe);
+}
+
+void Endpoint::on_chunk_cqe(std::size_t subgroup, const rdma::Cqe& cqe) {
+  std::uint32_t imm;
+  if (cqe.opcode == rdma::CqeOpcode::kSend) {
+    imm = static_cast<std::uint32_t>(cqe.wr_id);
+  } else {
+    MCCL_CHECK(cqe.has_imm);
+    imm = cqe.imm;
+    Subgroup& g = subgroups_[subgroup];
+    MCCL_CHECK(g.posted > 0);
+    --g.posted;
+    if (g.uc != nullptr) top_up_uc_recvs(subgroup);
+  }
+  auto it = mcast_ops_.find(imm_op_tag(imm));
+  if (it == mcast_ops_.end()) return;  // late completion of a finished op
+  it->second(imm_chunk(imm), subgroup, cqe);
+}
+
+// ---------------------------------------------------------------------------
+// Communicator wiring for the RC QP meshes
+// ---------------------------------------------------------------------------
+
+rdma::RcQp& Communicator::ctrl_qp(std::size_t from, std::size_t to) {
+  Endpoint& a = ep(from);
+  auto it = a.ctrl_qps_.find(to);
+  if (it != a.ctrl_qps_.end()) return *it->second;
+  Endpoint& b = ep(to);
+  rdma::RcQp& qa = a.nic().create_rc_qp(nullptr, a.ctrl_rcq_);
+  rdma::RcQp& qb = b.nic().create_rc_qp(nullptr, b.ctrl_rcq_);
+  qa.connect(b.host(), qb.qpn());
+  qb.connect(a.host(), qa.qpn());
+  for (std::size_t i = 0; i < kCtrlRecvCredits; ++i) {
+    qa.post_recv({});
+    qb.post_recv({});
+  }
+  a.ctrl_qps_[to] = &qa;
+  b.ctrl_qps_[from] = &qb;
+  return qa;
+}
+
+std::pair<rdma::RcQp*, rdma::RcQp*> Communicator::create_qp_pair(
+    std::size_t a_rank, std::size_t b_rank) {
+  Endpoint& a = ep(a_rank);
+  Endpoint& b = ep(b_rank);
+  rdma::RcQp& qa = a.nic().create_rc_qp(a.data_scq_, a.data_rcq_);
+  rdma::RcQp& qb = b.nic().create_rc_qp(b.data_scq_, b.data_rcq_);
+  qa.connect(b.host(), qb.qpn());
+  qb.connect(a.host(), qa.qpn());
+  return {&qa, &qb};
+}
+
+rdma::RcQp& Communicator::data_qp(std::size_t from, std::size_t to) {
+  Endpoint& a = ep(from);
+  auto it = a.data_qps_.find(to);
+  if (it != a.data_qps_.end()) return *it->second;
+  Endpoint& b = ep(to);
+  rdma::RcQp& qa = a.nic().create_rc_qp(a.data_scq_, a.data_rcq_);
+  rdma::RcQp& qb = b.nic().create_rc_qp(b.data_scq_, b.data_rcq_);
+  qa.connect(b.host(), qb.qpn());
+  qb.connect(a.host(), qa.qpn());
+  a.data_qps_[to] = &qa;
+  b.data_qps_[from] = &qb;
+  return qa;
+}
+
+}  // namespace mccl::coll

@@ -1,0 +1,489 @@
+#include "src/coll/mcast_coll.hpp"
+
+#include <algorithm>
+
+#include "src/coll/pattern.hpp"
+
+namespace mccl::coll {
+
+namespace {
+std::size_t ceil_log2(std::size_t n) {
+  std::size_t k = 0, v = 1;
+  while (v < n) {
+    v *= 2;
+    ++k;
+  }
+  return k;
+}
+}  // namespace
+
+McastCollective::McastCollective(Communicator& comm, std::string name,
+                                 Params params)
+    : OpBase(comm, std::move(name)),
+      p_(std::move(params)),
+      map_(p_.block_bytes, comm.config().chunk_bytes,
+           comm.config().subgroups, p_.roots.size()),
+      schedule_(p_.roots.size(), std::min(comm.config().chains,
+                                          p_.roots.size())),
+      tag_(comm.next_mcast_tag()),
+      rkey_(comm.cluster().next_shared_rkey()),
+      barrier_rounds_(ceil_log2(comm.size())) {
+  const std::size_t P = comm_.size();
+  MCCL_CHECK(P >= 2);
+  MCCL_CHECK(!p_.roots.empty());
+  if (comm_.config().transport == Transport::kUd) {
+    MCCL_CHECK_MSG(comm_.config().chunk_bytes <=
+                       comm_.cluster().config().nic.mtu,
+                   "UD chunks must fit in the MTU");
+  }
+  MCCL_CHECK_MSG(map_.total_chunks() < (1u << kChunkBits),
+                 "send buffer too large for the PSN immediate bits");
+
+  // Block-local chunk index -> subgroup partition (identical for every
+  // block; precomputed once).
+  sg_indices_.resize(map_.subgroups);
+  for (std::size_t i = 0; i < map_.chunks_per_block(); ++i)
+    sg_indices_[map_.subgroup_of(map_.id_of(0, i))].push_back(i);
+
+  st_.resize(P);
+  const bool fill = comm_.data_mode();
+  for (std::size_t r = 0; r < P; ++r) {
+    RankState& s = st_[r];
+    Endpoint& ep = comm_.ep(r);
+    auto& mem = ep.nic().memory();
+    // Symmetric allocation: identical offsets on every rank let the fetch
+    // layer and UC multicast writes target one agreed remote address.
+    s.sendbuf = mem.alloc(p_.block_bytes);
+    s.recvbuf = mem.alloc(p_.block_bytes * map_.blocks);
+    MCCL_CHECK_MSG(s.recvbuf == st_[0].recvbuf,
+                   "asymmetric receive buffer allocation");
+    ep.nic().mrs().register_with_rkey(s.recvbuf,
+                                      p_.block_bytes * map_.blocks, rkey_);
+    for (std::size_t b = 0; b < p_.roots.size(); ++b)
+      if (p_.roots[b] == r) s.root_index = static_cast<int>(b);
+    if (fill) fill_pattern(mem, s.sendbuf, p_.block_bytes, id(), r);
+
+    s.barrier_seen.assign(barrier_rounds_ == 0 ? 1 : barrier_rounds_, 0);
+    s.block_received.assign(p_.roots.size(), 0);
+    s.fetch_wanted_by_right.assign(p_.roots.size(), false);
+    s.bitmaps.reserve(map_.subgroups);
+    for (std::size_t sg = 0; sg < map_.subgroups; ++sg)
+      s.bitmaps.emplace_back(map_.total_chunks());
+    const std::size_t foreign_blocks =
+        p_.roots.size() - (s.root_index >= 0 ? 1 : 0);
+    s.expected = foreign_blocks * map_.chunks_per_block();
+    s.local_copy_done = s.root_index < 0;  // roots copy their block locally
+
+    // Handlers.
+    ep.register_mcast_op(tag_, [this, r](std::uint32_t chunk, std::size_t sg,
+                                         const rdma::Cqe& cqe) {
+      on_chunk(r, chunk, sg, cqe);
+    });
+    ep.register_ctrl(id(), [this, r](const CtrlMsg& m, std::size_t src,
+                                     const rdma::Cqe& cqe) {
+      on_ctrl(r, m, src, cqe);
+    });
+    ep.register_read_handler(id(), [this, r](const rdma::Cqe& cqe) {
+      on_read_done(r, cqe);
+    });
+  }
+}
+
+McastCollective::~McastCollective() {
+  for (std::size_t r = 0; r < comm_.size(); ++r) {
+    Endpoint& ep = comm_.ep(r);
+    ep.unregister_mcast_op(tag_);
+    ep.unregister_ctrl(id());
+    ep.unregister_read_handler(id());
+  }
+}
+
+void McastCollective::start() {
+  mark_started();
+  for (std::size_t r = 0; r < comm_.size(); ++r) {
+    st_[r].t_start = start_time_;
+    barrier_kick(r);
+    if (is_root(r)) {
+      // Roots place their own block into the receive region through the
+      // local DMA engine (also the fetch-layer source of last resort).
+      RankState& s = st_[r];
+      Endpoint& ep = comm_.ep(r);
+      const std::uint64_t dst =
+          s.recvbuf + static_cast<std::size_t>(s.root_index) * p_.block_bytes;
+      ep.nic().post_local_copy(s.sendbuf, dst, p_.block_bytes, [this, r] {
+        RankState& s2 = st_[r];
+        s2.local_copy_done = true;
+        const auto own = static_cast<std::size_t>(s2.root_index);
+        s2.block_received[own] = map_.chunks_per_block();
+        on_block_complete(r, own);
+        check_data_complete(r);
+      });
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Barrier (dissemination): round k sends to (r + 2^k) mod P and waits for a
+// token from (r - 2^k) mod P. Completes in ceil(log2 P) rounds for any P.
+// --------------------------------------------------------------------------
+
+void McastCollective::barrier_kick(std::size_t r) {
+  if (barrier_rounds_ == 0) {
+    on_barrier_done(r);
+    return;
+  }
+  barrier_send_round(r);
+}
+
+void McastCollective::barrier_send_round(std::size_t r) {
+  RankState& s = st_[r];
+  const std::size_t P = comm_.size();
+  const std::size_t dist = std::size_t{1} << s.barrier_round;
+  comm_.ep(r).ctrl_send((r + dist) % P,
+                        {CtrlType::kBarrier, id(),
+                         static_cast<std::uint16_t>(s.barrier_round)});
+  barrier_advance(r);
+}
+
+void McastCollective::barrier_advance(std::size_t r) {
+  RankState& s = st_[r];
+  while (s.barrier_round < barrier_rounds_ &&
+         s.barrier_seen[s.barrier_round] > 0) {
+    --s.barrier_seen[s.barrier_round];
+    ++s.barrier_round;
+    if (s.barrier_round < barrier_rounds_) {
+      barrier_send_round(r);
+      return;  // continuation driven by the next token
+    }
+  }
+  if (s.barrier_round >= barrier_rounds_ && !s.barrier_done)
+    on_barrier_done(r);
+}
+
+void McastCollective::on_barrier_done(std::size_t r) {
+  RankState& s = st_[r];
+  s.barrier_done = true;
+  s.t_barrier = comm_.cluster().engine().now();
+  arm_cutoff(r);
+  if (is_root(r) &&
+      schedule_.is_chain_head(static_cast<std::size_t>(s.root_index)))
+    activate_send(r);
+  // Degenerate case: nothing to receive (single-root broadcast at the root).
+  check_data_complete(r);
+}
+
+// --------------------------------------------------------------------------
+// Send path
+// --------------------------------------------------------------------------
+
+void McastCollective::activate_send(std::size_t r) {
+  RankState& s = st_[r];
+  MCCL_CHECK(is_root(r) && !s.send_active);
+  s.send_active = true;
+  for (std::size_t sg = 0; sg < map_.subgroups; ++sg) send_batch(r, sg, 0);
+}
+
+void McastCollective::send_batch(std::size_t r, std::size_t sg,
+                                 std::size_t pos) {
+  Endpoint& ep = comm_.ep(r);
+  const auto& indices = sg_indices_[sg];
+  if (indices.empty()) {
+    on_subgroup_sent(r, sg);
+    return;
+  }
+  const std::size_t batch =
+      std::min(comm_.config().send_batch, indices.size() - pos);
+  const exec::Cost cost =
+      exec::Cost{ep.send_costs().send_post.instr * batch,
+                 ep.send_costs().send_post.stall * batch} +
+      ep.send_costs().doorbell;
+  ep.send_worker(sg).post(cost, [this, r, sg, pos, batch] {
+    Endpoint& ep = comm_.ep(r);
+    RankState& s = st_[r];
+    const auto& indices = sg_indices_[sg];
+    Endpoint::Subgroup& g = ep.subgroup(sg);
+    const std::size_t block = static_cast<std::size_t>(s.root_index);
+    for (std::size_t k = 0; k < batch; ++k) {
+      const std::size_t idx = indices[pos + k];
+      const std::uint32_t id32 = map_.id_of(block, idx);
+      const bool last = pos + k + 1 == indices.size();
+      rdma::SendFlags flags;
+      flags.imm = encode_chunk_imm(tag_, id32);
+      flags.has_imm = true;
+      flags.signaled = last;  // doorbell batching: only the tail reports
+      flags.wr_id = flags.imm;
+      const std::uint64_t laddr = s.sendbuf + map_.send_offset_of(id32);
+      const std::uint32_t len = map_.len_of(id32);
+      if (comm_.config().transport == Transport::kUd) {
+        g.ud->post_send(rdma::UdDest::multicast(comm_.subgroup_group(sg)),
+                        laddr, len, flags);
+      } else {
+        const std::uint64_t raddr = s.recvbuf + map_.offset_of(id32);
+        g.uc->post_write(laddr, len, raddr, rkey_, flags);
+      }
+    }
+    if (pos + batch < indices.size()) send_batch(r, sg, pos + batch);
+  });
+}
+
+void McastCollective::on_subgroup_sent(std::size_t r, std::size_t sg) {
+  (void)sg;
+  RankState& s = st_[r];
+  if (++s.subgroups_done < map_.subgroups) return;
+  s.send_done = true;
+  s.t_send_done = comm_.cluster().engine().now();
+  const int next = schedule_.successor(static_cast<std::size_t>(s.root_index));
+  if (next >= 0)
+    comm_.ep(r).ctrl_send(p_.roots[static_cast<std::size_t>(next)],
+                          {CtrlType::kChainToken, id(), 0});
+  check_op_done(r);
+}
+
+// --------------------------------------------------------------------------
+// Receive path
+// --------------------------------------------------------------------------
+
+void McastCollective::on_chunk(std::size_t r, std::uint32_t chunk,
+                               std::size_t sg, const rdma::Cqe& cqe) {
+  if (cqe.opcode == rdma::CqeOpcode::kSend) {
+    on_subgroup_sent(r, sg);
+    return;
+  }
+  RankState& s = st_[r];
+  MCCL_CHECK_MSG(static_cast<int>(map_.block_of(chunk)) != s.root_index,
+                 "received a chunk of our own block");
+  if (!set_chunk(r, chunk)) return;  // duplicate (fetch/late-arrival race)
+
+  if (comm_.config().transport == Transport::kUd) {
+    // Staging -> user buffer copy through the NIC DMA engine; the staging
+    // slot is reposted only once its bytes have drained.
+    Endpoint& ep = comm_.ep(r);
+    const std::uint64_t slot = cqe.wr_id;
+    const std::uint64_t dst = s.recvbuf + map_.offset_of(chunk);
+    ++s.pending_copies;
+    ep.nic().post_local_copy(slot, dst, map_.len_of(chunk),
+                             [this, r, sg, slot] {
+                               RankState& s2 = st_[r];
+                               --s2.pending_copies;
+                               comm_.ep(r).repost_staging(sg, slot);
+                               check_data_complete(r);
+                             });
+  }
+  check_data_complete(r);
+}
+
+bool McastCollective::set_chunk(std::size_t r, std::uint32_t id) {
+  RankState& s = st_[r];
+  Bitmap& bm = s.bitmaps[map_.subgroup_of(id)];
+  if (!bm.set(id)) return false;
+  ++s.received;
+  const std::size_t block = map_.block_of(id);
+  if (++s.block_received[block] == map_.chunks_per_block())
+    on_block_complete(r, block);
+  return true;
+}
+
+void McastCollective::check_data_complete(std::size_t r) {
+  RankState& s = st_[r];
+  if (s.data_complete || !s.barrier_done) return;
+  if (s.received < s.expected || s.pending_copies > 0 || !s.local_copy_done)
+    return;
+  s.data_complete = true;
+  s.t_data = comm_.cluster().engine().now();
+  if (s.recovering) s.t_recovery = s.t_data - s.t_recovery_begin;
+  ++s.timer_gen;  // cancel the cutoff timer
+  // Final handshake: tell the left neighbor we are complete.
+  s.final_sent = true;
+  comm_.ep(r).ctrl_send(left_of(r), {CtrlType::kFinal, id(), 0});
+  check_op_done(r);
+}
+
+// --------------------------------------------------------------------------
+// Reliability slow path
+// --------------------------------------------------------------------------
+
+void McastCollective::arm_cutoff(std::size_t r) {
+  RankState& s = st_[r];
+  const std::uint64_t gen = s.timer_gen;
+  const std::uint64_t expected_bytes =
+      static_cast<std::uint64_t>(s.expected) * map_.chunk_bytes;
+  // N/B_link plus per-schedule-step slack (chain tokens serialize the
+  // roots) plus the configured alpha for synchronization noise.
+  const Time deadline =
+      serialization_time(expected_bytes, comm_.ep(r).link_gbps()) +
+      static_cast<Time>(schedule_.chain_len) * 10 * kMicrosecond +
+      comm_.config().cutoff_alpha;
+  comm_.cluster().engine().schedule(deadline,
+                                    [this, r, gen] { on_cutoff(r, gen); });
+}
+
+void McastCollective::on_cutoff(std::size_t r, std::uint64_t gen) {
+  RankState& s = st_[r];
+  if (gen != s.timer_gen || s.data_complete) return;
+  MCCL_CHECK_MSG(comm_.config().reliability,
+                 "cutoff timer expired with the reliability layer disabled");
+  if (s.recovering) return;
+  s.recovering = true;
+  s.t_recovery_begin = comm_.cluster().engine().now();
+  // One fetch request per incomplete block: the left neighbor acks each
+  // block as soon as it holds it in full.
+  for (std::size_t b = 0; b < p_.roots.size(); ++b) {
+    if (static_cast<int>(b) == s.root_index) continue;
+    if (s.block_received[b] < map_.chunks_per_block())
+      comm_.ep(r).ctrl_send(left_of(r),
+                            {CtrlType::kFetchReq, id(),
+                             static_cast<std::uint16_t>(b)});
+  }
+}
+
+void McastCollective::on_block_complete(std::size_t r, std::size_t block) {
+  RankState& s = st_[r];
+  if (s.fetch_wanted_by_right[block]) {
+    s.fetch_wanted_by_right[block] = false;
+    comm_.ep(r).ctrl_send(right_of(r),
+                          {CtrlType::kFetchAck, id(),
+                           static_cast<std::uint16_t>(block)});
+  }
+}
+
+void McastCollective::on_fetch_ack(std::size_t r, std::size_t block) {
+  RankState& s = st_[r];
+  if (s.data_complete) return;
+  // Collect this block's chunks still missing at ACK time (some may have
+  // raced in through the multicast path).
+  std::vector<std::uint32_t> missing;
+  const std::uint32_t begin = map_.id_of(block, 0);
+  const std::uint32_t end =
+      begin + static_cast<std::uint32_t>(map_.chunks_per_block());
+  for (std::uint32_t id32 = begin; id32 < end; ++id32) {
+    if (!s.bitmaps[map_.subgroup_of(id32)].test(id32))
+      missing.push_back(id32);
+  }
+  if (missing.empty()) {
+    if (s.pending_fetches == 0) check_data_complete(r);
+    return;
+  }
+  fetched_chunks_ += missing.size();
+  Endpoint& ep = comm_.ep(r);
+  const std::size_t left = left_of(r);
+  s.pending_fetches += missing.size();
+  for (const std::uint32_t id32 : missing) {
+    ep.recv_worker(0).post(ep.costs().fetch_post, [this, r, left, id32] {
+      RankState& s2 = st_[r];
+      Endpoint& ep2 = comm_.ep(r);
+      rdma::SendFlags flags;
+      flags.signaled = true;
+      flags.wr_id = (static_cast<std::uint64_t>(id()) << 32) | id32;
+      // Symmetric layout: the chunk lives at the same offset in the left
+      // neighbor's receive buffer.
+      ep2.data_qp(left).post_read(s2.recvbuf + map_.offset_of(id32),
+                                  map_.len_of(id32),
+                                  s2.recvbuf + map_.offset_of(id32), rkey_,
+                                  flags);
+    });
+  }
+}
+
+void McastCollective::on_read_done(std::size_t r, const rdma::Cqe& cqe) {
+  RankState& s = st_[r];
+  MCCL_CHECK(cqe.opcode == rdma::CqeOpcode::kRead);
+  const std::uint32_t id32 = static_cast<std::uint32_t>(cqe.wr_id);
+  set_chunk(r, id32);  // may be a duplicate if multicast raced the fetch
+  MCCL_CHECK(s.pending_fetches > 0);
+  if (--s.pending_fetches == 0) check_data_complete(r);
+}
+
+// --------------------------------------------------------------------------
+// Control plane and completion
+// --------------------------------------------------------------------------
+
+void McastCollective::on_ctrl(std::size_t r, const CtrlMsg& msg,
+                              std::size_t src, const rdma::Cqe& cqe) {
+  (void)cqe;
+  RankState& s = st_[r];
+  switch (msg.type) {
+    case CtrlType::kBarrier: {
+      MCCL_CHECK(msg.arg < s.barrier_seen.size());
+      ++s.barrier_seen[msg.arg];
+      barrier_advance(r);
+      break;
+    }
+    case CtrlType::kChainToken:
+      activate_send(r);
+      break;
+    case CtrlType::kFinal:
+      MCCL_CHECK(src == right_of(r));
+      s.final_from_right = true;
+      check_op_done(r);
+      break;
+    case CtrlType::kFetchReq: {
+      MCCL_CHECK(src == right_of(r));
+      const std::size_t block = msg.arg;
+      if (s.block_received[block] == map_.chunks_per_block())
+        comm_.ep(r).ctrl_send(right_of(r),
+                              {CtrlType::kFetchAck, id(), msg.arg});
+      else
+        s.fetch_wanted_by_right[block] = true;
+      break;
+    }
+    case CtrlType::kFetchAck:
+      MCCL_CHECK(src == left_of(r));
+      on_fetch_ack(r, msg.arg);
+      break;
+    default:
+      MCCL_CHECK_MSG(false, "unexpected control message");
+  }
+}
+
+void McastCollective::check_op_done(std::size_t r) {
+  RankState& s = st_[r];
+  if (s.op_done || !s.data_complete || !s.final_from_right) return;
+  if (is_root(r) && !s.send_done) return;
+  s.op_done = true;
+  const Time now = comm_.cluster().engine().now();
+  const Time data_ready = std::max(s.t_data, s.t_send_done);
+  Phases& ph = phases_[r];
+  ph.barrier = s.t_barrier - s.t_start;
+  ph.reliability = s.t_recovery;
+  ph.transfer = (data_ready - s.t_barrier) - s.t_recovery;
+  ph.handshake = now - data_ready;
+  rank_done(r);
+}
+
+void McastCollective::debug_dump() const {
+  for (std::size_t r = 0; r < comm_.size(); ++r) {
+    const RankState& s = st_[r];
+    std::fprintf(stderr,
+                 "rank %zu: barrier(round=%zu done=%d) recv=%zu/%zu "
+                 "copies=%zu local=%d data=%d send(active=%d done=%d "
+                 "sgs=%zu) recovering=%d fetches=%zu final(sent=%d "
+                 "from_right=%d) done=%d\n",
+                 r, s.barrier_round, s.barrier_done, s.received, s.expected,
+                 s.pending_copies, s.local_copy_done, s.data_complete,
+                 s.send_active, s.send_done, s.subgroups_done, s.recovering,
+                 s.pending_fetches, s.final_sent, s.final_from_right,
+                 s.op_done);
+    std::fprintf(stderr, "  blocks:");
+    for (std::size_t b = 0; b < p_.roots.size(); ++b)
+      std::fprintf(stderr, " %zu/%zu%s", s.block_received[b],
+                   map_.chunks_per_block(),
+                   s.fetch_wanted_by_right[b] ? "*" : "");
+    std::fprintf(stderr, "\n");
+  }
+}
+
+bool McastCollective::verify() const {
+  if (!comm_.data_mode()) return true;
+  for (std::size_t r = 0; r < comm_.size(); ++r) {
+    const RankState& s = st_[r];
+    const auto& mem = comm_.ep(r).nic().memory();
+    for (std::size_t b = 0; b < p_.roots.size(); ++b) {
+      if (!check_pattern(mem, s.recvbuf + b * p_.block_bytes, p_.block_bytes,
+                         id(), p_.roots[b]))
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mccl::coll

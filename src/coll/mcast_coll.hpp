@@ -1,0 +1,147 @@
+// The paper's contribution: constant-time reliable Broadcast over unreliable
+// hardware multicast (Section III) and the bandwidth-optimal Allgather built
+// as a composition of such Broadcasts (Section IV).
+//
+// One class implements both: a Broadcast is the single-root special case.
+// Per-rank flow:
+//
+//   start ──► RNR barrier (dissemination over the RC control plane)
+//         ──► [root, when chain-activated] send workers fragment the send
+//             buffer per subgroup and post multicast sends in doorbell
+//             batches; the last send's completion forwards the chain token
+//         ──► [leaf] receive workers poll subgroup CQs: PSN from the CQE
+//             immediate -> bitmap; UD chunks are DMA-copied from the staging
+//             ring to the user buffer, UC(-multicast) chunks land directly
+//         ──► cutoff timer (N/B_link + alpha): on expiry with missing
+//             chunks, fetch-ring recovery — ask the left neighbor, await its
+//             ACK (deferred until *it* is complete: recursion toward the
+//             root), then selectively RDMA-Read the missing chunks
+//         ──► final handshake: send Final left, await Final from the right
+//             (the right neighbor may still fetch from us until then)
+//         ──► buffer released; rank done.
+#pragma once
+
+#include <vector>
+
+#include "src/coll/chunk_map.hpp"
+#include "src/coll/communicator.hpp"
+#include "src/coll/sequencer.hpp"
+#include "src/common/bitmap.hpp"
+
+namespace mccl::coll {
+
+class McastCollective : public OpBase {
+ public:
+  struct Params {
+    std::vector<std::size_t> roots;  // block owners; block i = roots[i]
+    std::uint64_t block_bytes = 0;
+  };
+
+  McastCollective(Communicator& comm, std::string name, Params params);
+  ~McastCollective() override;
+
+  void start() override;
+  bool verify() const override;
+
+  std::uint64_t recvbuf_addr(std::size_t rank) const {
+    return st_[rank].recvbuf;
+  }
+
+  /// Prints per-rank protocol state to stderr (diagnostic aid for stuck
+  /// simulations).
+  void debug_dump() const;
+
+ private:
+  struct RankState {
+    std::uint64_t sendbuf = 0;
+    std::uint64_t recvbuf = 0;
+    int root_index = -1;  // block owned by this rank, -1 if leaf only
+
+    // Barrier.
+    std::size_t barrier_round = 0;
+    std::vector<std::size_t> barrier_seen;
+    bool barrier_done = false;
+
+    // Receive.
+    std::vector<Bitmap> bitmaps;  // per subgroup, indexed by global chunk id
+    std::size_t received = 0;
+    std::size_t expected = 0;
+    std::size_t pending_copies = 0;
+    bool local_copy_done = false;
+    bool data_complete = false;
+
+    // Send.
+    bool send_active = false;
+    std::size_t subgroups_done = 0;
+    bool send_done = false;
+
+    // Reliability. Fetch coordination is *per block*: the left neighbor
+    // acks a block once it holds all of that block's chunks, so every
+    // request chain terminates at the block's root — deadlock-free even
+    // when every rank lost chunks (the worst case degenerates to a ring
+    // Allgather, as the paper notes).
+    std::uint64_t timer_gen = 0;
+    bool recovering = false;
+    std::size_t pending_fetches = 0;
+    std::vector<std::size_t> block_received;  // chunks held per block
+    std::vector<bool> fetch_wanted_by_right;  // deferred acks per block
+
+    // Handshake.
+    bool final_sent = false;
+    bool final_from_right = false;
+    bool op_done = false;
+
+    // Timestamps for the Fig 10 phase breakdown.
+    Time t_start = 0, t_barrier = 0, t_data = 0, t_send_done = 0;
+    Time t_recovery_begin = 0, t_recovery = 0;
+  };
+
+  bool is_root(std::size_t r) const { return st_[r].root_index >= 0; }
+  std::size_t left_of(std::size_t r) const {
+    return (r + comm_.size() - 1) % comm_.size();
+  }
+  std::size_t right_of(std::size_t r) const {
+    return (r + 1) % comm_.size();
+  }
+
+  // Barrier.
+  void barrier_kick(std::size_t r);
+  void barrier_send_round(std::size_t r);
+  void barrier_advance(std::size_t r);
+  void on_barrier_done(std::size_t r);
+
+  // Send path.
+  void activate_send(std::size_t r);
+  void send_batch(std::size_t r, std::size_t sg, std::size_t pos);
+  void on_subgroup_sent(std::size_t r, std::size_t sg);
+
+  // Receive path.
+  void on_chunk(std::size_t r, std::uint32_t chunk, std::size_t sg,
+                const rdma::Cqe& cqe);
+  bool set_chunk(std::size_t r, std::uint32_t id);
+  void check_data_complete(std::size_t r);
+
+  // Reliability.
+  void arm_cutoff(std::size_t r);
+  void on_cutoff(std::size_t r, std::uint64_t gen);
+  void on_block_complete(std::size_t r, std::size_t block);
+  void on_fetch_ack(std::size_t r, std::size_t block);
+  void on_read_done(std::size_t r, const rdma::Cqe& cqe);
+
+  // Handshake / completion.
+  void on_ctrl(std::size_t r, const CtrlMsg& msg, std::size_t src,
+               const rdma::Cqe& cqe);
+  void check_op_done(std::size_t r);
+
+  Params p_;
+  ChunkMap map_;
+  ChainSchedule schedule_;
+  std::uint8_t tag_;
+  std::uint32_t rkey_;
+  std::size_t barrier_rounds_;
+  std::vector<RankState> st_;
+  // Block-local chunk indices per subgroup (shared by all blocks).
+  std::vector<std::vector<std::size_t>> sg_indices_;
+};
+
+}  // namespace mccl::coll

@@ -1,0 +1,389 @@
+#include "src/coll/p2p_coll.hpp"
+
+#include <algorithm>
+
+#include "src/coll/pattern.hpp"
+
+namespace mccl::coll {
+
+namespace {
+/// Children of shifted rank `v` among P ranks for the given tree shape.
+std::vector<std::size_t> tree_children(std::size_t v, std::size_t P,
+                                       BcastAlgo algo) {
+  std::vector<std::size_t> out;
+  switch (algo) {
+    case BcastAlgo::kBinomial: {
+      // v may send to v + 2^i for every i below the position of v's lowest
+      // set bit (v == 0: all i). Farthest child first.
+      std::size_t limit = P;
+      if (v != 0) limit = v & (~v + 1);  // lowest set bit
+      std::size_t step = 1;
+      while (step < limit && v + step < P) step <<= 1;
+      for (std::size_t d = step; d >= 1; d >>= 1)
+        if (d < limit && v + d < P) out.push_back(v + d);
+      break;
+    }
+    case BcastAlgo::kBinaryTree:
+      if (2 * v + 1 < P) out.push_back(2 * v + 1);
+      if (2 * v + 2 < P) out.push_back(2 * v + 2);
+      break;
+    case BcastAlgo::kLinear:
+      if (v == 0)
+        for (std::size_t i = 1; i < P; ++i) out.push_back(i);
+      break;
+    default:
+      MCCL_CHECK_MSG(false, "not a P2P broadcast algorithm");
+  }
+  return out;
+}
+
+std::size_t tree_parent(std::size_t v, BcastAlgo algo) {
+  MCCL_CHECK(v != 0);
+  switch (algo) {
+    case BcastAlgo::kBinomial:
+      return v & (v - 1);  // clear lowest set bit
+    case BcastAlgo::kBinaryTree:
+      return (v - 1) / 2;
+    case BcastAlgo::kLinear:
+      return 0;
+    default:
+      MCCL_CHECK_MSG(false, "not a P2P broadcast algorithm");
+      return 0;
+  }
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// P2PBroadcast
+// ---------------------------------------------------------------------------
+
+P2PBroadcast::P2PBroadcast(Communicator& comm, std::size_t root,
+                           std::uint64_t bytes, BcastAlgo algo)
+    : OpBase(comm, "p2p_broadcast"),
+      root_(root),
+      bytes_(bytes),
+      algo_(algo) {
+  const std::size_t P = comm.size();
+  MCCL_CHECK(root < P && bytes > 0);
+  st_.resize(P);
+  const bool fill = comm_.data_mode();
+  for (std::size_t r = 0; r < P; ++r) {
+    RankState& s = st_[r];
+    Endpoint& ep = comm_.ep(r);
+    s.sendbuf = ep.nic().memory().alloc(bytes_);
+    s.recvbuf = ep.nic().memory().alloc(bytes_);
+    const std::size_t v = (r + P - root_) % P;
+    for (const std::size_t cv : tree_children(v, P, algo_))
+      s.children.push_back((cv + root_) % P);
+    if (v != 0) s.parent = static_cast<int>((tree_parent(v, algo_) + root_) % P);
+    if (fill && r == root_) fill_pattern(ep.nic().memory(), s.sendbuf, bytes_,
+                                         id(), root_);
+    ep.register_ctrl(id(), [this, r](const CtrlMsg& m, std::size_t src,
+                                     const rdma::Cqe& cqe) {
+      on_ctrl(r, m, src, cqe);
+    });
+    // Chained child sends complete through the data send CQ.
+    ep.register_read_handler(id(), [this, r](const rdma::Cqe& cqe) {
+      const std::size_t child_idx = static_cast<std::uint32_t>(cqe.wr_id);
+      if (child_idx + 1 < st_[r].children.size())
+        send_to_child(r, child_idx + 1,
+                      r == root_ ? st_[r].sendbuf : st_[r].recvbuf);
+    });
+  }
+  // Op-owned tree edges; pre-post the receive on the child side (zero-copy:
+  // directly into the user buffer — the RC rendezvous path).
+  for (std::size_t r = 0; r < P; ++r) {
+    for (const std::size_t child : st_[r].children) {
+      auto [pq, cq] = comm_.create_qp_pair(r, child);
+      st_[r].child_qps.push_back(pq);
+      st_[child].parent_qp = cq;
+      cq->post_recv({.wr_id = 0, .laddr = st_[child].recvbuf,
+                     .len = static_cast<std::uint32_t>(bytes_)});
+    }
+  }
+}
+
+P2PBroadcast::~P2PBroadcast() {
+  for (std::size_t r = 0; r < comm_.size(); ++r) {
+    comm_.ep(r).unregister_ctrl(id());
+    comm_.ep(r).unregister_read_handler(id());
+  }
+}
+
+void P2PBroadcast::start() {
+  mark_started();
+  RankState& s = st_[root_];
+  comm_.ep(root_).nic().post_local_copy(s.sendbuf, s.recvbuf, bytes_,
+                                        [this] {
+                                          st_[root_].local_copy_done = true;
+                                          maybe_done(root_);
+                                        });
+  st_[root_].received = true;
+  forward(root_, s.sendbuf);
+}
+
+void P2PBroadcast::forward(std::size_t r, std::uint64_t src_addr) {
+  // Children are served strictly one after another (farthest subtree
+  // first): posting them all at once would let the NIC QP arbiter
+  // interleave the streams and delay the critical-path child by the whole
+  // fan-out (a classic tree-broadcast pitfall).
+  if (!st_[r].children.empty()) send_to_child(r, 0, src_addr);
+  maybe_done(r);
+}
+
+void P2PBroadcast::send_to_child(std::size_t r, std::size_t child_idx,
+                                 std::uint64_t src_addr) {
+  Endpoint& ep = comm_.ep(r);
+  ep.app_worker().post(ep.costs().control, [this, r, child_idx, src_addr] {
+    rdma::SendFlags flags;
+    flags.imm = encode_ctrl({CtrlType::kStep, id(), 0});
+    flags.has_imm = true;
+    flags.signaled = true;  // completion chains the next child
+    flags.wr_id = (static_cast<std::uint64_t>(id()) << 32) | child_idx;
+    st_[r].child_qps[child_idx]->post_send(src_addr, bytes_, flags);
+  });
+}
+
+void P2PBroadcast::on_ctrl(std::size_t r, const CtrlMsg& msg,
+                           std::size_t src, const rdma::Cqe& cqe) {
+  (void)src;
+  (void)cqe;
+  MCCL_CHECK(msg.type == CtrlType::kStep);
+  RankState& s = st_[r];
+  MCCL_CHECK(!s.received);
+  s.received = true;
+  s.local_copy_done = true;
+  forward(r, s.recvbuf);
+}
+
+void P2PBroadcast::maybe_done(std::size_t r) {
+  RankState& s = st_[r];
+  if (s.op_done || !s.received) return;
+  if (r == root_ && !s.local_copy_done) return;
+  s.op_done = true;
+  phases_[r].transfer = comm_.cluster().engine().now() - start_time_;
+  rank_done(r);
+}
+
+bool P2PBroadcast::verify() const {
+  if (!comm_.data_mode()) return true;
+  for (std::size_t r = 0; r < comm_.size(); ++r) {
+    if (!check_pattern(comm_.ep(r).nic().memory(), st_[r].recvbuf, bytes_,
+                       id(), root_))
+      return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// RingAllgather
+// ---------------------------------------------------------------------------
+
+RingAllgather::RingAllgather(Communicator& comm, std::uint64_t bytes)
+    : OpBase(comm, "ring_allgather"), bytes_(bytes) {
+  const std::size_t P = comm.size();
+  MCCL_CHECK(P >= 2 && bytes > 0);
+  st_.resize(P);
+  const bool fill = comm_.data_mode();
+  for (std::size_t r = 0; r < P; ++r) {
+    RankState& s = st_[r];
+    Endpoint& ep = comm_.ep(r);
+    s.sendbuf = ep.nic().memory().alloc(bytes_);
+    s.recvbuf = ep.nic().memory().alloc(bytes_ * P);
+    if (fill) fill_pattern(ep.nic().memory(), s.sendbuf, bytes_, id(), r);
+    ep.register_ctrl(id(), [this, r](const CtrlMsg& m, std::size_t src,
+                                     const rdma::Cqe& cqe) {
+      on_ctrl(r, m, src, cqe);
+    });
+  }
+  // Op-owned ring edges; pre-post the P-1 receives toward the left
+  // neighbor. RC delivers in order, and the left neighbor forwards blocks
+  // (l), (l-1), ... so the landing offsets are known up front (zero-copy).
+  for (std::size_t r = 0; r < P; ++r) {
+    const std::size_t right = (r + 1) % P;
+    auto [qa, qb] = comm_.create_qp_pair(r, right);
+    st_[r].qp_right = qa;
+    st_[right].qp_left = qb;
+  }
+  for (std::size_t r = 0; r < P; ++r) {
+    for (std::size_t s = 0; s + 1 < P; ++s) {
+      const std::size_t block = (r + P - 1 - s) % P;
+      st_[r].qp_left->post_recv({.wr_id = s,
+                                 .laddr = st_[r].recvbuf + block * bytes_,
+                                 .len = static_cast<std::uint32_t>(bytes_)});
+    }
+  }
+}
+
+RingAllgather::~RingAllgather() {
+  for (std::size_t r = 0; r < comm_.size(); ++r)
+    comm_.ep(r).unregister_ctrl(id());
+}
+
+void RingAllgather::start() {
+  mark_started();
+  for (std::size_t r = 0; r < comm_.size(); ++r) {
+    RankState& s = st_[r];
+    Endpoint& ep = comm_.ep(r);
+    ep.nic().post_local_copy(s.sendbuf, s.recvbuf + r * bytes_, bytes_,
+                             [this, r] {
+                               st_[r].local_copy_done = true;
+                               maybe_done(r);
+                             });
+    // Step 0: inject our own block from the send buffer.
+    ep.app_worker().post(ep.costs().control, [this, r] {
+      rdma::SendFlags flags;
+      flags.imm = encode_ctrl({CtrlType::kStep, id(), 0});
+      flags.has_imm = true;
+      flags.signaled = false;
+      st_[r].qp_right->post_send(st_[r].sendbuf, bytes_, flags);
+    });
+  }
+}
+
+void RingAllgather::send_block(std::size_t r, std::size_t block) {
+  Endpoint& ep = comm_.ep(r);
+  ep.app_worker().post(ep.costs().control, [this, r, block] {
+    rdma::SendFlags flags;
+    flags.imm = encode_ctrl({CtrlType::kStep, id(), 0});
+    flags.has_imm = true;
+    flags.signaled = false;
+    st_[r].qp_right->post_send(st_[r].recvbuf + block * bytes_, bytes_,
+                               flags);
+  });
+}
+
+void RingAllgather::on_ctrl(std::size_t r, const CtrlMsg& msg,
+                            std::size_t src, const rdma::Cqe& cqe) {
+  (void)src;
+  (void)cqe;
+  MCCL_CHECK(msg.type == CtrlType::kStep);
+  RankState& s = st_[r];
+  const std::size_t P = comm_.size();
+  const std::size_t step = s.steps_done++;
+  const std::size_t block = (r + P - 1 - step) % P;
+  if (step + 1 < P - 1) send_block(r, block);
+  maybe_done(r);
+}
+
+void RingAllgather::maybe_done(std::size_t r) {
+  RankState& s = st_[r];
+  if (s.op_done || !s.local_copy_done || s.steps_done < comm_.size() - 1)
+    return;
+  s.op_done = true;
+  phases_[r].transfer = comm_.cluster().engine().now() - start_time_;
+  rank_done(r);
+}
+
+bool RingAllgather::verify() const {
+  if (!comm_.data_mode()) return true;
+  for (std::size_t r = 0; r < comm_.size(); ++r) {
+    for (std::size_t b = 0; b < comm_.size(); ++b) {
+      if (!check_pattern(comm_.ep(r).nic().memory(),
+                         st_[r].recvbuf + b * bytes_, bytes_, id(), b))
+        return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// LinearAllgather
+// ---------------------------------------------------------------------------
+
+LinearAllgather::LinearAllgather(Communicator& comm, std::uint64_t bytes)
+    : OpBase(comm, "linear_allgather"),
+      bytes_(bytes),
+      rkey_(comm.cluster().next_shared_rkey()) {
+  const std::size_t P = comm.size();
+  MCCL_CHECK(P >= 2 && bytes > 0);
+  st_.resize(P);
+  const bool fill = comm_.data_mode();
+  for (std::size_t r = 0; r < P; ++r) {
+    RankState& s = st_[r];
+    Endpoint& ep = comm_.ep(r);
+    s.sendbuf = ep.nic().memory().alloc(bytes_);
+    s.recvbuf = ep.nic().memory().alloc(bytes_ * P);
+    MCCL_CHECK(s.recvbuf == st_[0].recvbuf);
+    ep.nic().mrs().register_with_rkey(s.recvbuf, bytes_ * P, rkey_);
+    if (fill) fill_pattern(ep.nic().memory(), s.sendbuf, bytes_, id(), r);
+    ep.register_ctrl(id(), [this, r](const CtrlMsg& m, std::size_t src,
+                                     const rdma::Cqe& cqe) {
+      on_ctrl(r, m, src, cqe);
+    });
+  }
+  // Op-owned all-to-all mesh; one write-with-imm credit per peer QP.
+  for (std::size_t r = 0; r < P; ++r) st_[r].peer_qps.resize(P, nullptr);
+  for (std::size_t r = 0; r < P; ++r) {
+    for (std::size_t p = r + 1; p < P; ++p) {
+      auto [qa, qb] = comm_.create_qp_pair(r, p);
+      st_[r].peer_qps[p] = qa;
+      st_[p].peer_qps[r] = qb;
+      qa->post_recv({});
+      qb->post_recv({});
+    }
+  }
+}
+
+LinearAllgather::~LinearAllgather() {
+  for (std::size_t r = 0; r < comm_.size(); ++r)
+    comm_.ep(r).unregister_ctrl(id());
+}
+
+void LinearAllgather::start() {
+  mark_started();
+  const std::size_t P = comm_.size();
+  for (std::size_t r = 0; r < P; ++r) {
+    Endpoint& ep = comm_.ep(r);
+    ep.nic().post_local_copy(st_[r].sendbuf, st_[r].recvbuf + r * bytes_,
+                             bytes_, [this, r] {
+                               st_[r].local_copy_done = true;
+                               maybe_done(r);
+                             });
+    for (std::size_t off = 1; off < P; ++off) {
+      const std::size_t peer = (r + off) % P;
+      ep.app_worker().post(ep.costs().control, [this, r, peer] {
+        rdma::SendFlags flags;
+        flags.imm = encode_ctrl({CtrlType::kStep, id(), 0});
+        flags.has_imm = true;
+        flags.signaled = false;
+        st_[r].peer_qps[peer]->post_write(st_[r].sendbuf, bytes_,
+                                          st_[r].recvbuf + r * bytes_, rkey_,
+                                          flags);
+      });
+    }
+  }
+}
+
+void LinearAllgather::on_ctrl(std::size_t r, const CtrlMsg& msg,
+                              std::size_t src, const rdma::Cqe& cqe) {
+  (void)src;
+  (void)cqe;
+  MCCL_CHECK(msg.type == CtrlType::kStep);
+  ++st_[r].blocks_received;
+  maybe_done(r);
+}
+
+void LinearAllgather::maybe_done(std::size_t r) {
+  RankState& s = st_[r];
+  if (s.op_done || !s.local_copy_done ||
+      s.blocks_received < comm_.size() - 1)
+    return;
+  s.op_done = true;
+  phases_[r].transfer = comm_.cluster().engine().now() - start_time_;
+  rank_done(r);
+}
+
+bool LinearAllgather::verify() const {
+  if (!comm_.data_mode()) return true;
+  for (std::size_t r = 0; r < comm_.size(); ++r) {
+    for (std::size_t b = 0; b < comm_.size(); ++b) {
+      if (!check_pattern(comm_.ep(r).nic().memory(),
+                         st_[r].recvbuf + b * bytes_, bytes_, id(), b))
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mccl::coll

@@ -1,0 +1,32 @@
+// Deterministic test-data patterns for collective verification.
+#pragma once
+
+#include <cstdint>
+
+#include "src/rdma/memory.hpp"
+
+namespace mccl::coll {
+
+/// Byte value at position `i` of a buffer seeded by (op, origin rank).
+inline std::uint8_t pattern_byte(std::uint16_t op, std::size_t origin,
+                                 std::uint64_t i) {
+  return static_cast<std::uint8_t>(op * 197 + origin * 131 + i * 29 + 11);
+}
+
+inline void fill_pattern(rdma::HostMemory& mem, std::uint64_t addr,
+                         std::uint64_t len, std::uint16_t op,
+                         std::size_t origin) {
+  std::uint8_t* p = mem.at(addr);
+  for (std::uint64_t i = 0; i < len; ++i) p[i] = pattern_byte(op, origin, i);
+}
+
+inline bool check_pattern(const rdma::HostMemory& mem, std::uint64_t addr,
+                          std::uint64_t len, std::uint16_t op,
+                          std::size_t origin) {
+  const std::uint8_t* p = mem.at(addr);
+  for (std::uint64_t i = 0; i < len; ++i)
+    if (p[i] != pattern_byte(op, origin, i)) return false;
+  return true;
+}
+
+}  // namespace mccl::coll

@@ -1,0 +1,67 @@
+// Distributed broadcast sequencer (paper Appendix A).
+//
+// The P Allgather participants are split into M parallel broadcast chains;
+// within a chain, ranks multicast one by one, activated by a token from
+// their predecessor. At schedule step i, the active group is
+//   G^i = { P_i, P_{R+i}, ..., P_{(M-1)R+i} },  R = P / M,
+// i.e. the i-th member of every chain. Chains can be mapped onto racks to
+// bound per-rack outbound multicast traffic.
+//
+// Pure functions, unit-testable in isolation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/check.hpp"
+
+namespace mccl::coll {
+
+struct ChainSchedule {
+  std::size_t ranks = 0;
+  std::size_t chains = 0;
+  std::size_t chain_len = 0;  // R = ceil(P / M) = number of steps
+
+  ChainSchedule(std::size_t p, std::size_t m) : ranks(p), chains(m) {
+    MCCL_CHECK(p >= 1 && m >= 1 && m <= p);
+    chain_len = (p + m - 1) / m;
+  }
+
+  /// Chain that rank `r` belongs to.
+  std::size_t chain_of(std::size_t r) const {
+    MCCL_CHECK(r < ranks);
+    return r / chain_len;
+  }
+
+  /// Position of rank `r` within its chain == the schedule step at which it
+  /// multicasts.
+  std::size_t step_of(std::size_t r) const {
+    MCCL_CHECK(r < ranks);
+    return r % chain_len;
+  }
+
+  /// True if rank `r` starts multicasting right after the RNR barrier.
+  bool is_chain_head(std::size_t r) const { return step_of(r) == 0; }
+
+  /// Rank to which `r` passes the activation token, or -1 at chain end.
+  int successor(std::size_t r) const {
+    MCCL_CHECK(r < ranks);
+    const std::size_t next = r + 1;
+    if (next >= ranks) return -1;
+    if (chain_of(next) != chain_of(r)) return -1;
+    return static_cast<int>(next);
+  }
+
+  /// Active group at step i (Appendix A's G^i), for analysis and tests.
+  std::vector<std::size_t> active_group(std::size_t step) const {
+    MCCL_CHECK(step < chain_len);
+    std::vector<std::size_t> g;
+    for (std::size_t c = 0; c < chains; ++c) {
+      const std::size_t r = c * chain_len + step;
+      if (r < ranks) g.push_back(r);
+    }
+    return g;
+  }
+};
+
+}  // namespace mccl::coll

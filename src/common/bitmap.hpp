@@ -1,0 +1,61 @@
+// Chunk-receipt bitmap: the reliability data structure of the Broadcast leaf.
+//
+// The paper (Section III-C) tracks each received chunk in a bitmap indexed by
+// the PSN carried in the CQE immediate data. The bitmap is intentionally
+// compact: the only protocol state that grows linearly with the receive
+// buffer (Fig 7 sizes it against the DPA LLC).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mccl {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  std::size_t size() const { return nbits_; }
+  std::size_t size_bytes() const { return words_.size() * sizeof(std::uint64_t); }
+
+  /// Sets bit `i`; returns false if it was already set (duplicate chunk).
+  bool set(std::size_t i) {
+    std::uint64_t& w = words_[i >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (w & mask) return false;
+    w |= mask;
+    ++popcount_;
+    return true;
+  }
+
+  bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void reset() {
+    std::fill(words_.begin(), words_.end(), 0);
+    popcount_ = 0;
+  }
+
+  std::size_t popcount() const { return popcount_; }
+  bool full() const { return popcount_ == nbits_; }
+
+  /// Indices of unset bits — the chunks the fetch layer must recover.
+  std::vector<std::size_t> missing() const {
+    std::vector<std::size_t> out;
+    out.reserve(nbits_ - popcount_);
+    for (std::size_t i = 0; i < nbits_; ++i)
+      if (!test(i)) out.push_back(i);
+    return out;
+  }
+
+ private:
+  std::size_t nbits_ = 0;
+  std::size_t popcount_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mccl

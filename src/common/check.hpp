@@ -1,0 +1,29 @@
+// Lightweight invariant checking.
+//
+// MCCL_CHECK is always on (simulation correctness beats speed); it prints the
+// failing expression with file/line and aborts. Use for protocol invariants
+// that must hold regardless of build type.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mccl::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "mccl check failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace mccl::detail
+
+#define MCCL_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::mccl::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MCCL_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::mccl::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,72 @@
+// Streaming statistics used when reporting benchmark series per the
+// scientific-benchmarking guidelines the paper follows (min/median/p99 over
+// iterations rather than a single mean).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace mccl {
+
+class Stats {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double sum() const {
+    double s = 0;
+    for (double x : samples_) s += x;
+    return s;
+  }
+  double mean() const { return empty() ? 0.0 : sum() / count(); }
+
+  double min() const {
+    return empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+  double max() const {
+    return empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Sample standard deviation.
+  double stddev() const {
+    if (count() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0;
+    for (double x : samples_) acc += (x - m) * (x - m);
+    return std::sqrt(acc / (count() - 1));
+  }
+
+  /// Quantile by linear interpolation between closest ranks, q in [0, 1].
+  double quantile(double q) const {
+    if (empty()) return 0.0;
+    sort();
+    const double pos = q * (samples_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void sort() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace mccl

@@ -1,0 +1,82 @@
+// Datapath cycle-cost models.
+//
+// Calibration sources:
+//  - DPA: paper Table I — the UD receive datapath retires 113 instructions
+//    and ~1084 cycles per CQE (IPC 0.1); UC retires 66 instructions and
+//    ~598 cycles per CQE (IPC 0.11). We split each into issue (instr) and
+//    latency (stall) components; throughput and IPC then *emerge* from the
+//    worker/core model rather than being asserted.
+//  - Host CPU: paper Fig 5 / Section VII-d — one 2.6 GHz server core
+//    sustains roughly 1/2 to 2/3 of a 200 Gbit/s link with per-datagram
+//    processing, and a production middleware (UCX) datapath with software
+//    reliability is substantially slower than a bare chunked-RC datapath.
+//
+// All numbers are per 'chunk event' (one CQE, one posted WR, one control
+// message, ...), independent of chunk size: the work is bookkeeping, not
+// byte touching (bytes move via the NIC DMA engine).
+#pragma once
+
+#include "src/exec/worker.hpp"
+
+namespace mccl::exec {
+
+struct DatapathCosts {
+  // Receive path, per chunk CQE: poll CQE, bitmap update, repost the recv
+  // WR, and (UD only) post the staging->user DMA copy.
+  Cost recv_chunk_ud;
+  Cost recv_chunk_uc;
+  // Send path.
+  Cost send_post;  // build + post one send WR
+  Cost doorbell;   // NIC doorbell update, amortized by batching
+  // Control plane (barrier messages, chain tokens, handshake, fetch regs).
+  Cost control;
+  // Reliability slow path, per missing chunk (bitmap scan + RDMA Read post).
+  Cost fetch_post;
+  // Reduction, per 64 B of data (ring reduce-scatter host-side math).
+  Cost reduce_per_64b;
+
+  double ghz = 1.0;  // clock the costs are meant to run at
+};
+
+/// BlueField-3 / ConnectX-7 Datapath Accelerator (Table I calibration).
+inline DatapathCosts dpa_costs() {
+  DatapathCosts c;
+  c.recv_chunk_ud = {113, 971};  // 1084 cycles/CQE, IPC ~0.10
+  c.recv_chunk_uc = {66, 532};   // 598 cycles/CQE,  IPC ~0.11
+  c.send_post = {40, 180};
+  c.doorbell = {20, 160};
+  c.control = {90, 410};
+  c.fetch_post = {60, 240};
+  c.reduce_per_64b = {4, 4};   // ~40 GB/s summation
+  c.ghz = 1.8;
+  return c;
+}
+
+/// Bare-metal host-CPU datapath: custom chunked receive engine without a
+/// software reliability layer (the faster single-thread baseline in Fig 5).
+inline DatapathCosts cpu_costs() {
+  DatapathCosts c;
+  c.recv_chunk_ud = {150, 450};  // 600 cycles/CQE @ 2.6 GHz -> ~142 Gbit/s
+  c.recv_chunk_uc = {90, 230};
+  c.send_post = {35, 105};
+  c.doorbell = {15, 90};
+  c.control = {70, 280};
+  c.fetch_post = {50, 170};
+  c.reduce_per_64b = {2, 2};   // AVX-class ~40 GB/s summation
+  c.ghz = 2.6;
+  return c;
+}
+
+/// Production point-to-point middleware datapath (UCX-like) running UD
+/// segmentation/reassembly *plus* software reliability — the slower
+/// single-thread baseline in Fig 5.
+inline DatapathCosts cpu_middleware_costs() {
+  DatapathCosts c = cpu_costs();
+  c.recv_chunk_ud = {380, 820};  // 1200 cycles/CQE -> ~71 Gbit/s
+  c.recv_chunk_uc = {250, 500};
+  c.send_post = {90, 210};
+  c.ghz = 2.6;
+  return c;
+}
+
+}  // namespace mccl::exec

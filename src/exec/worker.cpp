@@ -1,0 +1,106 @@
+#include "src/exec/worker.hpp"
+
+#include <algorithm>
+
+namespace mccl::exec {
+
+Complex::Complex(sim::Engine& engine, Config config)
+    : engine_(engine), config_(config) {
+  MCCL_CHECK(config.cores >= 1 && config.threads_per_core >= 1);
+  MCCL_CHECK(config.ghz > 0);
+  cores_.resize(config.cores);
+}
+
+Worker& Complex::create_worker() {
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    if (cores_[c].workers < config_.threads_per_core)
+      return create_worker_on(c);
+  }
+  MCCL_CHECK_MSG(false, "compute complex out of hardware threads");
+  __builtin_unreachable();
+}
+
+Worker& Complex::create_worker_on(std::size_t core) {
+  MCCL_CHECK(core < cores_.size());
+  MCCL_CHECK_MSG(cores_[core].workers < config_.threads_per_core,
+                 "core out of hardware threads");
+  ++cores_[core].workers;
+  workers_.push_back(std::make_unique<Worker>(*this, core));
+  return *workers_.back();
+}
+
+Worker::Worker(Complex& complex, std::size_t core_index)
+    : complex_(complex), core_(core_index) {}
+
+void Worker::post(Cost cost, std::function<void()> fn) {
+  queue_.push_back(Task{cost, std::move(fn)});
+  pump();
+}
+
+void Worker::subscribe(rdma::Cq& cq, CqeHandler handler, CqeCostFn cost_of) {
+  subs_[&cq] = Subscription{std::move(handler), std::move(cost_of)};
+  cq.set_consumer(this);
+  // Drain anything already queued.
+  while (!cq.empty()) on_cqe(cq);
+}
+
+void Worker::subscribe(rdma::Cq& cq, CqeHandler handler, Cost per_cqe) {
+  subscribe(cq, std::move(handler),
+            [per_cqe](const rdma::Cqe&) { return per_cqe; });
+}
+
+void Worker::on_cqe(rdma::Cq& cq) {
+  if (cq.empty()) return;
+  auto it = subs_.find(&cq);
+  MCCL_CHECK_MSG(it != subs_.end(), "CQE on unsubscribed CQ");
+  const rdma::Cqe cqe = cq.pop();
+  ++cqes_seen_;
+  Subscription& sub = it->second;
+  post(sub.cost_of(cqe), [&sub, cqe] { sub.handler(cqe); });
+}
+
+void Worker::pump() {
+  if (running_ || queue_.empty()) return;
+  running_ = true;
+  Task task = std::move(queue_.front());
+  queue_.pop_front();
+
+  sim::Engine& engine = complex_.engine_;
+  const double ghz = complex_.config_.ghz;
+  const Time ready = std::max(engine.now(), thread_free_);
+  const Time instr_time = cycles_to_time(task.cost.instr, ghz);
+  const Time stall_time = cycles_to_time(task.cost.stall, ghz);
+  // Issue cycles contend on the core's shared pipeline; stall cycles only
+  // block this hardware thread (they overlap with other workers' issues).
+  const Time issue_done =
+      complex_.cores_[core_].issue.acquire(ready, instr_time);
+  thread_free_ = issue_done + stall_time;
+
+  total_instr_ += task.cost.instr;
+  total_stall_ += task.cost.stall;
+  busy_time_ += thread_free_ - ready;
+  ++tasks_done_;
+
+  engine.schedule_at(thread_free_, [this, fn = std::move(task.fn)] {
+    fn();
+    running_ = false;
+    pump();
+  });
+}
+
+double Worker::ipc() const {
+  if (busy_time_ <= 0) return 0.0;
+  const double busy_cycles =
+      static_cast<double>(busy_time_) * complex_.ghz() / 1000.0;
+  return total_instr_ / busy_cycles;
+}
+
+void Worker::reset_stats() {
+  tasks_done_ = 0;
+  cqes_seen_ = 0;
+  total_instr_ = 0;
+  total_stall_ = 0;
+  busy_time_ = 0;
+}
+
+}  // namespace mccl::exec

@@ -1,0 +1,273 @@
+#include "src/fabric/fabric.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace mccl::fabric {
+
+Fabric::Fabric(sim::Engine& engine, Topology topology, Config config)
+    : engine_(engine),
+      topo_(std::move(topology)),
+      config_(config),
+      rng_(config.seed) {
+  MCCL_CHECK_MSG(topo_.routes_ready(), "topology routes not computed");
+  delivery_.resize(topo_.num_nodes());
+  serializers_.resize(topo_.num_dirs());
+  counters_.resize(topo_.num_dirs());
+  lanes_.resize(topo_.num_dirs());
+}
+
+void Fabric::set_delivery(NodeId host, DeliveryFn fn) {
+  MCCL_CHECK(topo_.is_host(host));
+  delivery_[static_cast<size_t>(host)] = std::move(fn);
+}
+
+Time Fabric::inject(const PacketPtr& packet) {
+  const NodeId src = packet->src_host;
+  MCCL_CHECK(topo_.is_host(src));
+  int out_port;
+  if (packet->is_mcast()) {
+    auto& group = groups_[static_cast<size_t>(packet->mcast_group)];
+    if (!group.tree_ready) build_mcast_tree(group);
+    const auto& tree = group.tree_ports[static_cast<size_t>(src)];
+    MCCL_CHECK_MSG(!tree.empty(), "mcast sender not attached to group tree");
+    out_port = tree.front();
+  } else {
+    out_port = pick_next_hop(src, *packet);
+  }
+  send_out(src, out_port, packet);
+  // Departure completes when the host egress serializer frees.
+  const auto& port = topo_.ports(src)[static_cast<size_t>(out_port)];
+  return serializers_[port.dir_index].free_at();
+}
+
+void Fabric::send_out(NodeId node, int port_idx, const PacketPtr& packet) {
+  // Switch egress with virtual lanes enabled goes through the per-port
+  // priority queues; host egress (already paced one-packet-at-a-time by the
+  // NIC arbiter) and VL-less fabrics serialize directly.
+  if (config_.virtual_lanes && !topo_.is_host(node)) {
+    const Port& port = topo_.ports(node)[static_cast<size_t>(port_idx)];
+    LaneState& lane = lanes_[port.dir_index];
+    MCCL_CHECK(packet->vl < kNumLanes);
+    lane.queues[packet->vl].push_back(packet);
+    pump_lanes(node, port_idx);
+    return;
+  }
+  put_on_wire(node, port_idx, packet);
+}
+
+void Fabric::pump_lanes(NodeId node, int port_idx) {
+  const Port& port = topo_.ports(node)[static_cast<size_t>(port_idx)];
+  LaneState& lane = lanes_[port.dir_index];
+  if (lane.busy) return;
+  PacketPtr next;
+  for (auto& q : lane.queues) {  // strict priority: lane 0 first
+    if (!q.empty()) {
+      next = q.front();
+      q.pop_front();
+      break;
+    }
+  }
+  if (!next) return;
+  lane.busy = true;
+  put_on_wire(node, port_idx, next);
+  engine_.schedule_at(serializers_[port.dir_index].free_at(),
+                      [this, node, port_idx] {
+                        lanes_[topo_.ports(node)[static_cast<size_t>(
+                                    port_idx)].dir_index].busy = false;
+                        pump_lanes(node, port_idx);
+                      });
+}
+
+void Fabric::put_on_wire(NodeId node, int port_idx, const PacketPtr& packet) {
+  const Port& port = topo_.ports(node)[static_cast<size_t>(port_idx)];
+  sim::Resource& ser = serializers_[port.dir_index];
+  DirCounters& ctr = counters_[port.dir_index];
+
+  const Time ser_time =
+      serialization_time(packet->wire_size, port.params.gbps);
+  const Time wire_done = ser.acquire(engine_.now(), ser_time);
+  ctr.packets += 1;
+  ctr.bytes += packet->wire_size;
+
+  // Decide link-layer corruption up front; a corrupted packet still
+  // occupies the wire (it is dropped at the receiver's CRC check).
+  bool drop = config_.drop_prob > 0.0 && rng_.chance(config_.drop_prob);
+  if (!drop && drop_filter_ && drop_filter_(node, port.peer, *packet))
+    drop = true;
+  if (drop) {
+    ctr.drops += 1;
+    return;
+  }
+
+  Time arrival = wire_done + port.params.latency;
+  if (config_.latency_jitter > 0)
+    arrival += static_cast<Time>(
+        rng_.below(static_cast<std::uint64_t>(config_.latency_jitter) + 1));
+
+  const NodeId peer = port.peer;
+  const int peer_port = port.peer_port;
+  engine_.schedule_at(arrival, [this, peer, peer_port, packet] {
+    arrive(peer, peer_port, packet);
+  });
+}
+
+void Fabric::arrive(NodeId node, int in_port, const PacketPtr& packet) {
+  if (topo_.is_host(node)) {
+    // Unicast packets only arrive at their destination; multicast packets
+    // only reach group members (tree leaves are members by construction).
+    auto& fn = delivery_[static_cast<size_t>(node)];
+    MCCL_CHECK_MSG(static_cast<bool>(fn), "no NIC attached to host");
+    fn(packet);
+    return;
+  }
+  if (config_.switch_latency > 0) {
+    engine_.schedule(config_.switch_latency, [this, node, in_port, packet] {
+      forward(node, in_port, packet);
+    });
+  } else {
+    forward(node, in_port, packet);
+  }
+}
+
+void Fabric::forward(NodeId sw, int in_port, const PacketPtr& packet) {
+  if (interceptor_ && interceptor_(sw, in_port, packet)) return;
+  if (packet->is_mcast()) {
+    auto& group = groups_[static_cast<size_t>(packet->mcast_group)];
+    MCCL_CHECK(group.tree_ready);
+    for (int p : group.tree_ports[static_cast<size_t>(sw)]) {
+      if (p != in_port) send_out(sw, p, packet);
+    }
+  } else {
+    send_out(sw, pick_next_hop(sw, *packet), packet);
+  }
+}
+
+int Fabric::pick_next_hop(NodeId node, const Packet& packet) {
+  const auto& cand = topo_.next_hops(node, packet.dst_host);
+  if (cand.size() == 1) return cand.front();
+  if (config_.routing == RoutingMode::kAdaptive)
+    return cand[rng_.below(cand.size())];
+  // Deterministic ECMP: mix flow id, node and destination so distinct flows
+  // spread while one flow stays on one path (in-order delivery).
+  std::uint64_t h = packet.flow_id * 0x9e3779b97f4a7c15ULL;
+  h ^= (static_cast<std::uint64_t>(node) << 32) ^
+       static_cast<std::uint64_t>(packet.dst_host);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 29;
+  return cand[h % cand.size()];
+}
+
+McastGroupId Fabric::create_mcast_group() {
+  groups_.emplace_back();
+  return static_cast<McastGroupId>(groups_.size() - 1);
+}
+
+void Fabric::mcast_attach(McastGroupId group, NodeId host) {
+  MCCL_CHECK(topo_.is_host(host));
+  auto& g = groups_[static_cast<size_t>(group)];
+  if (std::find(g.members.begin(), g.members.end(), host) != g.members.end())
+    return;
+  g.members.push_back(host);
+  g.tree_ready = false;
+}
+
+std::size_t Fabric::mcast_group_size(McastGroupId group) const {
+  return groups_[static_cast<size_t>(group)].members.size();
+}
+
+void Fabric::build_mcast_tree(McastGroup& group) {
+  MCCL_CHECK_MSG(group.members.size() >= 2, "mcast group needs >= 2 members");
+  group.tree_ports.assign(topo_.num_nodes(), {});
+
+  // Root selection: the node minimizing the maximum distance to any member
+  // (prefer switches). This mirrors the subnet manager placing the mcast
+  // tree root near the topological center.
+  NodeId root = group.members.front();
+  int best = std::numeric_limits<int>::max();
+  for (std::size_t n = 0; n < topo_.num_nodes(); ++n) {
+    const NodeId node = static_cast<NodeId>(n);
+    if (topo_.is_host(node) &&
+        std::find(group.members.begin(), group.members.end(), node) ==
+            group.members.end())
+      continue;  // a non-member host cannot relay traffic
+    int worst = 0;
+    for (NodeId m : group.members)
+      worst = std::max(worst, node == m ? 0 : topo_.distance(node, m));
+    const bool prefer =
+        worst < best || (worst == best && !topo_.is_host(node) &&
+                         topo_.is_host(root));
+    if (prefer) {
+      best = worst;
+      root = node;
+    }
+  }
+
+  // BFS tree from the root with unique parents (first discovery wins), then
+  // keep only the edges on some member's path to the root. Unique parents
+  // guarantee the flooded subgraph is acyclic. Edges are stored as
+  // (node, port) on both endpoints; forwarding floods a packet to every tree
+  // port except its ingress.
+  constexpr int kNoParent = -1;
+  std::vector<int> parent_port(topo_.num_nodes(), kNoParent);  // port at child
+  std::vector<bool> visited(topo_.num_nodes(), false);
+  std::deque<NodeId> frontier;
+  visited[static_cast<size_t>(root)] = true;
+  frontier.push_back(root);
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    const auto& ports = topo_.ports(cur);
+    for (std::size_t pi = 0; pi < ports.size(); ++pi) {
+      const NodeId peer = ports[pi].peer;
+      if (visited[static_cast<size_t>(peer)]) continue;
+      visited[static_cast<size_t>(peer)] = true;
+      parent_port[static_cast<size_t>(peer)] = ports[pi].peer_port;
+      frontier.push_back(peer);
+    }
+  }
+
+  auto add_edge = [&](NodeId node, int port) {
+    auto& tp = group.tree_ports[static_cast<size_t>(node)];
+    if (std::find(tp.begin(), tp.end(), port) == tp.end()) tp.push_back(port);
+  };
+  for (NodeId member : group.members) {
+    MCCL_CHECK_MSG(visited[static_cast<size_t>(member)],
+                   "mcast member unreachable from tree root");
+    NodeId cur = member;
+    while (cur != root) {
+      const int port = parent_port[static_cast<size_t>(cur)];
+      const Port& p = topo_.ports(cur)[static_cast<size_t>(port)];
+      add_edge(cur, port);
+      add_edge(p.peer, p.peer_port);
+      cur = p.peer;
+    }
+  }
+  group.tree_ready = true;
+}
+
+Fabric::TrafficSnapshot Fabric::traffic() const {
+  TrafficSnapshot s;
+  const auto& dirs = topo_.dirs();
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    s.total_bytes += counters_[i].bytes;
+    s.packets += counters_[i].packets;
+    s.drops += counters_[i].drops;
+    if (topo_.is_host(dirs[i].from))
+      s.host_egress_bytes += counters_[i].bytes;
+    else
+      s.switch_egress_bytes += counters_[i].bytes;
+    if (!topo_.is_host(dirs[i].from))
+      s.switch_port_bytes += counters_[i].bytes;  // TX at the sending switch
+    if (!topo_.is_host(dirs[i].to))
+      s.switch_port_bytes += counters_[i].bytes;  // RX at the receiving switch
+  }
+  return s;
+}
+
+void Fabric::reset_counters() {
+  std::fill(counters_.begin(), counters_.end(), DirCounters{});
+}
+
+}  // namespace mccl::fabric

@@ -1,0 +1,145 @@
+// Event-driven packet fabric.
+//
+// Models a lossless-by-default RDMA fabric: per-link-direction FIFO
+// serialization at link bandwidth, fixed per-hop latency, switch forwarding
+// (deterministic ECMP or adaptive per-packet), hardware multicast via
+// spanning trees over group members, per-port TX byte counters (the Fig 12
+// methodology), and configurable fault injection (uniform BER-style drops
+// and arbitrary drop filters for tests).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/units.hpp"
+#include "src/fabric/packet.hpp"
+#include "src/fabric/topology.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/resource.hpp"
+
+namespace mccl::fabric {
+
+enum class RoutingMode : std::uint8_t {
+  kDeterministic,  // ECMP by flow hash: per-flow in-order delivery
+  kAdaptive,       // per-packet random ECMP: can reorder across paths
+};
+
+class Fabric {
+ public:
+  struct Config {
+    RoutingMode routing = RoutingMode::kDeterministic;
+    Time switch_latency = 150 * kNanosecond;  // per-hop forwarding delay
+    double drop_prob = 0.0;   // per-packet per-link drop probability
+    Time latency_jitter = 0;  // uniform extra latency in [0, jitter]
+    std::uint64_t seed = 1;
+    /// Virtual-lane QoS at switch egress ports (paper Section VII): the
+    /// control lane is served with strict priority over bulk data, so
+    /// chain tokens / ACKs never queue behind megabytes of payload.
+    bool virtual_lanes = true;
+  };
+
+  /// Per-link-direction traffic counters (switch-port-counter equivalent).
+  struct DirCounters {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t drops = 0;
+  };
+
+  struct TrafficSnapshot {
+    std::uint64_t total_bytes = 0;         // all link directions
+    std::uint64_t switch_egress_bytes = 0; // directions leaving a switch
+    std::uint64_t host_egress_bytes = 0;   // injection (host -> fabric)
+    /// Sum of TX+RX byte counters over all *switch* ports — the quantity a
+    /// fabric manager reads for Fig 12 (switch-switch links count twice).
+    std::uint64_t switch_port_bytes = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t drops = 0;
+  };
+
+  using DeliveryFn = std::function<void(const PacketPtr&)>;
+  /// Returns true to drop the packet on link (from -> to).
+  using DropFilter =
+      std::function<bool(NodeId from, NodeId to, const Packet&)>;
+  /// Returns true if the packet was consumed by an in-switch service (e.g.
+  /// the in-network-compute reduction engine).
+  using SwitchInterceptor =
+      std::function<bool(NodeId sw, int in_port, const PacketPtr&)>;
+
+  Fabric(sim::Engine& engine, Topology topology, Config config);
+
+  sim::Engine& engine() { return engine_; }
+  const Topology& topology() const { return topo_; }
+
+  /// Registers the packet-arrival callback for `host` (its NIC).
+  void set_delivery(NodeId host, DeliveryFn fn);
+
+  /// Injects a packet from packet->src_host. Serializes on the host's
+  /// egress link; returns the time the packet has fully left the host.
+  Time inject(const PacketPtr& packet);
+
+  // --- Multicast -----------------------------------------------------------
+  McastGroupId create_mcast_group();
+  void mcast_attach(McastGroupId group, NodeId host);
+  std::size_t mcast_group_size(McastGroupId group) const;
+
+  // --- Fault injection -----------------------------------------------------
+  void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
+
+  // --- In-switch services ----------------------------------------------------
+  void set_switch_interceptor(SwitchInterceptor f) {
+    interceptor_ = std::move(f);
+  }
+  /// Emits a (service-generated) packet out a specific switch port.
+  void send_from_switch(NodeId sw, int port, const PacketPtr& packet) {
+    MCCL_CHECK(!topo_.is_host(sw));
+    send_out(sw, port, packet);
+  }
+
+  // --- Counters ------------------------------------------------------------
+  TrafficSnapshot traffic() const;
+  const DirCounters& dir_counters(std::size_t dir_index) const {
+    return counters_[dir_index];
+  }
+  void reset_counters();
+
+ private:
+  struct McastGroup {
+    std::vector<NodeId> members;
+    bool tree_ready = false;
+    // tree_ports[node] = ports of `node` that are tree edges.
+    std::vector<std::vector<int>> tree_ports;
+  };
+
+  /// Per-direction virtual-lane queues (switch egress only; host egress is
+  /// paced by the NIC arbiter, one packet at a time).
+  struct LaneState {
+    std::array<std::deque<PacketPtr>, kNumLanes> queues;
+    bool busy = false;
+  };
+
+  void send_out(NodeId node, int port, const PacketPtr& packet);
+  void put_on_wire(NodeId node, int port, const PacketPtr& packet);
+  void pump_lanes(NodeId node, int port);
+  void arrive(NodeId node, int in_port, const PacketPtr& packet);
+  void forward(NodeId sw, int in_port, const PacketPtr& packet);
+  int pick_next_hop(NodeId node, const Packet& packet);
+  void build_mcast_tree(McastGroup& group);
+
+  sim::Engine& engine_;
+  Topology topo_;
+  Config config_;
+  Rng rng_;
+  std::vector<DeliveryFn> delivery_;        // per host node id
+  std::vector<sim::Resource> serializers_;  // per link direction
+  std::vector<DirCounters> counters_;       // per link direction
+  std::vector<LaneState> lanes_;            // per link direction
+  std::vector<McastGroup> groups_;
+  DropFilter drop_filter_;
+  SwitchInterceptor interceptor_;
+};
+
+}  // namespace mccl::fabric

@@ -1,0 +1,112 @@
+// Wire packets.
+//
+// A Packet is the unit the fabric serializes on links. Payload bytes are
+// carried zero-copy as a shared slice of the sender's registered memory
+// snapshot, so multicast replication at switches shares one buffer. Control
+// packets (ACKs, barrier tokens) carry no payload, only a wire size.
+//
+// The TransportHeader carries the fields the (verbs-like) RDMA layer needs:
+// QP numbers, PSN, immediate data, one-sided target address/rkey and message
+// reassembly metadata. The fabric itself only reads dst/size/flow_id.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/check.hpp"
+
+namespace mccl::fabric {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+using McastGroupId = std::int32_t;
+inline constexpr McastGroupId kNoMcastGroup = -1;
+
+/// Operation kinds understood by the RDMA transport layer.
+enum class TransportOp : std::uint8_t {
+  kUdSend,      // unreliable datagram (unicast or multicast)
+  kUcWriteSeg,  // one MTU segment of a UC RDMA Write message
+  kRcSendSeg,   // one MTU segment of an RC two-sided message
+  kRcWriteSeg,  // one MTU segment of an RC RDMA Write message
+  kRcAck,       // RC acknowledgement
+  kRcReadReq,   // RC RDMA Read request
+  kRcReadResp,  // one MTU segment of an RC RDMA Read response
+  kIncContribution,  // in-network-compute reduction contribution (SHARP-like)
+};
+
+struct TransportHeader {
+  TransportOp op = TransportOp::kUdSend;
+  std::uint32_t src_qpn = 0;
+  std::uint32_t dst_qpn = 0;
+  std::uint32_t psn = 0;      // sequence number (transport-scope per op)
+  std::uint32_t imm = 0;      // immediate data, delivered in the CQE
+  bool has_imm = false;
+  bool last_segment = true;   // last segment of a multi-packet message
+  std::uint64_t msg_id = 0;   // reassembly key for multi-packet messages
+  std::uint64_t seg_offset = 0;  // byte offset of this segment in the message
+  std::uint64_t msg_len = 0;     // total message length
+  std::uint32_t seg_len = 0;     // data bytes this packet represents; the
+                                 // payload may be omitted (synthetic mode)
+  std::uint64_t raddr = 0;    // one-sided target address (UC/RC Write, Read)
+  std::uint32_t rkey = 0;
+  bool nak = false;           // kRcAck only: negative acknowledgement
+};
+
+/// A shared, immutable slice of bytes.
+class Payload {
+ public:
+  Payload() = default;
+  Payload(std::shared_ptr<const std::vector<std::uint8_t>> data,
+          std::size_t offset, std::size_t len)
+      : data_(std::move(data)), offset_(offset), len_(len) {
+    MCCL_CHECK(data_ && offset_ + len_ <= data_->size());
+  }
+
+  static Payload copy_of(const std::uint8_t* src, std::size_t len) {
+    auto buf = std::make_shared<std::vector<std::uint8_t>>(src, src + len);
+    return Payload(std::move(buf), 0, len);
+  }
+
+  bool empty() const { return len_ == 0; }
+  std::size_t size() const { return len_; }
+  const std::uint8_t* data() const {
+    return data_ ? data_->data() + offset_ : nullptr;
+  }
+
+  /// Sub-slice relative to this payload.
+  Payload slice(std::size_t offset, std::size_t len) const {
+    MCCL_CHECK(offset + len <= len_);
+    return Payload(data_, offset_ + offset, len);
+  }
+
+ private:
+  std::shared_ptr<const std::vector<std::uint8_t>> data_;
+  std::size_t offset_ = 0;
+  std::size_t len_ = 0;
+};
+
+/// Virtual lanes (InfiniBand QoS, paper Section VII): lane 0 is the strict-
+/// priority control lane (ACKs, barrier/chain/handshake tokens), lane 1
+/// carries bulk data. Switch egress ports serve lane 0 first.
+inline constexpr std::uint8_t kCtrlLane = 0;
+inline constexpr std::uint8_t kBulkLane = 1;
+inline constexpr std::size_t kNumLanes = 2;
+
+struct Packet {
+  NodeId src_host = kInvalidNode;
+  NodeId dst_host = kInvalidNode;            // unicast destination, or
+  McastGroupId mcast_group = kNoMcastGroup;  // multicast group (if >= 0)
+  std::uint32_t wire_size = 0;  // bytes serialized on each link
+  std::uint64_t flow_id = 0;    // ECMP hash input
+  std::uint8_t vl = kBulkLane;  // virtual lane (switch egress priority)
+  TransportHeader th;
+  Payload payload;
+
+  bool is_mcast() const { return mcast_group != kNoMcastGroup; }
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+}  // namespace mccl::fabric

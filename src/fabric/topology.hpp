@@ -1,0 +1,112 @@
+// Network topology graph: hosts and switches connected by full-duplex links.
+//
+// Routing tables are computed with BFS from every host; a node's candidate
+// next hops toward a host are all ports whose peer is strictly closer
+// (shortest-path ECMP). Deterministic routing picks one candidate by flow
+// hash; adaptive routing picks per-packet at random (paper Section III-B
+// discusses the resulting out-of-order delivery the protocol must tolerate).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.hpp"
+#include "src/fabric/packet.hpp"
+
+namespace mccl::fabric {
+
+enum class NodeKind : std::uint8_t { kHost, kSwitch };
+
+struct LinkParams {
+  double gbps = 200.0;             // per-direction bandwidth
+  Time latency = 500 * kNanosecond;  // propagation + fixed per-hop cost
+};
+
+struct Port {
+  NodeId peer = kInvalidNode;
+  int peer_port = -1;
+  std::size_t dir_index = 0;  // outgoing link direction owned by this port
+  LinkParams params;
+};
+
+/// One direction of a full-duplex link (the unit of serialization and of
+/// per-port traffic counting, mirroring switch port TX counters).
+struct LinkDir {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  int from_port = -1;
+  LinkParams params;
+};
+
+class Topology {
+ public:
+  NodeId add_host();
+  NodeId add_switch();
+
+  /// Connects two nodes with a full-duplex link.
+  void connect(NodeId a, NodeId b, LinkParams params);
+
+  NodeKind kind(NodeId n) const { return kinds_[static_cast<size_t>(n)]; }
+  bool is_host(NodeId n) const { return kind(n) == NodeKind::kHost; }
+  std::size_t num_nodes() const { return kinds_.size(); }
+  std::size_t num_hosts() const { return hosts_.size(); }
+  std::size_t num_switches() const { return num_nodes() - num_hosts(); }
+  const std::vector<NodeId>& hosts() const { return hosts_; }
+
+  const std::vector<Port>& ports(NodeId n) const {
+    return ports_[static_cast<size_t>(n)];
+  }
+  const std::vector<LinkDir>& dirs() const { return dirs_; }
+  std::size_t num_dirs() const { return dirs_.size(); }
+
+  /// Index of `host` within hosts() — routing tables are host-indexed.
+  std::size_t host_index(NodeId host) const;
+
+  /// (Re)computes shortest-path routing tables. Must be called after the
+  /// last connect() and before next_hops().
+  void compute_routes();
+  bool routes_ready() const { return routes_ready_; }
+
+  /// Candidate egress ports at `node` toward `dst_host` (equal-cost set).
+  const std::vector<int>& next_hops(NodeId node, NodeId dst_host) const;
+
+  /// Hop distance from `node` to `dst_host` (for multicast tree building).
+  int distance(NodeId node, NodeId dst_host) const;
+
+ private:
+  NodeId add_node(NodeKind kind);
+
+  std::vector<NodeKind> kinds_;
+  std::vector<NodeId> hosts_;
+  std::vector<std::size_t> host_index_;  // node id -> host index (or npos)
+  std::vector<std::vector<Port>> ports_;
+  std::vector<LinkDir> dirs_;
+
+  bool routes_ready_ = false;
+  // dist_[h * num_nodes + n] = hops from node n to host h.
+  std::vector<int> dist_;
+  // hops_[h * num_nodes + n] = candidate egress ports.
+  std::vector<std::vector<int>> hops_;
+};
+
+/// Two hosts connected back to back (the paper's DPA testbed).
+Topology make_back_to_back(LinkParams params);
+
+/// `hosts` hosts hanging off one switch.
+Topology make_star(std::size_t hosts, LinkParams params);
+
+/// Two-level fat tree: `leaves` leaf switches with `hosts_per_leaf` hosts
+/// each; every leaf connects to each of `spines` spine switches with
+/// `trunks` parallel links. With trunks*spines == hosts_per_leaf the tree is
+/// non-blocking. The paper's UCC testbed (188 nodes, 18 SX6036 switches) is
+/// approximated by make_fat_tree(12, 16, 6, 3) restricted to 188 hosts.
+Topology make_fat_tree(std::size_t leaves, std::size_t hosts_per_leaf,
+                       std::size_t spines, std::size_t trunks,
+                       LinkParams host_link, LinkParams trunk_link);
+
+/// Convenience: non-blocking two-level fat tree for >= `min_hosts` hosts
+/// built from radix-`radix` switches, uniform link parameters.
+Topology make_fat_tree_for_hosts(std::size_t min_hosts, std::size_t radix,
+                                 LinkParams params);
+
+}  // namespace mccl::fabric

@@ -1,0 +1,135 @@
+#include "src/model/models.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+
+namespace mccl::model {
+
+namespace {
+/// Ring edges grouped by locality: consecutive hosts share a leaf except at
+/// the leaf boundary (plus the wrap-around edge).
+std::uint64_t ring_edge_hops_total(const FatTree2L& t) {
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < t.hosts; ++r) {
+    const std::size_t next = (r + 1) % t.hosts;
+    const bool same_leaf =
+        r / t.hosts_per_leaf() == next / t.hosts_per_leaf();
+    total += t.unicast_hops(same_leaf);
+  }
+  return total;
+}
+
+std::uint64_t uniform_pair_hops_total(const FatTree2L& t) {
+  // Sum of hop counts over all ordered (src, dst != src) pairs.
+  std::uint64_t total = 0;
+  const std::size_t hpl = t.hosts_per_leaf();
+  for (std::size_t r = 0; r < t.hosts; ++r) {
+    const std::size_t leaf = r / hpl;
+    const std::size_t leaf_size =
+        std::min(hpl, t.hosts - leaf * hpl);
+    const std::size_t local = leaf_size - 1;
+    const std::size_t remote = t.hosts - leaf_size;
+    total += local * t.unicast_hops(true) + remote * t.unicast_hops(false);
+  }
+  return total;
+}
+}  // namespace
+
+std::uint64_t ag_ring_traffic(const FatTree2L& t, std::uint64_t block_bytes) {
+  // Every ring edge carries (P-1) blocks of N bytes across its hop count.
+  return static_cast<std::uint64_t>(t.hosts - 1) * block_bytes *
+         ring_edge_hops_total(t);
+}
+
+std::uint64_t ag_linear_traffic(const FatTree2L& t,
+                                std::uint64_t block_bytes) {
+  return block_bytes * uniform_pair_hops_total(t);
+}
+
+std::uint64_t ag_mcast_traffic(const FatTree2L& t,
+                               std::uint64_t block_bytes) {
+  // P broadcasts; each crosses every tree edge once. The sender's own host
+  // link carries its injection; it does not receive its own block, but the
+  // tree spans all host links, so edges = hosts + leaves per broadcast.
+  return static_cast<std::uint64_t>(t.hosts) * block_bytes *
+         t.mcast_tree_edges();
+}
+
+std::uint64_t bcast_binomial_traffic(const FatTree2L& t,
+                                     std::uint64_t block_bytes) {
+  // P-1 unicasts of N bytes (tree shape does not change total transfer
+  // count, only locality; assume uniform placement).
+  const double avg_hops =
+      static_cast<double>(uniform_pair_hops_total(t)) /
+      (static_cast<double>(t.hosts) * (t.hosts - 1));
+  return static_cast<std::uint64_t>((t.hosts - 1) * block_bytes * avg_hops);
+}
+
+std::uint64_t bcast_mcast_traffic(const FatTree2L& t,
+                                  std::uint64_t block_bytes) {
+  return block_bytes * t.mcast_tree_edges();
+}
+
+double ag_traffic_savings(const FatTree2L& t, std::uint64_t block_bytes) {
+  return static_cast<double>(ag_ring_traffic(t, block_bytes)) /
+         static_cast<double>(ag_mcast_traffic(t, block_bytes));
+}
+
+NodeBoundary node_boundary_ring_ring(std::size_t ranks,
+                                     std::uint64_t block_bytes) {
+  NodeBoundary b;
+  b.rs_send = b.rs_recv = b.ag_send = b.ag_recv =
+      block_bytes * (ranks - 1);
+  return b;
+}
+
+NodeBoundary node_boundary_inc_mcast(std::size_t ranks,
+                                     std::uint64_t block_bytes) {
+  NodeBoundary b;
+  b.rs_send = block_bytes * (ranks - 1);
+  b.rs_recv = block_bytes;
+  b.ag_send = block_bytes;
+  b.ag_recv = block_bytes * (ranks - 1);
+  return b;
+}
+
+std::uint64_t max_recv_buffer_bytes(unsigned psn_bits,
+                                    std::uint32_t chunk_bytes) {
+  MCCL_CHECK(psn_bits <= 32);
+  return (std::uint64_t{1} << psn_bits) * chunk_bytes;
+}
+
+std::uint64_t bitmap_bytes(unsigned psn_bits) {
+  MCCL_CHECK(psn_bits <= 32);
+  return (std::uint64_t{1} << psn_bits) / 8;
+}
+
+unsigned collective_id_bits(unsigned psn_bits) {
+  MCCL_CHECK(psn_bits <= 32);
+  return 32 - psn_bits;
+}
+
+BandwidthShares shares_ring_ring() {
+  // Both collectives need equal send and receive bandwidth (Eq. 1).
+  return {0.5, 0.5, 0.5, 0.5};
+}
+
+BandwidthShares shares_inc_mcast(std::size_t ranks) {
+  // Eq. 2: the multicast Allgather sends N while receiving N(P-1); INC
+  // Reduce-Scatter is the mirror image, so the two collectives occupy
+  // opposite NIC directions.
+  const double p = static_cast<double>(ranks);
+  BandwidthShares s;
+  s.ag_send = 1.0 / p;
+  s.ag_recv = 1.0 - 1.0 / p;
+  s.rs_send = 1.0 - 1.0 / p;
+  s.rs_recv = 1.0 / p;
+  return s;
+}
+
+double concurrent_speedup(std::size_t ranks) {
+  return 2.0 - 2.0 / static_cast<double>(ranks);
+}
+
+}  // namespace mccl::model

@@ -1,0 +1,101 @@
+// Analytical cost models from the paper.
+//
+//  - traffic model (Fig 2): total fabric data movement of Allgather /
+//    Broadcast under P2P vs multicast schedules on a two-level fat tree;
+//  - node-boundary table (Fig 3): per-NIC send/receive bytes for the
+//    {Reduce-Scatter, Allgather} pair in Ring+Ring vs INC+Mcast form;
+//  - bitmap sizing (Fig 7): addressable receive buffer and bitmap footprint
+//    as a function of the PSN bits carved out of the 32-bit immediate;
+//  - concurrent-collective speedup (Appendix B): S = 2 - 2/P.
+//
+// These are validated against the packet-level simulator in
+// tests/test_models.cpp: the closed forms must match measured counters.
+#pragma once
+
+#include <cstdint>
+
+namespace mccl::model {
+
+/// Two-level fat tree built from radix-`radix` switches (radix/2 hosts per
+/// leaf, one trunk to each of radix/2 spines) hosting at least `hosts`
+/// endpoints — the shape of Fig 2's modeled 1024-node radix-32 cluster.
+struct FatTree2L {
+  std::size_t hosts = 0;
+  std::size_t radix = 32;
+
+  std::size_t hosts_per_leaf() const { return radix / 2; }
+  std::size_t leaves() const {
+    return (hosts + hosts_per_leaf() - 1) / hosts_per_leaf();
+  }
+  std::size_t spines() const { return radix - radix / 2; }
+
+  /// Links crossed by a unicast between two hosts.
+  std::size_t unicast_hops(bool same_leaf) const { return same_leaf ? 2 : 4; }
+
+  /// Edges of a multicast tree spanning all hosts, rooted at one spine:
+  /// host links + one leaf uplink per leaf.
+  std::size_t mcast_tree_edges() const { return hosts + leaves(); }
+};
+
+// --- Fig 2: total data movement across the fabric --------------------------
+
+/// Ring Allgather: (P-1) steps, each moving N bytes across every ring edge;
+/// consecutive ranks share a leaf except at leaf boundaries.
+std::uint64_t ag_ring_traffic(const FatTree2L& t, std::uint64_t block_bytes);
+
+/// Linear (flat P2P) Allgather: every rank unicasts N to P-1 destinations.
+std::uint64_t ag_linear_traffic(const FatTree2L& t,
+                                std::uint64_t block_bytes);
+
+/// Multicast Allgather: each rank's block crosses each multicast-tree edge
+/// exactly once (Insight 1).
+std::uint64_t ag_mcast_traffic(const FatTree2L& t, std::uint64_t block_bytes);
+
+/// Broadcast variants (single root).
+std::uint64_t bcast_binomial_traffic(const FatTree2L& t,
+                                     std::uint64_t block_bytes);
+std::uint64_t bcast_mcast_traffic(const FatTree2L& t,
+                                  std::uint64_t block_bytes);
+
+/// Fig 2's headline: mcast-vs-ring traffic-savings factor; tends to 2.
+double ag_traffic_savings(const FatTree2L& t, std::uint64_t block_bytes);
+
+// --- Fig 3: data movement at the training-node boundary --------------------
+
+struct NodeBoundary {
+  std::uint64_t rs_send = 0;  // Reduce-Scatter NIC send-path bytes
+  std::uint64_t rs_recv = 0;
+  std::uint64_t ag_send = 0;  // Allgather NIC send-path bytes
+  std::uint64_t ag_recv = 0;
+};
+
+NodeBoundary node_boundary_ring_ring(std::size_t ranks,
+                                     std::uint64_t block_bytes);
+NodeBoundary node_boundary_inc_mcast(std::size_t ranks,
+                                     std::uint64_t block_bytes);
+
+// --- Fig 7: bitmap / receive buffer sizing ---------------------------------
+
+/// Largest receive buffer addressable with `psn_bits` of the immediate at a
+/// given chunk size.
+std::uint64_t max_recv_buffer_bytes(unsigned psn_bits,
+                                    std::uint32_t chunk_bytes);
+/// Bitmap footprint for that buffer: one bit per chunk.
+std::uint64_t bitmap_bytes(unsigned psn_bits);
+/// Immediate bits left over for the collective id (Fig 7's split).
+unsigned collective_id_bits(unsigned psn_bits);
+
+// --- Appendix B: concurrent {Allgather, Reduce-Scatter} --------------------
+
+/// Per-direction NIC bandwidth shares (fractions of B_nic).
+struct BandwidthShares {
+  double ag_send = 0, ag_recv = 0, rs_send = 0, rs_recv = 0;
+};
+BandwidthShares shares_ring_ring();
+BandwidthShares shares_inc_mcast(std::size_t ranks);
+
+/// S = 2 - 2/P: runtime reduction of the concurrent pair when switching
+/// from {ring, ring} to {mcast Allgather, INC Reduce-Scatter}.
+double concurrent_speedup(std::size_t ranks);
+
+}  // namespace mccl::model

@@ -1,0 +1,70 @@
+// Completion queues.
+//
+// The NIC pushes CQEs; a consumer (a progress-engine worker from src/exec,
+// or the immediate dispatcher used by transport unit tests) drains them.
+// Matching real verbs, the CQE carries the immediate data — the Broadcast
+// protocol stores the chunk PSN there (paper Section III-A).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/common/check.hpp"
+#include "src/fabric/packet.hpp"
+
+namespace mccl::rdma {
+
+enum class CqeOpcode : std::uint8_t {
+  kRecv,             // two-sided receive completed
+  kRecvWriteImm,     // RDMA Write-with-immediate consumed a receive
+  kSend,             // send / write posted by this QP completed
+  kRead,             // RDMA Read completed (data placed locally)
+};
+
+struct Cqe {
+  std::uint64_t wr_id = 0;
+  CqeOpcode opcode = CqeOpcode::kRecv;
+  std::uint32_t qpn = 0;
+  std::uint32_t byte_len = 0;
+  std::uint32_t imm = 0;
+  bool has_imm = false;
+  fabric::NodeId src = fabric::kInvalidNode;  // remote side (receives)
+};
+
+class Cq {
+ public:
+  /// Consumer interface: notified when the CQ transitions or grows; the
+  /// consumer pops entries at its own (modeled) pace.
+  class Consumer {
+   public:
+    virtual ~Consumer() = default;
+    virtual void on_cqe(Cq& cq) = 0;
+  };
+
+  void set_consumer(Consumer* consumer) { consumer_ = consumer; }
+
+  void push(const Cqe& cqe) {
+    queue_.push_back(cqe);
+    ++total_pushed_;
+    if (consumer_) consumer_->on_cqe(*this);
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t depth() const { return queue_.size(); }
+  std::uint64_t total_pushed() const { return total_pushed_; }
+
+  Cqe pop() {
+    MCCL_CHECK(!queue_.empty());
+    Cqe cqe = queue_.front();
+    queue_.pop_front();
+    return cqe;
+  }
+
+ private:
+  std::deque<Cqe> queue_;
+  Consumer* consumer_ = nullptr;
+  std::uint64_t total_pushed_ = 0;
+};
+
+}  // namespace mccl::rdma

@@ -1,0 +1,119 @@
+// Host memory arenas and registered memory regions.
+//
+// Every simulated host owns a byte arena; RDMA operations move real bytes
+// between arenas so the collective tests can verify results byte-for-byte
+// (including after drop recovery through the reliability layer). Memory
+// registration mirrors verbs: a region gets a local key and a remote key;
+// one-sided operations name (raddr, rkey) and are bounds-checked against the
+// registration, exactly the failure mode a real HCA enforces.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.hpp"
+
+namespace mccl::rdma {
+
+struct MemoryRegion {
+  std::uint64_t addr = 0;
+  std::uint64_t len = 0;
+  std::uint32_t lkey = 0;
+  std::uint32_t rkey = 0;
+};
+
+class HostMemory {
+ public:
+  /// `backed == false` creates an address-space-only arena: allocation and
+  /// bounds checks work, but no bytes exist behind the addresses. Used by
+  /// timing-only (synthetic payload) simulations so a 188-rank Allgather
+  /// does not materialize gigabytes of buffers.
+  explicit HostMemory(std::uint64_t capacity, bool backed = true)
+      : capacity_(capacity), backed_(backed) {}
+
+  std::uint64_t capacity() const { return capacity_; }
+  bool backed() const { return backed_; }
+
+  /// Bump allocation; simulation arenas are never freed piecemeal. Backing
+  /// storage grows lazily so idle hosts cost nothing.
+  std::uint64_t alloc(std::uint64_t len, std::uint64_t align = 64) {
+    std::uint64_t base = (brk_ + align - 1) / align * align;
+    MCCL_CHECK_MSG(base + len <= capacity_, "host memory exhausted");
+    brk_ = base + len;
+    if (backed_ && brk_ > bytes_.size()) {
+      std::uint64_t grown = std::max<std::uint64_t>(bytes_.size() * 2, 4096);
+      bytes_.resize(std::min(std::max(grown, brk_), capacity_));
+    }
+    return base;
+  }
+
+  std::uint8_t* at(std::uint64_t addr) {
+    MCCL_CHECK_MSG(backed_, "access to an unbacked (timing-only) arena");
+    MCCL_CHECK(addr <= bytes_.size());
+    return bytes_.data() + addr;
+  }
+  const std::uint8_t* at(std::uint64_t addr) const {
+    MCCL_CHECK_MSG(backed_, "access to an unbacked (timing-only) arena");
+    MCCL_CHECK(addr <= bytes_.size());
+    return bytes_.data() + addr;
+  }
+
+  void write(std::uint64_t addr, const std::uint8_t* src, std::uint64_t len) {
+    MCCL_CHECK(addr + len <= bytes_.size());
+    std::copy(src, src + len, bytes_.data() + addr);
+  }
+
+  void read(std::uint64_t addr, std::uint8_t* dst, std::uint64_t len) const {
+    MCCL_CHECK(addr + len <= bytes_.size());
+    std::copy(bytes_.data() + addr, bytes_.data() + addr + len, dst);
+  }
+
+ private:
+  std::uint64_t capacity_;
+  bool backed_;
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t brk_ = 0;
+};
+
+/// Per-NIC registration table (the MTT/MPT equivalent).
+class MrTable {
+ public:
+  MemoryRegion register_region(std::uint64_t addr, std::uint64_t len) {
+    const std::uint32_t key = next_key_++;
+    return register_with_rkey(addr, len, key);
+  }
+
+  /// Registration with a caller-chosen rkey: used for multicast one-sided
+  /// writes where all group members must agree on the key in the packet.
+  MemoryRegion register_with_rkey(std::uint64_t addr, std::uint64_t len,
+                                  std::uint32_t rkey) {
+    MCCL_CHECK_MSG(!by_rkey_.contains(rkey), "duplicate rkey registration");
+    MemoryRegion mr{addr, len, rkey, rkey};
+    by_rkey_.emplace(rkey, mr);
+    next_key_ = std::max(next_key_, rkey + 1);
+    return mr;
+  }
+
+  /// Validates an remote access; aborts the simulation on a bounds violation
+  /// (a real HCA would raise a fatal QP error — in a simulator we want the
+  /// loudest possible failure).
+  const MemoryRegion& check_remote(std::uint32_t rkey, std::uint64_t raddr,
+                                   std::uint64_t len) const {
+    auto it = by_rkey_.find(rkey);
+    MCCL_CHECK_MSG(it != by_rkey_.end(), "unknown rkey");
+    const MemoryRegion& mr = it->second;
+    MCCL_CHECK_MSG(raddr >= mr.addr && raddr + len <= mr.addr + mr.len,
+                   "remote access out of registered bounds");
+    return mr;
+  }
+
+  bool has_rkey(std::uint32_t rkey) const { return by_rkey_.contains(rkey); }
+
+ private:
+  std::uint32_t next_key_ = 1;
+  std::unordered_map<std::uint32_t, MemoryRegion> by_rkey_;
+};
+
+}  // namespace mccl::rdma

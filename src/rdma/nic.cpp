@@ -1,0 +1,147 @@
+#include "src/rdma/nic.hpp"
+
+#include <algorithm>
+
+namespace mccl::rdma {
+
+Nic::Nic(sim::Engine& engine, fabric::Fabric& fabric, fabric::NodeId host,
+         NicConfig config)
+    : engine_(engine),
+      fabric_(fabric),
+      host_(host),
+      config_(config),
+      memory_(config.memory_capacity, config.carry_payload) {
+  fabric_.set_delivery(host_,
+                       [this](const fabric::PacketPtr& p) { on_packet(p); });
+}
+
+Cq& Nic::create_cq() {
+  cqs_.push_back(std::make_unique<Cq>());
+  return *cqs_.back();
+}
+
+UdQp& Nic::create_ud_qp(Cq* send_cq, Cq* recv_cq) {
+  const auto qpn = static_cast<std::uint32_t>(qps_.size());
+  qps_.push_back(std::make_unique<UdQp>(*this, qpn, send_cq, recv_cq));
+  return static_cast<UdQp&>(*qps_.back());
+}
+
+UcQp& Nic::create_uc_qp(Cq* send_cq, Cq* recv_cq) {
+  const auto qpn = static_cast<std::uint32_t>(qps_.size());
+  qps_.push_back(std::make_unique<UcQp>(*this, qpn, send_cq, recv_cq));
+  return static_cast<UcQp&>(*qps_.back());
+}
+
+RcQp& Nic::create_rc_qp(Cq* send_cq, Cq* recv_cq) {
+  const auto qpn = static_cast<std::uint32_t>(qps_.size());
+  qps_.push_back(std::make_unique<RcQp>(*this, qpn, send_cq, recv_cq));
+  return static_cast<RcQp&>(*qps_.back());
+}
+
+void Nic::attach_ud_mcast(fabric::McastGroupId group, UdQp& qp) {
+  fabric_.mcast_attach(group, host_);
+  auto& list = ud_mcast_[group];
+  if (std::find(list.begin(), list.end(), &qp) == list.end())
+    list.push_back(&qp);
+}
+
+void Nic::attach_uc_mcast(fabric::McastGroupId group, UcQp& qp) {
+  fabric_.mcast_attach(group, host_);
+  auto& list = uc_mcast_[group];
+  if (std::find(list.begin(), list.end(), &qp) == list.end())
+    list.push_back(&qp);
+}
+
+void Nic::join_mcast(fabric::McastGroupId group) {
+  fabric_.mcast_attach(group, host_);
+}
+
+void Nic::transmit(std::uint32_t queue, const fabric::PacketPtr& packet,
+                   TxCallback done) {
+  auto [it, inserted] = tx_queue_index_.try_emplace(queue, tx_queues_.size());
+  if (inserted) tx_queues_.emplace_back();
+  tx_queues_[it->second].push_back(TxItem{packet, std::move(done)});
+  pump_tx();
+}
+
+void Nic::pump_tx() {
+  if (tx_active_) return;
+  // Round-robin service across non-empty TX queues.
+  const std::size_t n = tx_queues_.size();
+  std::size_t picked = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t q = (tx_rr_ + i) % n;
+    if (!tx_queues_[q].empty()) {
+      picked = q;
+      break;
+    }
+  }
+  if (picked == n) return;
+  tx_rr_ = picked + 1;
+  TxItem item = std::move(tx_queues_[picked].front());
+  tx_queues_[picked].pop_front();
+  tx_active_ = true;
+  const Time departure = fabric_.inject(item.packet);
+  if (item.done) item.done(departure);
+  engine_.schedule_at(departure, [this] {
+    tx_active_ = false;
+    pump_tx();
+  });
+}
+
+void Nic::post_local_copy(std::uint64_t src, std::uint64_t dst,
+                          std::uint64_t len, std::function<void()> done) {
+  const Time xfer = serialization_time(len, config_.dma_gbps);
+  const Time queued_done = dma_.acquire(engine_.now(), xfer);
+  engine_.schedule_at(queued_done + config_.dma_latency,
+                      [this, src, dst, len, done = std::move(done)] {
+                        if (config_.carry_payload)
+                          memory_.write(dst, memory_.at(src), len);
+                        if (done) done();
+                      });
+}
+
+Qp* Nic::find_qp(std::uint32_t qpn) {
+  if (qpn >= qps_.size()) return nullptr;
+  return qps_[qpn].get();
+}
+
+std::uint64_t Nic::ud_rnr_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& qp : qps_)
+    if (auto* ud = dynamic_cast<const UdQp*>(qp.get()))
+      total += ud->rnr_drops();
+  return total;
+}
+
+void Nic::on_packet(const fabric::PacketPtr& packet) {
+  if (packet->th.op == fabric::TransportOp::kIncContribution) {
+    MCCL_CHECK_MSG(static_cast<bool>(inc_handler_),
+                   "INC packet at host without INC handler");
+    inc_handler_(packet);
+    return;
+  }
+  if (packet->is_mcast()) {
+    switch (packet->th.op) {
+      case fabric::TransportOp::kUdSend: {
+        auto it = ud_mcast_.find(packet->mcast_group);
+        if (it == ud_mcast_.end()) return;  // send-only member
+        for (UdQp* qp : it->second) qp->on_packet(packet);
+        return;
+      }
+      case fabric::TransportOp::kUcWriteSeg: {
+        auto it = uc_mcast_.find(packet->mcast_group);
+        if (it == uc_mcast_.end()) return;
+        for (UcQp* qp : it->second) qp->on_packet(packet);
+        return;
+      }
+      default:
+        MCCL_CHECK_MSG(false, "unsupported multicast transport op");
+    }
+  }
+  Qp* qp = find_qp(packet->th.dst_qpn);
+  MCCL_CHECK_MSG(qp != nullptr, "packet for unknown QP");
+  qp->on_packet(packet);
+}
+
+}  // namespace mccl::rdma

@@ -1,0 +1,129 @@
+// Per-host NIC: QP/CQ/MR factory, packet demultiplexer, multicast group
+// attachment, RNR accounting, and the on-NIC DMA engine used for staging →
+// user-buffer copies (paper Section III-B, "receive-side staging").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.hpp"
+#include "src/fabric/fabric.hpp"
+#include "src/rdma/cq.hpp"
+#include "src/rdma/memory.hpp"
+#include "src/rdma/qp.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/resource.hpp"
+
+namespace mccl::rdma {
+
+struct NicConfig {
+  std::uint32_t mtu = 4096;
+  std::uint32_t wire_overhead = 0;      // extra wire bytes per data packet
+  std::uint32_t control_wire_size = 64; // ACK / read-request wire size
+  std::uint32_t max_recv_queue = 8192;  // BlueField-3 receive queue bound
+  bool carry_payload = true;  // false: timing-only packets (large benches)
+
+  // RC reliability.
+  std::uint32_t rc_window = 1024;       // max unacked packets in flight
+  std::uint32_t rc_ack_interval = 16;   // coalesced ACK frequency
+  Time rc_rto = 100 * kMicrosecond;     // retransmission timeout
+  Time rc_nak_backoff = 5 * kMicrosecond;  // min gap between go-back-N bursts
+
+  // On-NIC DMA engine (staging copies / loopback writes).
+  double dma_gbps = 400.0;
+  Time dma_latency = 2 * kMicrosecond;  // PCIe round trip (paper: 1-3 us)
+
+  std::uint64_t memory_capacity = std::uint64_t{1} << 31;  // 2 GiB arena
+};
+
+class Nic {
+ public:
+  Nic(sim::Engine& engine, fabric::Fabric& fabric, fabric::NodeId host,
+      NicConfig config = {});
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  fabric::Fabric& fabric() { return fabric_; }
+  fabric::NodeId host() const { return host_; }
+  const NicConfig& config() const { return config_; }
+
+  HostMemory& memory() { return memory_; }
+  MrTable& mrs() { return mrs_; }
+
+  Cq& create_cq();
+  UdQp& create_ud_qp(Cq* send_cq, Cq* recv_cq);
+  UcQp& create_uc_qp(Cq* send_cq, Cq* recv_cq);
+  RcQp& create_rc_qp(Cq* send_cq, Cq* recv_cq);
+
+  /// Receive-side multicast attachment: packets to `group` arriving at this
+  /// host are delivered to the attached QP(s). Also joins the fabric group.
+  void attach_ud_mcast(fabric::McastGroupId group, UdQp& qp);
+  void attach_uc_mcast(fabric::McastGroupId group, UcQp& qp);
+  /// Joins the fabric group without a receive QP (send-only member).
+  void join_mcast(fabric::McastGroupId group);
+
+  /// Wire-departure callback for transmit().
+  using TxCallback = std::function<void(Time departure)>;
+
+  /// TX queue id reserved for the in-network-compute transport.
+  static constexpr std::uint32_t kIncTxQueue = 0xffffffffu;
+
+  /// Queues a packet for transmission. The NIC egress arbiter serializes
+  /// the host link and services TX queues round-robin (the per-QP WQE
+  /// arbitration of a real HCA) so one bulk flow cannot head-of-line-block
+  /// other QPs — e.g. a Reduce-Scatter burst must not starve concurrent
+  /// Allgather multicast or control tokens.
+  void transmit(std::uint32_t queue, const fabric::PacketPtr& packet,
+                TxCallback done = nullptr);
+
+  /// Asynchronous on-NIC DMA copy between local buffers (staging → user).
+  /// Models non-blocking queuing: posting returns immediately; `done` runs
+  /// after queuing + transfer + PCIe latency.
+  void post_local_copy(std::uint64_t src, std::uint64_t dst,
+                       std::uint64_t len, std::function<void()> done);
+
+  Qp* find_qp(std::uint32_t qpn);
+
+  /// Handler for in-network-compute result packets arriving at this host
+  /// (SHARP-like transport, outside the QP model).
+  void set_inc_handler(std::function<void(const fabric::PacketPtr&)> fn) {
+    inc_handler_ = std::move(fn);
+  }
+
+  std::uint64_t ud_rnr_drops() const;
+
+ private:
+  struct TxItem {
+    fabric::PacketPtr packet;
+    TxCallback done;
+  };
+
+  void on_packet(const fabric::PacketPtr& packet);
+  void pump_tx();
+
+  sim::Engine& engine_;
+  fabric::Fabric& fabric_;
+  fabric::NodeId host_;
+  NicConfig config_;
+  HostMemory memory_;
+  MrTable mrs_;
+  std::vector<std::unique_ptr<Cq>> cqs_;
+  std::vector<std::unique_ptr<Qp>> qps_;
+  std::unordered_map<fabric::McastGroupId, std::vector<UdQp*>> ud_mcast_;
+  std::unordered_map<fabric::McastGroupId, std::vector<UcQp*>> uc_mcast_;
+  std::function<void(const fabric::PacketPtr&)> inc_handler_;
+  sim::Resource dma_;
+  // Egress arbiter state.
+  std::unordered_map<std::uint32_t, std::size_t> tx_queue_index_;
+  std::vector<std::deque<TxItem>> tx_queues_;
+  std::size_t tx_rr_ = 0;
+  bool tx_active_ = false;
+};
+
+}  // namespace mccl::rdma

@@ -1,0 +1,223 @@
+// Qp base and the UD transport.
+#include "src/rdma/qp.hpp"
+
+#include "src/rdma/nic.hpp"
+
+namespace mccl::rdma {
+
+Qp::Qp(Nic& nic, std::uint32_t qpn, Cq* send_cq, Cq* recv_cq)
+    : nic_(nic), qpn_(qpn), send_cq_(send_cq), recv_cq_(recv_cq) {}
+
+void Qp::post_recv(const RecvWr& wr) {
+  MCCL_CHECK_MSG(rq_.size() < nic_.config().max_recv_queue,
+                 "receive queue overflow");
+  rq_.push_back(wr);
+}
+
+RecvWr Qp::rq_pop() {
+  MCCL_CHECK(!rq_.empty());
+  RecvWr wr = rq_.front();
+  rq_.pop_front();
+  return wr;
+}
+
+void Qp::complete_send(const SendFlags& flags, std::uint32_t byte_len,
+                       Time when) {
+  if (!flags.signaled || send_cq_ == nullptr) return;
+  Cqe cqe;
+  cqe.wr_id = flags.wr_id;
+  cqe.opcode = CqeOpcode::kSend;
+  cqe.qpn = qpn_;
+  cqe.byte_len = byte_len;
+  Cq* cq = send_cq_;
+  if (when <= nic_.engine().now()) {
+    cq->push(cqe);
+  } else {
+    nic_.engine().schedule_at(when, [cq, cqe] { cq->push(cqe); });
+  }
+}
+
+void Qp::complete_recv(const Cqe& cqe) {
+  MCCL_CHECK(recv_cq_ != nullptr);
+  recv_cq_->push(cqe);
+}
+
+// --------------------------------------------------------------------------
+// UD
+// --------------------------------------------------------------------------
+
+void UdQp::post_send(const UdDest& dest, std::uint64_t laddr,
+                     std::uint32_t len, const SendFlags& flags) {
+  MCCL_CHECK_MSG(len <= nic_.config().mtu, "UD datagram exceeds MTU");
+  auto pkt = std::make_shared<fabric::Packet>();
+  pkt->src_host = nic_.host();
+  if (dest.group != fabric::kNoMcastGroup) {
+    pkt->mcast_group = dest.group;
+  } else {
+    pkt->dst_host = dest.host;
+  }
+  pkt->wire_size = len + nic_.config().wire_overhead;
+  pkt->flow_id = (static_cast<std::uint64_t>(nic_.host()) << 20) | qpn_;
+  pkt->th.op = fabric::TransportOp::kUdSend;
+  pkt->th.src_qpn = qpn_;
+  pkt->th.dst_qpn = dest.qpn;
+  pkt->th.imm = flags.imm;
+  pkt->th.has_imm = flags.has_imm;
+  pkt->th.seg_len = len;
+  if (len > 0 && nic_.config().carry_payload)
+    pkt->payload = fabric::Payload::copy_of(nic_.memory().at(laddr), len);
+  if (flags.signaled) {
+    nic_.transmit(qpn_, pkt, [this, flags, len](Time departed) {
+      complete_send(flags, len, departed);
+    });
+  } else {
+    nic_.transmit(qpn_, pkt);
+  }
+}
+
+void UdQp::on_packet(const fabric::PacketPtr& packet) {
+  MCCL_CHECK(packet->th.op == fabric::TransportOp::kUdSend);
+  if (rq_empty()) {
+    // Receiver-not-ready: the datagram is dropped by the NIC (paper
+    // Section III-C scenario 1).
+    ++rnr_drops_;
+    return;
+  }
+  RecvWr wr = rq_pop();
+  const std::uint32_t len = packet->th.seg_len;
+  MCCL_CHECK_MSG(len <= wr.len, "UD datagram larger than receive buffer");
+  if (!packet->payload.empty()) {
+    MCCL_CHECK(packet->payload.size() == len);
+    nic_.memory().write(wr.laddr, packet->payload.data(), len);
+  }
+  Cqe cqe;
+  cqe.wr_id = wr.wr_id;
+  cqe.opcode = CqeOpcode::kRecv;
+  cqe.qpn = qpn_;
+  cqe.byte_len = len;
+  cqe.imm = packet->th.imm;
+  cqe.has_imm = packet->th.has_imm;
+  cqe.src = packet->src_host;
+  complete_recv(cqe);
+}
+
+// --------------------------------------------------------------------------
+// UC
+// --------------------------------------------------------------------------
+
+void UcQp::connect(fabric::NodeId remote_host, std::uint32_t remote_qpn) {
+  remote_host_ = remote_host;
+  remote_qpn_ = remote_qpn;
+}
+
+void UcQp::set_mcast_destination(fabric::McastGroupId group) {
+  mcast_group_ = group;
+}
+
+void UcQp::post_write(std::uint64_t laddr, std::uint64_t len,
+                      std::uint64_t raddr, std::uint32_t rkey,
+                      const SendFlags& flags) {
+  MCCL_CHECK_MSG(
+      mcast_group_ != fabric::kNoMcastGroup ||
+          remote_host_ != fabric::kInvalidNode,
+      "UC QP not connected");
+  const std::uint32_t mtu = nic_.config().mtu;
+  const std::uint64_t msg_id = next_msg_id_++;
+  // One snapshot of the source buffer, sliced zero-copy per segment.
+  fabric::Payload whole;
+  if (len > 0 && nic_.config().carry_payload) {
+    auto snapshot = std::make_shared<std::vector<std::uint8_t>>(
+        nic_.memory().at(laddr), nic_.memory().at(laddr) + len);
+    whole = fabric::Payload(snapshot, 0, len);
+  }
+
+  std::uint64_t offset = 0;
+  do {
+    const std::uint32_t seg =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(mtu, len - offset));
+    const bool last = offset + seg >= len;
+    auto pkt = std::make_shared<fabric::Packet>();
+    pkt->src_host = nic_.host();
+    if (mcast_group_ != fabric::kNoMcastGroup)
+      pkt->mcast_group = mcast_group_;
+    else
+      pkt->dst_host = remote_host_;
+    pkt->wire_size = seg + nic_.config().wire_overhead;
+    pkt->flow_id = (static_cast<std::uint64_t>(nic_.host()) << 20) | qpn_;
+    pkt->th.op = fabric::TransportOp::kUcWriteSeg;
+    pkt->th.src_qpn = qpn_;
+    pkt->th.dst_qpn = remote_qpn_;
+    pkt->th.msg_id = msg_id;
+    pkt->th.seg_offset = offset;
+    pkt->th.msg_len = len;
+    pkt->th.last_segment = last;
+    pkt->th.raddr = raddr;
+    pkt->th.rkey = rkey;
+    pkt->th.seg_len = seg;
+    if (last) {
+      pkt->th.imm = flags.imm;
+      pkt->th.has_imm = flags.has_imm;
+    }
+    if (seg > 0 && !whole.empty()) pkt->payload = whole.slice(offset, seg);
+    if (last && flags.signaled) {
+      nic_.transmit(qpn_, pkt, [this, flags, len](Time departed) {
+        complete_send(flags, static_cast<std::uint32_t>(len), departed);
+      });
+    } else {
+      nic_.transmit(qpn_, pkt);
+    }
+    offset += seg;
+  } while (offset < len);
+
+}
+
+void UcQp::on_packet(const fabric::PacketPtr& packet) {
+  MCCL_CHECK(packet->th.op == fabric::TransportOp::kUcWriteSeg);
+  const fabric::TransportHeader& th = packet->th;
+  Reassembly& r = reassembly_[packet->src_host];
+  if (r.msg_id != th.msg_id) {
+    // UC is in-order per connection: a new message id supersedes any stale
+    // (possibly broken) reassembly state from this sender.
+    r = Reassembly{th.msg_id, 0, false};
+  }
+  if (r.broken) return;
+  if (th.seg_offset != r.next_offset) {
+    // A segment was lost or reordered: UC drops the whole message.
+    r.broken = true;
+    ++broken_messages_;
+    return;
+  }
+  const std::uint32_t len = packet->th.seg_len;
+  if (len > 0) {
+    nic_.mrs().check_remote(th.rkey, th.raddr + th.seg_offset, len);
+    if (!packet->payload.empty()) {
+      MCCL_CHECK(packet->payload.size() == len);
+      nic_.memory().write(th.raddr + th.seg_offset, packet->payload.data(),
+                          len);
+    }
+  }
+  r.next_offset += len;
+  if (!th.last_segment) return;
+
+  if (th.has_imm) {
+    if (rq_empty()) {
+      // Write-with-immediate needs a posted receive to consume; without one
+      // the completion (and thus the message, as far as the protocol can
+      // tell) is lost.
+      ++rnr_drops_;
+      return;
+    }
+    RecvWr wr = rq_pop();
+    Cqe cqe;
+    cqe.wr_id = wr.wr_id;
+    cqe.opcode = CqeOpcode::kRecvWriteImm;
+    cqe.qpn = qpn_;
+    cqe.byte_len = static_cast<std::uint32_t>(th.msg_len);
+    cqe.imm = th.imm;
+    cqe.has_imm = true;
+    cqe.src = packet->src_host;
+    complete_recv(cqe);
+  }
+}
+
+}  // namespace mccl::rdma

@@ -1,0 +1,239 @@
+// Queue pairs: the three InfiniBand transport service models the paper
+// builds on (Section II-B).
+//
+//  - UdQp:  Unreliable Datagram. MTU-bounded two-sided datagrams, the only
+//           transport with standardized multicast. Drops on RNR (no posted
+//           receive) and on fabric corruption; the Broadcast fast path runs
+//           here.
+//  - UcQp:  Unreliable Connection. Arbitrary-length RDMA Writes segmented by
+//           the NIC; a message with any lost/reordered segment is dropped
+//           whole. We also implement the paper's proposed *multicast UC
+//           Write* extension (Section V-B / Appendix C).
+//  - RcQp:  Reliable Connection. Go-back-N hardware reliability (ACK/NAK,
+//           retransmission timeout, bounded window), two-sided sends, RDMA
+//           Write and RDMA Read. The slow-path fetch ring and the barrier /
+//           handshake control traffic run here.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "src/common/units.hpp"
+#include "src/fabric/packet.hpp"
+#include "src/rdma/cq.hpp"
+#include "src/rdma/memory.hpp"
+
+namespace mccl::rdma {
+
+class Nic;
+
+struct RecvWr {
+  std::uint64_t wr_id = 0;
+  std::uint64_t laddr = 0;
+  std::uint32_t len = 0;
+};
+
+/// Flags shared by all post_* calls.
+struct SendFlags {
+  std::uint64_t wr_id = 0;
+  std::uint32_t imm = 0;
+  bool has_imm = false;
+  bool signaled = true;  // doorbell batching posts unsignaled WRs
+};
+
+class Qp {
+ public:
+  Qp(Nic& nic, std::uint32_t qpn, Cq* send_cq, Cq* recv_cq);
+  virtual ~Qp() = default;
+
+  std::uint32_t qpn() const { return qpn_; }
+
+  void post_recv(const RecvWr& wr);
+  std::size_t recv_queue_depth() const { return rq_.size(); }
+
+  virtual void on_packet(const fabric::PacketPtr& packet) = 0;
+
+ protected:
+  bool rq_empty() const { return rq_.empty(); }
+  RecvWr rq_pop();
+  void complete_send(const SendFlags& flags, std::uint32_t byte_len,
+                     Time when);
+  void complete_recv(const Cqe& cqe);
+
+  Nic& nic_;
+  std::uint32_t qpn_;
+  Cq* send_cq_;
+  Cq* recv_cq_;
+  std::deque<RecvWr> rq_;
+};
+
+// --------------------------------------------------------------------------
+// UD
+// --------------------------------------------------------------------------
+
+struct UdDest {
+  fabric::NodeId host = fabric::kInvalidNode;
+  std::uint32_t qpn = 0;
+  fabric::McastGroupId group = fabric::kNoMcastGroup;
+
+  static UdDest unicast(fabric::NodeId host, std::uint32_t qpn) {
+    return UdDest{host, qpn, fabric::kNoMcastGroup};
+  }
+  static UdDest multicast(fabric::McastGroupId group) {
+    return UdDest{fabric::kInvalidNode, 0, group};
+  }
+};
+
+class UdQp : public Qp {
+ public:
+  using Qp::Qp;
+
+  /// Sends one datagram (len <= MTU). Zero-copy of the registered buffer:
+  /// the payload snapshot is taken at post time, as the HCA would DMA it.
+  void post_send(const UdDest& dest, std::uint64_t laddr, std::uint32_t len,
+                 const SendFlags& flags);
+
+  void on_packet(const fabric::PacketPtr& packet) override;
+
+  std::uint64_t rnr_drops() const { return rnr_drops_; }
+
+ private:
+  std::uint64_t rnr_drops_ = 0;
+};
+
+// --------------------------------------------------------------------------
+// UC
+// --------------------------------------------------------------------------
+
+class UcQp : public Qp {
+ public:
+  using Qp::Qp;
+
+  void connect(fabric::NodeId remote_host, std::uint32_t remote_qpn);
+  /// Sender-side multicast attachment (the UC multicast extension): writes
+  /// are replicated to all group members' attached UC QPs.
+  void set_mcast_destination(fabric::McastGroupId group);
+
+  /// RDMA Write (optionally with immediate) of arbitrary length; the NIC
+  /// segments into MTU packets — one doorbell, one completion.
+  void post_write(std::uint64_t laddr, std::uint64_t len, std::uint64_t raddr,
+                  std::uint32_t rkey, const SendFlags& flags);
+
+  void on_packet(const fabric::PacketPtr& packet) override;
+
+  std::uint64_t broken_messages() const { return broken_messages_; }
+  std::uint64_t rnr_drops() const { return rnr_drops_; }
+
+ private:
+  struct Reassembly {
+    std::uint64_t msg_id = 0;
+    std::uint64_t next_offset = 0;
+    bool broken = false;
+  };
+
+  fabric::NodeId remote_host_ = fabric::kInvalidNode;
+  std::uint32_t remote_qpn_ = 0;
+  fabric::McastGroupId mcast_group_ = fabric::kNoMcastGroup;
+  std::uint64_t next_msg_id_ = 1;
+  // UC guarantees per-connection ordering, so one in-flight reassembly per
+  // remote sender suffices (multicast: many senders, one group QP).
+  std::unordered_map<fabric::NodeId, Reassembly> reassembly_;
+  std::uint64_t broken_messages_ = 0;
+  std::uint64_t rnr_drops_ = 0;
+};
+
+// --------------------------------------------------------------------------
+// RC
+// --------------------------------------------------------------------------
+
+class RcQp : public Qp {
+ public:
+  RcQp(Nic& nic, std::uint32_t qpn, Cq* send_cq, Cq* recv_cq);
+
+  void connect(fabric::NodeId remote_host, std::uint32_t remote_qpn);
+
+  void post_send(std::uint64_t laddr, std::uint64_t len,
+                 const SendFlags& flags);
+  void post_write(std::uint64_t laddr, std::uint64_t len, std::uint64_t raddr,
+                  std::uint32_t rkey, const SendFlags& flags);
+  /// RDMA Read: fetches [raddr, raddr+len) from the peer into laddr. The
+  /// reliability slow path uses this for selective chunk fetches.
+  void post_read(std::uint64_t laddr, std::uint64_t len, std::uint64_t raddr,
+                 std::uint32_t rkey, const SendFlags& flags);
+
+  void on_packet(const fabric::PacketPtr& packet) override;
+
+  fabric::NodeId remote_host() const { return remote_host_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  enum class OpKind : std::uint8_t { kSend, kWrite, kReadReq, kReadResp };
+
+  struct TxOp {
+    OpKind kind = OpKind::kSend;
+    std::uint64_t laddr = 0;  // local source (send/write/read-resp)
+    std::uint64_t len = 0;
+    std::uint64_t raddr = 0;
+    std::uint32_t rkey = 0;
+    SendFlags flags;
+    std::uint64_t msg_id = 0;
+    std::uint64_t cursor = 0;  // bytes already packetized
+  };
+
+  struct InflightPacket {
+    fabric::PacketPtr packet;
+    // Completion bookkeeping: set on the last packet of a signaled op.
+    bool completes_op = false;
+    SendFlags flags;
+    std::uint32_t op_len = 0;
+  };
+
+  struct PendingRead {
+    std::uint64_t laddr = 0;
+    std::uint64_t len = 0;
+    std::uint64_t received = 0;
+    SendFlags flags;
+  };
+
+  void enqueue_op(TxOp op);
+  void pump();  // packetize + transmit while the window allows
+  fabric::PacketPtr make_packet(const TxOp& op, std::uint64_t offset,
+                                std::uint32_t seg_len, bool last);
+  void transmit(const InflightPacket& pkt);
+  void arm_rto();
+  void on_rto(std::uint64_t generation);
+  void handle_ack(std::uint32_t cum_psn, bool nak);
+  void send_ack(bool nak);
+  void process_in_order(const fabric::PacketPtr& packet);
+  void retransmit_from(std::uint32_t psn, Time delay);
+
+  fabric::NodeId remote_host_ = fabric::kInvalidNode;
+  std::uint32_t remote_qpn_ = 0;
+
+  // --- transmit direction ---
+  std::uint32_t next_psn_ = 0;   // next new psn to assign
+  std::uint32_t acked_psn_ = 0;  // cumulative: all < acked_psn_ are acked
+  std::deque<InflightPacket> inflight_;  // psn order: [acked_psn_, next_psn_)
+  std::deque<TxOp> txq_;
+  std::uint64_t next_msg_id_ = 1;
+  std::uint64_t rto_generation_ = 0;
+  bool rto_armed_ = false;
+  Time retrans_backoff_until_ = 0;
+  std::uint64_t retransmissions_ = 0;
+
+  // --- receive direction ---
+  std::uint32_t expected_psn_ = 0;
+  std::uint32_t last_acked_sent_ = 0;
+  std::uint32_t unacked_count_ = 0;
+  bool nak_outstanding_ = false;
+  Time nak_rate_until_ = 0;
+  // Two-sided message reassembly (in-order by reliability).
+  bool recv_active_ = false;
+  RecvWr active_recv_{};
+  // RDMA Read responses in flight, keyed by msg_id.
+  std::unordered_map<std::uint64_t, PendingRead> pending_reads_;
+};
+
+}  // namespace mccl::rdma

@@ -1,0 +1,360 @@
+// RC transport: go-back-N hardware reliability, two-sided sends, RDMA Write
+// and RDMA Read. Each connected QP pair forms two independent reliable
+// streams (one per direction); read responses travel in the responder's
+// stream, so a single cumulative-ACK window per direction covers all ops.
+#include <algorithm>
+
+#include "src/rdma/nic.hpp"
+#include "src/rdma/qp.hpp"
+
+namespace mccl::rdma {
+
+RcQp::RcQp(Nic& nic, std::uint32_t qpn, Cq* send_cq, Cq* recv_cq)
+    : Qp(nic, qpn, send_cq, recv_cq) {}
+
+void RcQp::connect(fabric::NodeId remote_host, std::uint32_t remote_qpn) {
+  remote_host_ = remote_host;
+  remote_qpn_ = remote_qpn;
+}
+
+void RcQp::post_send(std::uint64_t laddr, std::uint64_t len,
+                     const SendFlags& flags) {
+  TxOp op;
+  op.kind = OpKind::kSend;
+  op.laddr = laddr;
+  op.len = len;
+  op.flags = flags;
+  op.msg_id = next_msg_id_++;
+  enqueue_op(std::move(op));
+}
+
+void RcQp::post_write(std::uint64_t laddr, std::uint64_t len,
+                      std::uint64_t raddr, std::uint32_t rkey,
+                      const SendFlags& flags) {
+  TxOp op;
+  op.kind = OpKind::kWrite;
+  op.laddr = laddr;
+  op.len = len;
+  op.raddr = raddr;
+  op.rkey = rkey;
+  op.flags = flags;
+  op.msg_id = next_msg_id_++;
+  enqueue_op(std::move(op));
+}
+
+void RcQp::post_read(std::uint64_t laddr, std::uint64_t len,
+                     std::uint64_t raddr, std::uint32_t rkey,
+                     const SendFlags& flags) {
+  TxOp op;
+  op.kind = OpKind::kReadReq;
+  op.laddr = laddr;  // local placement target, carried in PendingRead
+  op.len = len;
+  op.raddr = raddr;
+  op.rkey = rkey;
+  op.flags = flags;
+  op.msg_id = next_msg_id_++;
+  pending_reads_.emplace(op.msg_id, PendingRead{laddr, len, 0, flags});
+  enqueue_op(std::move(op));
+}
+
+void RcQp::enqueue_op(TxOp op) {
+  MCCL_CHECK_MSG(remote_host_ != fabric::kInvalidNode, "RC QP not connected");
+  txq_.push_back(std::move(op));
+  pump();
+}
+
+fabric::PacketPtr RcQp::make_packet(const TxOp& op, std::uint64_t offset,
+                                    std::uint32_t seg_len, bool last) {
+  auto pkt = std::make_shared<fabric::Packet>();
+  pkt->src_host = nic_.host();
+  pkt->dst_host = remote_host_;
+  pkt->flow_id = (static_cast<std::uint64_t>(nic_.host()) << 20) | qpn_;
+  auto& th = pkt->th;
+  th.src_qpn = qpn_;
+  th.dst_qpn = remote_qpn_;
+  th.msg_id = op.msg_id;
+  th.seg_offset = offset;
+  th.msg_len = op.len;
+  th.last_segment = last;
+  switch (op.kind) {
+    case OpKind::kSend:
+      th.op = fabric::TransportOp::kRcSendSeg;
+      break;
+    case OpKind::kWrite:
+      th.op = fabric::TransportOp::kRcWriteSeg;
+      th.raddr = op.raddr;
+      th.rkey = op.rkey;
+      break;
+    case OpKind::kReadReq:
+      th.op = fabric::TransportOp::kRcReadReq;
+      th.raddr = op.raddr;
+      th.rkey = op.rkey;
+      break;
+    case OpKind::kReadResp:
+      th.op = fabric::TransportOp::kRcReadResp;
+      break;
+  }
+  if (last && (op.kind == OpKind::kSend || op.kind == OpKind::kWrite)) {
+    th.imm = op.flags.imm;
+    th.has_imm = op.flags.has_imm;
+  }
+  th.seg_len = seg_len;
+  // Zero-length sends (barrier / chain / handshake tokens) and read
+  // requests ride the strict-priority control lane.
+  if (op.len == 0 || op.kind == OpKind::kReadReq) pkt->vl = fabric::kCtrlLane;
+  if (op.kind == OpKind::kReadReq) {
+    pkt->wire_size = nic_.config().control_wire_size;
+  } else {
+    pkt->wire_size = seg_len + nic_.config().wire_overhead;
+    if (seg_len > 0 && nic_.config().carry_payload)
+      pkt->payload = fabric::Payload::copy_of(
+          nic_.memory().at(op.laddr + offset), seg_len);
+  }
+  return pkt;
+}
+
+void RcQp::pump() {
+  const std::uint32_t mtu = nic_.config().mtu;
+  while (!txq_.empty() && inflight_.size() < nic_.config().rc_window) {
+    TxOp& op = txq_.front();
+    bool last;
+    std::uint32_t seg;
+    if (op.kind == OpKind::kReadReq) {
+      seg = 0;
+      last = true;
+      op.cursor = op.len;
+    } else {
+      seg = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(mtu, op.len - op.cursor));
+      last = op.cursor + seg >= op.len;
+    }
+    fabric::PacketPtr packet = make_packet(op, op.cursor, seg, last);
+    const_cast<fabric::Packet*>(packet.get())->th.psn = next_psn_++;
+
+    InflightPacket ip;
+    ip.packet = packet;
+    ip.completes_op = last && (op.kind == OpKind::kSend ||
+                               op.kind == OpKind::kWrite);
+    ip.flags = op.flags;
+    ip.op_len = static_cast<std::uint32_t>(op.len);
+    inflight_.push_back(ip);
+    transmit(ip);
+
+    if (op.kind != OpKind::kReadReq) op.cursor += seg;
+    if (op.cursor >= op.len) txq_.pop_front();
+  }
+}
+
+void RcQp::transmit(const InflightPacket& pkt) {
+  nic_.transmit(qpn_, pkt.packet);
+  arm_rto();
+}
+
+void RcQp::arm_rto() {
+  if (rto_armed_) return;
+  rto_armed_ = true;
+  const std::uint64_t gen = ++rto_generation_;
+  nic_.engine().schedule(nic_.config().rc_rto,
+                         [this, gen] { on_rto(gen); });
+}
+
+void RcQp::on_rto(std::uint64_t generation) {
+  if (generation != rto_generation_) return;  // superseded
+  rto_armed_ = false;
+  if (inflight_.empty()) return;
+  retransmit_from(acked_psn_, 0);
+  arm_rto();
+}
+
+void RcQp::retransmit_from(std::uint32_t psn, Time delay) {
+  if (inflight_.empty()) return;
+  const Time now = nic_.engine().now();
+  Time when = std::max(now + delay, retrans_backoff_until_);
+  retrans_backoff_until_ = when + nic_.config().rc_nak_backoff;
+  MCCL_CHECK(psn >= acked_psn_);
+  const std::size_t start = psn - acked_psn_;
+  if (start >= inflight_.size()) return;
+  // Capture the packets to resend; by the time the event fires some may be
+  // acked, so re-check against acked_psn_ then.
+  nic_.engine().schedule_at(when, [this, psn] {
+    if (psn < acked_psn_ || inflight_.empty()) return;
+    const std::size_t start = psn - acked_psn_;
+    for (std::size_t i = start; i < inflight_.size(); ++i) {
+      nic_.transmit(qpn_, inflight_[i].packet);
+      ++retransmissions_;
+    }
+    arm_rto();
+  });
+}
+
+void RcQp::handle_ack(std::uint32_t cum_psn, bool nak) {
+  if (cum_psn > acked_psn_) {
+    std::uint32_t n = cum_psn - acked_psn_;
+    while (n-- > 0) {
+      MCCL_CHECK(!inflight_.empty());
+      const InflightPacket& ip = inflight_.front();
+      if (ip.completes_op)
+        complete_send(ip.flags, ip.op_len, nic_.engine().now());
+      inflight_.pop_front();
+    }
+    acked_psn_ = cum_psn;
+    // Progress: invalidate the pending RTO and re-arm if needed.
+    ++rto_generation_;
+    rto_armed_ = false;
+    if (!inflight_.empty()) arm_rto();
+    pump();
+  }
+  if (nak) retransmit_from(std::max(cum_psn, acked_psn_), 0);
+}
+
+void RcQp::send_ack(bool nak) {
+  auto pkt = std::make_shared<fabric::Packet>();
+  pkt->src_host = nic_.host();
+  pkt->dst_host = remote_host_;
+  pkt->wire_size = nic_.config().control_wire_size;
+  pkt->flow_id = (static_cast<std::uint64_t>(nic_.host()) << 20) | qpn_;
+  pkt->vl = fabric::kCtrlLane;
+  pkt->th.op = fabric::TransportOp::kRcAck;
+  pkt->th.src_qpn = qpn_;
+  pkt->th.dst_qpn = remote_qpn_;
+  pkt->th.psn = expected_psn_;
+  pkt->th.nak = nak;
+  nic_.transmit(qpn_, pkt);
+  last_acked_sent_ = expected_psn_;
+  unacked_count_ = 0;
+}
+
+void RcQp::on_packet(const fabric::PacketPtr& packet) {
+  const fabric::TransportHeader& th = packet->th;
+  if (th.op == fabric::TransportOp::kRcAck) {
+    handle_ack(th.psn, th.nak);
+    return;
+  }
+  if (th.psn == expected_psn_) {
+    // Receiver-not-ready check must precede PSN consumption: a two-sided
+    // first segment (or last write-with-imm segment) needs a posted WR.
+    const bool needs_wr =
+        (th.op == fabric::TransportOp::kRcSendSeg && th.seg_offset == 0) ||
+        (th.op == fabric::TransportOp::kRcWriteSeg && th.last_segment &&
+         th.has_imm);
+    if (needs_wr && rq_empty()) {
+      // Receiver-not-ready NAK, rate limited: the sender's go-back-N
+      // retries until a WR is posted.
+      if (nic_.engine().now() >= nak_rate_until_) {
+        send_ack(/*nak=*/true);
+        nak_outstanding_ = true;
+        nak_rate_until_ = nic_.engine().now() + nic_.config().rc_nak_backoff;
+      }
+      return;
+    }
+    ++expected_psn_;
+    nak_outstanding_ = false;
+    process_in_order(packet);
+    ++unacked_count_;
+    if (th.last_segment || unacked_count_ >= nic_.config().rc_ack_interval)
+      send_ack(/*nak=*/false);
+  } else if (th.psn < expected_psn_) {
+    // Duplicate from a go-back-N burst: refresh the sender's window.
+    send_ack(/*nak=*/false);
+  } else {
+    // Gap: a packet was lost; NAK once per loss event.
+    if (!nak_outstanding_) {
+      send_ack(/*nak=*/true);
+      nak_outstanding_ = true;
+    }
+  }
+}
+
+void RcQp::process_in_order(const fabric::PacketPtr& packet) {
+  const fabric::TransportHeader& th = packet->th;
+  const std::uint32_t len = th.seg_len;
+  MCCL_CHECK(packet->payload.empty() || packet->payload.size() == len);
+  switch (th.op) {
+    case fabric::TransportOp::kRcSendSeg: {
+      if (th.seg_offset == 0) {
+        MCCL_CHECK(!rq_empty());
+        active_recv_ = rq_pop();
+        recv_active_ = true;
+        MCCL_CHECK_MSG(th.msg_len <= active_recv_.len,
+                       "RC send larger than receive buffer");
+      }
+      if (!packet->payload.empty())
+        nic_.memory().write(active_recv_.laddr + th.seg_offset,
+                            packet->payload.data(), len);
+      if (th.last_segment) {
+        Cqe cqe;
+        cqe.wr_id = active_recv_.wr_id;
+        cqe.opcode = CqeOpcode::kRecv;
+        cqe.qpn = qpn_;
+        cqe.byte_len = static_cast<std::uint32_t>(th.msg_len);
+        cqe.imm = th.imm;
+        cqe.has_imm = th.has_imm;
+        cqe.src = packet->src_host;
+        recv_active_ = false;
+        complete_recv(cqe);
+      }
+      break;
+    }
+    case fabric::TransportOp::kRcWriteSeg: {
+      if (len > 0) {
+        nic_.mrs().check_remote(th.rkey, th.raddr + th.seg_offset, len);
+        if (!packet->payload.empty())
+          nic_.memory().write(th.raddr + th.seg_offset,
+                              packet->payload.data(), len);
+      }
+      if (th.last_segment && th.has_imm) {
+        MCCL_CHECK(!rq_empty());
+        RecvWr wr = rq_pop();
+        Cqe cqe;
+        cqe.wr_id = wr.wr_id;
+        cqe.opcode = CqeOpcode::kRecvWriteImm;
+        cqe.qpn = qpn_;
+        cqe.byte_len = static_cast<std::uint32_t>(th.msg_len);
+        cqe.imm = th.imm;
+        cqe.has_imm = true;
+        cqe.src = packet->src_host;
+        complete_recv(cqe);
+      }
+      break;
+    }
+    case fabric::TransportOp::kRcReadReq: {
+      nic_.mrs().check_remote(th.rkey, th.raddr, th.msg_len);
+      TxOp resp;
+      resp.kind = OpKind::kReadResp;
+      resp.laddr = th.raddr;  // read from our memory
+      resp.len = th.msg_len;
+      resp.msg_id = th.msg_id;
+      resp.flags.signaled = false;
+      txq_.push_back(std::move(resp));
+      pump();
+      break;
+    }
+    case fabric::TransportOp::kRcReadResp: {
+      auto it = pending_reads_.find(th.msg_id);
+      MCCL_CHECK_MSG(it != pending_reads_.end(), "unexpected read response");
+      PendingRead& pr = it->second;
+      if (!packet->payload.empty())
+        nic_.memory().write(pr.laddr + th.seg_offset, packet->payload.data(),
+                            len);
+      pr.received += len;
+      if (th.last_segment) {
+        MCCL_CHECK(pr.received == pr.len);
+        if (pr.flags.signaled && send_cq_ != nullptr) {
+          Cqe cqe;
+          cqe.wr_id = pr.flags.wr_id;
+          cqe.opcode = CqeOpcode::kRead;
+          cqe.qpn = qpn_;
+          cqe.byte_len = static_cast<std::uint32_t>(pr.len);
+          cqe.src = packet->src_host;
+          send_cq_->push(cqe);
+        }
+        pending_reads_.erase(it);
+      }
+      break;
+    }
+    default:
+      MCCL_CHECK_MSG(false, "unexpected op on RC QP");
+  }
+}
+
+}  // namespace mccl::rdma

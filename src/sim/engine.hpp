@@ -1,0 +1,99 @@
+// Discrete-event simulation engine.
+//
+// All substrates (fabric links, NIC DMA engines, DPA/CPU workers) schedule
+// callbacks on a single engine. Ties are broken by insertion order so runs
+// are fully deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.hpp"
+#include "src/common/units.hpp"
+
+namespace mccl::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` picoseconds from now.
+  void schedule(Time delay, Callback fn) {
+    MCCL_CHECK(delay >= 0);
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute simulated time `when` (>= now).
+  void schedule_at(Time when, Callback fn) {
+    MCCL_CHECK_MSG(when >= now_, "cannot schedule into the past");
+    queue_.push(Event{when, seq_++, std::move(fn)});
+  }
+
+  /// Runs events until the queue drains. Returns the number of events run.
+  std::uint64_t run() {
+    std::uint64_t n = 0;
+    while (!queue_.empty()) {
+      step();
+      ++n;
+    }
+    return n;
+  }
+
+  /// Runs events with timestamps <= `deadline`; the clock stops at the later
+  /// of the last event and `deadline`.
+  std::uint64_t run_until(Time deadline) {
+    std::uint64_t n = 0;
+    while (!queue_.empty() && queue_.top().when <= deadline) {
+      step();
+      ++n;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return n;
+  }
+
+  /// Runs events until `pred()` becomes true (checked after each event) or
+  /// the queue drains. Returns true iff the predicate was satisfied.
+  bool run_while_pending(const std::function<bool()>& done) {
+    while (!queue_.empty()) {
+      if (done()) return true;
+      step();
+    }
+    return done();
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void step() {
+    // The callback may schedule more events; pop first.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    MCCL_CHECK(ev.when >= now_);
+    now_ = ev.when;
+    ev.fn();
+  }
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace mccl::sim

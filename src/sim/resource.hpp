@@ -1,0 +1,59 @@
+// FIFO-serialized resources.
+//
+// A Resource models anything that processes work strictly one item at a time
+// at a fixed rate: a link direction serializing packets, a NIC DMA engine, a
+// DPA core's instruction-issue pipeline, a worker thread. Occupancy is
+// reserved with `acquire(now, duration)` which returns when the reserved
+// interval *ends*; back-to-back acquisitions queue up FIFO. Utilization
+// accounting supports the benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/check.hpp"
+#include "src/common/units.hpp"
+
+namespace mccl::sim {
+
+class Resource {
+ public:
+  /// Reserves the resource for `duration` starting no earlier than `now`.
+  /// Returns the completion time of the reserved interval.
+  Time acquire(Time now, Time duration) {
+    MCCL_CHECK(duration >= 0);
+    const Time start = std::max(now, free_at_);
+    free_at_ = start + duration;
+    busy_ += duration;
+    last_use_end_ = free_at_;
+    return free_at_;
+  }
+
+  /// Earliest time a new acquisition could start.
+  Time free_at() const { return free_at_; }
+
+  /// Total busy time accumulated so far.
+  Time busy_time() const { return busy_; }
+
+  /// End of the last reserved interval (0 if never used).
+  Time last_use_end() const { return last_use_end_; }
+
+  /// Utilization over [0, horizon].
+  double utilization(Time horizon) const {
+    if (horizon <= 0) return 0.0;
+    return static_cast<double>(busy_) / static_cast<double>(horizon);
+  }
+
+  void reset() {
+    free_at_ = 0;
+    busy_ = 0;
+    last_use_end_ = 0;
+  }
+
+ private:
+  Time free_at_ = 0;
+  Time busy_ = 0;
+  Time last_use_end_ = 0;
+};
+
+}  // namespace mccl::sim

@@ -1,0 +1,29 @@
+// Shared fixtures for collective-layer tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/coll/communicator.hpp"
+
+namespace mccl::coll::testing {
+
+struct World {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<Communicator> comm;
+
+  World(std::size_t hosts, CommConfig ccfg = {}, ClusterConfig kcfg = {},
+        bool fat_tree = false) {
+    fabric::Topology topo =
+        fat_tree ? fabric::make_fat_tree_for_hosts(hosts, 16, {})
+        : hosts == 2 ? fabric::make_back_to_back({})
+                     : fabric::make_star(hosts, {});
+    cluster = std::make_unique<Cluster>(std::move(topo), kcfg);
+    std::vector<fabric::NodeId> ids;
+    for (std::size_t h = 0; h < hosts; ++h)
+      ids.push_back(static_cast<fabric::NodeId>(h));
+    comm = std::make_unique<Communicator>(*cluster, ids, ccfg);
+  }
+};
+
+}  // namespace mccl::coll::testing

@@ -1,0 +1,109 @@
+// Tests for the large-message P2P variants: van-de-Geijn broadcast and
+// recursive-doubling allgather.
+#include <gtest/gtest.h>
+
+#include "tests/coll_test_util.hpp"
+
+namespace mccl::coll {
+namespace {
+
+using testing::World;
+
+TEST(ScatterAllgatherBcast, Correctness) {
+  for (const std::size_t P : {2u, 3u, 5u, 8u, 13u}) {
+    World w(P);
+    EXPECT_TRUE(w.comm->broadcast(0, 64 * 1024,
+                                  BcastAlgo::kScatterAllgather)
+                    .data_verified)
+        << "P=" << P;
+  }
+}
+
+TEST(ScatterAllgatherBcast, NonZeroRoot) {
+  World w(7);
+  EXPECT_TRUE(
+      w.comm->broadcast(4, 100 * 1000, BcastAlgo::kScatterAllgather)
+          .data_verified);
+}
+
+TEST(ScatterAllgatherBcast, TinyMessageRaggedPieces) {
+  // 10 bytes over 8 ranks: some pieces are 1 byte, some 2.
+  World w(8);
+  EXPECT_TRUE(w.comm->broadcast(0, 10, BcastAlgo::kScatterAllgather)
+                  .data_verified);
+}
+
+TEST(ScatterAllgatherBcast, BeatsWholeMessageTreesAtLargeSizes) {
+  const std::uint64_t N = 4 * MiB;
+  World a(16);
+  const Time vdg =
+      a.comm->broadcast(0, N, BcastAlgo::kScatterAllgather).duration();
+  World b(16);
+  const Time binom = b.comm->broadcast(0, N, BcastAlgo::kBinomial).duration();
+  EXPECT_LT(vdg, binom);
+}
+
+TEST(ScatterAllgatherBcast, McastStillWins) {
+  // The paper's point survives the strongest P2P baseline: multicast beats
+  // scatter-allgather (which moves ~2N per NIC vs N once per link).
+  const std::uint64_t N = 4 * MiB;
+  World a(16);
+  const Time mc = a.comm->broadcast(0, N, BcastAlgo::kMcast).duration();
+  World b(16);
+  const Time vdg =
+      b.comm->broadcast(0, N, BcastAlgo::kScatterAllgather).duration();
+  EXPECT_LT(mc, vdg);
+}
+
+TEST(ScatterAllgatherBcast, SurvivesPacketLoss) {
+  ClusterConfig kcfg;
+  kcfg.fabric.drop_prob = 0.005;
+  kcfg.fabric.seed = 11;
+  World w(6, {}, kcfg);
+  EXPECT_TRUE(w.comm->broadcast(0, 256 * 1024,
+                                BcastAlgo::kScatterAllgather)
+                  .data_verified);
+}
+
+TEST(RecDoublingAllgather, Correctness) {
+  for (const std::size_t P : {2u, 4u, 8u, 16u}) {
+    World w(P);
+    EXPECT_TRUE(w.comm->allgather(32 * 1024, AllgatherAlgo::kRecDoubling)
+                    .data_verified)
+        << "P=" << P;
+  }
+}
+
+TEST(RecDoublingAllgather, RejectsNonPowerOfTwo) {
+  World w(6);
+  EXPECT_DEATH(w.comm->allgather(1024, AllgatherAlgo::kRecDoubling),
+               "power-of-two");
+}
+
+TEST(RecDoublingAllgather, FewerRoundsThanRing) {
+  // Latency-bound regime (small message): log2(P) rounds beat P-1 steps.
+  const std::uint64_t N = 512;
+  World a(16);
+  const Time rd = a.comm->allgather(N, AllgatherAlgo::kRecDoubling).duration();
+  World b(16);
+  const Time ring = b.comm->allgather(N, AllgatherAlgo::kRing).duration();
+  EXPECT_LT(rd, ring);
+}
+
+TEST(RecDoublingAllgather, SurvivesPacketLoss) {
+  ClusterConfig kcfg;
+  kcfg.fabric.drop_prob = 0.01;
+  kcfg.fabric.seed = 3;
+  World w(8, {}, kcfg);
+  EXPECT_TRUE(w.comm->allgather(64 * 1024, AllgatherAlgo::kRecDoubling)
+                  .data_verified);
+}
+
+TEST(RecDoublingAllgather, RaggedBlockSize) {
+  World w(4);
+  EXPECT_TRUE(
+      w.comm->allgather(12345, AllgatherAlgo::kRecDoubling).data_verified);
+}
+
+}  // namespace
+}  // namespace mccl::coll

@@ -1,0 +1,84 @@
+// Host memory arena and registration-table tests, including the unbacked
+// (timing-only) mode used by large synthetic benchmarks.
+#include <gtest/gtest.h>
+
+#include "src/rdma/memory.hpp"
+
+namespace mccl::rdma {
+namespace {
+
+TEST(HostMemory, AllocAlignsAndAdvances) {
+  HostMemory m(1 << 20);
+  const auto a = m.alloc(100);
+  const auto b = m.alloc(100);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 100);
+}
+
+TEST(HostMemory, CustomAlignment) {
+  HostMemory m(1 << 20);
+  m.alloc(3);
+  const auto a = m.alloc(16, 4096);
+  EXPECT_EQ(a % 4096, 0u);
+}
+
+TEST(HostMemory, WriteReadRoundTrip) {
+  HostMemory m(4096);
+  const auto a = m.alloc(16);
+  const std::uint8_t data[4] = {1, 2, 3, 4};
+  m.write(a + 4, data, 4);
+  std::uint8_t out[4] = {};
+  m.read(a + 4, out, 4);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[3], 4);
+}
+
+TEST(HostMemory, ExhaustionAborts) {
+  HostMemory m(1024);
+  m.alloc(1000);
+  EXPECT_DEATH(m.alloc(100), "exhausted");
+}
+
+TEST(HostMemory, UnbackedAllocatesAddressSpaceOnly) {
+  HostMemory m(std::uint64_t{1} << 40, /*backed=*/false);
+  const auto a = m.alloc(std::uint64_t{8} << 30);  // 8 GiB, no RAM used
+  const auto b = m.alloc(std::uint64_t{8} << 30);
+  EXPECT_GT(b, a);
+  EXPECT_DEATH(m.at(a), "unbacked");
+}
+
+TEST(HostMemory, UnbackedStillEnforcesCapacity) {
+  HostMemory m(1024, /*backed=*/false);
+  m.alloc(1000);
+  EXPECT_DEATH(m.alloc(100), "exhausted");
+}
+
+TEST(MrTable, SequentialKeys) {
+  MrTable t;
+  const auto a = t.register_region(0, 100);
+  const auto b = t.register_region(200, 100);
+  EXPECT_NE(a.rkey, b.rkey);
+  EXPECT_TRUE(t.has_rkey(a.rkey));
+}
+
+TEST(MrTable, ExplicitRkey) {
+  MrTable t;
+  const auto mr = t.register_with_rkey(64, 256, 9999);
+  EXPECT_EQ(mr.rkey, 9999u);
+  EXPECT_TRUE(t.has_rkey(9999));
+  EXPECT_DEATH(t.register_with_rkey(0, 10, 9999), "duplicate");
+}
+
+TEST(MrTable, BoundsChecking) {
+  MrTable t;
+  const auto mr = t.register_region(1000, 100);
+  t.check_remote(mr.rkey, 1000, 100);   // exact fit
+  t.check_remote(mr.rkey, 1050, 50);    // tail
+  EXPECT_DEATH(t.check_remote(mr.rkey, 1050, 51), "out of registered");
+  EXPECT_DEATH(t.check_remote(mr.rkey, 999, 1), "out of registered");
+  EXPECT_DEATH(t.check_remote(12345, 1000, 1), "unknown rkey");
+}
+
+}  // namespace
+}  // namespace mccl::rdma

@@ -1,0 +1,115 @@
+// Analytical-model tests, including cross-validation against the packet
+// simulator (the closed forms must match measured counters).
+#include <gtest/gtest.h>
+
+#include "src/model/models.hpp"
+#include "tests/coll_test_util.hpp"
+
+namespace mccl::model {
+namespace {
+
+TEST(FatTree2L, Shape) {
+  FatTree2L t{1024, 32};
+  EXPECT_EQ(t.hosts_per_leaf(), 16u);
+  EXPECT_EQ(t.leaves(), 64u);
+  EXPECT_EQ(t.mcast_tree_edges(), 1024u + 64u);
+}
+
+TEST(TrafficModel, SavingsApproachTwo) {
+  const std::uint64_t N = 1 * MiB;
+  EXPECT_NEAR(ag_traffic_savings({1024, 32}, N), 2.0, 0.01);
+  EXPECT_LT(ag_traffic_savings({8, 32}, N), 1.6);
+  // Monotone in P.
+  double prev = 0;
+  for (std::size_t p : {4u, 16u, 64u, 256u, 1024u}) {
+    const double s = ag_traffic_savings({p, 32}, N);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(TrafficModel, McastLinearInBlocks) {
+  const FatTree2L t{64, 32};
+  EXPECT_EQ(ag_mcast_traffic(t, 2 * MiB), 2 * ag_mcast_traffic(t, 1 * MiB));
+  EXPECT_EQ(bcast_mcast_traffic(t, 1 * MiB),
+            ag_mcast_traffic(t, 1 * MiB) / 64);
+}
+
+TEST(TrafficModel, LinearWorseThanRingAtScale) {
+  const FatTree2L t{256, 32};
+  EXPECT_GT(ag_linear_traffic(t, 1 * MiB), ag_ring_traffic(t, 1 * MiB));
+}
+
+TEST(NodeBoundary, MatchesFig3) {
+  const auto rr = node_boundary_ring_ring(16, 100);
+  EXPECT_EQ(rr.rs_send, 1500u);
+  EXPECT_EQ(rr.ag_recv, 1500u);
+  const auto im = node_boundary_inc_mcast(16, 100);
+  EXPECT_EQ(im.rs_send, 1500u);
+  EXPECT_EQ(im.rs_recv, 100u);
+  EXPECT_EQ(im.ag_send, 100u);
+  EXPECT_EQ(im.ag_recv, 1500u);
+}
+
+TEST(BitmapModel, Fig7Sizing) {
+  // 24 PSN bits at 4 KiB chunks -> 64 GiB receive buffer, 2 MiB bitmap.
+  EXPECT_EQ(max_recv_buffer_bytes(24, 4096), 64ull * GiB);
+  EXPECT_EQ(bitmap_bytes(24), 2ull * MiB);
+  EXPECT_EQ(collective_id_bits(24), 8u);
+  // The DPA LLC (1.5 MB) bounds the bitmap at 23 bits -> 32 GiB buffer,
+  // consistent with the paper's ~50 GB claim (non-power-of-two LLC).
+  EXPECT_LE(bitmap_bytes(23), 1'500'000u);
+  EXPECT_GT(bitmap_bytes(24), 1'500'000u);
+}
+
+TEST(ConcurrentSpeedup, Formula) {
+  EXPECT_DOUBLE_EQ(concurrent_speedup(2), 1.0);
+  EXPECT_DOUBLE_EQ(concurrent_speedup(4), 1.5);
+  EXPECT_NEAR(concurrent_speedup(1024), 2.0, 0.002);
+}
+
+TEST(BandwidthShares, SumToUnityPerDirection) {
+  const auto rr = shares_ring_ring();
+  EXPECT_DOUBLE_EQ(rr.ag_send + rr.rs_send, 1.0);
+  EXPECT_DOUBLE_EQ(rr.ag_recv + rr.rs_recv, 1.0);
+  const auto im = shares_inc_mcast(16);
+  EXPECT_DOUBLE_EQ(im.ag_send + im.rs_send, 1.0);
+  EXPECT_DOUBLE_EQ(im.ag_recv + im.rs_recv, 1.0);
+}
+
+TEST(TrafficModel, McastMatchesSimulatorExactly) {
+  // The multicast model counts tree edges; the simulator counts bytes on
+  // links. For a star (= 2-level tree with one leaf) the broadcast moves
+  // exactly hosts * N bytes (one injection + P-1 deliveries).
+  using namespace coll;
+  testing::World w(6);
+  w.cluster->fabric().reset_counters();
+  w.comm->broadcast(0, 64 * KiB, BcastAlgo::kMcast);
+  const auto t = w.cluster->fabric().traffic();
+  // Data bytes: 6 links x 64 KiB; the remainder is control traffic.
+  const std::uint64_t data = 6ull * 64 * KiB;
+  EXPECT_GE(t.total_bytes, data);
+  EXPECT_LT(t.total_bytes, data + 64 * KiB);  // control stays small
+}
+
+TEST(TrafficModel, RingSimulatorRatioTracksModel) {
+  using namespace coll;
+  const std::uint64_t N = 64 * KiB;
+  testing::World a(16, {}, {}, /*fat_tree=*/true);
+  a.cluster->fabric().reset_counters();
+  a.comm->allgather(N, AllgatherAlgo::kRing);
+  const auto ring = a.cluster->fabric().traffic();
+
+  testing::World b(16, {}, {}, /*fat_tree=*/true);
+  b.cluster->fabric().reset_counters();
+  b.comm->allgather(N, AllgatherAlgo::kMcast);
+  const auto mc = b.cluster->fabric().traffic();
+
+  const double sim = static_cast<double>(ring.total_bytes) /
+                     static_cast<double>(mc.total_bytes);
+  const double model = ag_traffic_savings({16, 16}, N);
+  EXPECT_NEAR(sim, model, 0.25 * model);
+}
+
+}  // namespace
+}  // namespace mccl::model

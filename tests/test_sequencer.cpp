@@ -1,0 +1,127 @@
+// Unit tests for the Appendix A chain sequencer and the chunk geometry.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/coll/chunk_map.hpp"
+#include "src/coll/ctrl.hpp"
+#include "src/coll/sequencer.hpp"
+
+namespace mccl::coll {
+namespace {
+
+TEST(ChainSchedule, SingleChainIsSequential) {
+  ChainSchedule s(6, 1);
+  EXPECT_EQ(s.chain_len, 6u);
+  EXPECT_TRUE(s.is_chain_head(0));
+  for (std::size_t r = 1; r < 6; ++r) EXPECT_FALSE(s.is_chain_head(r));
+  for (std::size_t r = 0; r < 5; ++r)
+    EXPECT_EQ(s.successor(r), static_cast<int>(r + 1));
+  EXPECT_EQ(s.successor(5), -1);
+}
+
+TEST(ChainSchedule, TwoChainsSplitEvenly) {
+  // Paper Fig 8: six processes, two actively multicasting roots.
+  ChainSchedule s(6, 2);
+  EXPECT_EQ(s.chain_len, 3u);
+  EXPECT_TRUE(s.is_chain_head(0));
+  EXPECT_TRUE(s.is_chain_head(3));
+  EXPECT_EQ(s.chain_of(2), 0u);
+  EXPECT_EQ(s.chain_of(3), 1u);
+  EXPECT_EQ(s.successor(2), -1);  // chain boundary
+  EXPECT_EQ(s.successor(3), 4);
+}
+
+TEST(ChainSchedule, ActiveGroupMatchesAppendixA) {
+  ChainSchedule s(8, 4);  // R = 2 steps
+  EXPECT_EQ(s.active_group(0), (std::vector<std::size_t>{0, 2, 4, 6}));
+  EXPECT_EQ(s.active_group(1), (std::vector<std::size_t>{1, 3, 5, 7}));
+}
+
+TEST(ChainSchedule, EveryRankAppearsInExactlyOneActiveGroup) {
+  for (std::size_t P : {5u, 8u, 12u, 17u}) {
+    for (std::size_t M : {1u, 2u, 3u, 4u}) {
+      if (M > P) continue;
+      ChainSchedule s(P, M);
+      std::set<std::size_t> seen;
+      for (std::size_t step = 0; step < s.chain_len; ++step)
+        for (std::size_t r : s.active_group(step)) {
+          EXPECT_TRUE(seen.insert(r).second) << "rank " << r << " twice";
+          EXPECT_EQ(s.step_of(r), step);
+        }
+      EXPECT_EQ(seen.size(), P);
+    }
+  }
+}
+
+TEST(ChainSchedule, ChainsDegradeToAllAtOnce) {
+  ChainSchedule s(4, 4);
+  EXPECT_EQ(s.chain_len, 1u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_TRUE(s.is_chain_head(r));
+    EXPECT_EQ(s.successor(r), -1);
+  }
+}
+
+TEST(ChunkMap, ExactDivision) {
+  ChunkMap m(64 * 1024, 4096, 4, 3);
+  EXPECT_EQ(m.chunks_per_block(), 16u);
+  EXPECT_EQ(m.total_chunks(), 48u);
+  EXPECT_EQ(m.block_of(17), 1u);
+  EXPECT_EQ(m.index_of(17), 1u);
+  EXPECT_EQ(m.offset_of(17), 64 * 1024 + 4096u);
+  EXPECT_EQ(m.send_offset_of(17), 4096u);
+  EXPECT_EQ(m.len_of(17), 4096u);
+}
+
+TEST(ChunkMap, RaggedTail) {
+  ChunkMap m(10000, 4096, 1, 2);
+  EXPECT_EQ(m.chunks_per_block(), 3u);
+  EXPECT_EQ(m.len_of(0), 4096u);
+  EXPECT_EQ(m.len_of(2), 10000u - 2 * 4096u);
+  EXPECT_EQ(m.len_of(5), 10000u - 2 * 4096u);  // block 1 tail
+  // Offsets never overlap block boundaries.
+  EXPECT_EQ(m.offset_of(3), 10000u);
+}
+
+TEST(ChunkMap, SubgroupPartitionCoversAllChunks) {
+  for (std::size_t sgs : {1u, 2u, 3u, 4u, 7u}) {
+    ChunkMap m(100 * 1024, 4096, sgs, 1);
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < sgs; ++s) total += m.chunks_in_subgroup(s);
+    EXPECT_EQ(total, m.chunks_per_block());
+    // chunks_in_subgroup agrees with subgroup_of.
+    std::vector<std::size_t> counts(sgs, 0);
+    for (std::uint32_t id = 0; id < m.total_chunks(); ++id)
+      ++counts[m.subgroup_of(id)];
+    for (std::size_t s = 0; s < sgs; ++s)
+      EXPECT_EQ(counts[s], m.chunks_in_subgroup(s)) << "subgroup " << s;
+  }
+}
+
+TEST(ChunkMap, SubgroupsAreBalanced) {
+  ChunkMap m(17 * 4096, 4096, 4, 1);  // 17 chunks over 4 subgroups
+  std::size_t mn = SIZE_MAX, mx = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    mn = std::min(mn, m.chunks_in_subgroup(s));
+    mx = std::max(mx, m.chunks_in_subgroup(s));
+  }
+  EXPECT_LE(mx - mn, 1u);
+}
+
+TEST(Ctrl, RoundTrip) {
+  const CtrlMsg m{CtrlType::kFetchAck, 0xabc, 0x1234};
+  const CtrlMsg d = decode_ctrl(encode_ctrl(m));
+  EXPECT_EQ(d.type, CtrlType::kFetchAck);
+  EXPECT_EQ(d.op, 0xabc);
+  EXPECT_EQ(d.arg, 0x1234);
+}
+
+TEST(Ctrl, ChunkImmRoundTrip) {
+  const std::uint32_t imm = encode_chunk_imm(0x7f, (1u << 24) - 1);
+  EXPECT_EQ(imm_op_tag(imm), 0x7f);
+  EXPECT_EQ(imm_chunk(imm), (1u << 24) - 1);
+}
+
+}  // namespace
+}  // namespace mccl::coll

@@ -1,0 +1,123 @@
+// Unit tests for the discrete-event engine and FIFO resources.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/engine.hpp"
+#include "src/sim/resource.hpp"
+
+namespace mccl::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(30, [&] { order.push_back(3); });
+  e.schedule(10, [&] { order.push_back(1); });
+  e.schedule(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(5, [&] { order.push_back(1); });
+  e.schedule(5, [&] { order.push_back(2); });
+  e.schedule(5, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, CallbacksCanScheduleMoreEvents) {
+  Engine e;
+  int fired = 0;
+  e.schedule(1, [&] {
+    ++fired;
+    e.schedule(1, [&] { ++fired; });
+  });
+  const auto n = e.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(e.now(), 2);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.schedule(10, [&] { ++fired; });
+  e.schedule(100, [&] { ++fired; });
+  e.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 50);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunWhilePendingStopsOnPredicate) {
+  Engine e;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) e.schedule(i, [&] { ++fired; });
+  const bool done = e.run_while_pending([&] { return fired >= 4; });
+  EXPECT_TRUE(done);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(Engine, RunWhilePendingDrainsIfPredicateNeverTrue) {
+  Engine e;
+  int fired = 0;
+  for (int i = 1; i <= 3; ++i) e.schedule(i, [&] { ++fired; });
+  const bool done = e.run_while_pending([&] { return false; });
+  EXPECT_FALSE(done);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, ScheduleAtAbsoluteTime) {
+  Engine e;
+  Time seen = -1;
+  e.schedule_at(12345, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_EQ(seen, 12345);
+}
+
+TEST(Resource, IdleResourceStartsImmediately) {
+  Resource r;
+  EXPECT_EQ(r.acquire(100, 50), 150);
+  EXPECT_EQ(r.free_at(), 150);
+}
+
+TEST(Resource, BackToBackAcquisitionsQueueFifo) {
+  Resource r;
+  EXPECT_EQ(r.acquire(0, 10), 10);
+  EXPECT_EQ(r.acquire(0, 10), 20);   // queued behind the first
+  EXPECT_EQ(r.acquire(5, 10), 30);   // still queued
+  EXPECT_EQ(r.acquire(100, 10), 110);  // idle gap, starts at now
+}
+
+TEST(Resource, BusyTimeAccumulates) {
+  Resource r;
+  r.acquire(0, 10);
+  r.acquire(50, 20);
+  EXPECT_EQ(r.busy_time(), 30);
+  EXPECT_DOUBLE_EQ(r.utilization(100), 0.3);
+}
+
+TEST(Resource, ZeroDurationIsAllowed) {
+  Resource r;
+  EXPECT_EQ(r.acquire(7, 0), 7);
+  EXPECT_EQ(r.busy_time(), 0);
+}
+
+TEST(Resource, ResetClearsState) {
+  Resource r;
+  r.acquire(0, 100);
+  r.reset();
+  EXPECT_EQ(r.free_at(), 0);
+  EXPECT_EQ(r.busy_time(), 0);
+  EXPECT_EQ(r.last_use_end(), 0);
+}
+
+}  // namespace
+}  // namespace mccl::sim
