@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_subgroups.dir/bench/bench_ablation_subgroups.cpp.o"
+  "CMakeFiles/bench_ablation_subgroups.dir/bench/bench_ablation_subgroups.cpp.o.d"
+  "CMakeFiles/bench_ablation_subgroups.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_subgroups.dir/bench/bench_common.cpp.o.d"
+  "bench/bench_ablation_subgroups"
+  "bench/bench_ablation_subgroups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_subgroups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appb_concurrent_collectives.dir/bench/bench_appb_concurrent_collectives.cpp.o"
+  "CMakeFiles/bench_appb_concurrent_collectives.dir/bench/bench_appb_concurrent_collectives.cpp.o.d"
+  "CMakeFiles/bench_appb_concurrent_collectives.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/bench_appb_concurrent_collectives.dir/bench/bench_common.cpp.o.d"
+  "bench/bench_appb_concurrent_collectives"
+  "bench/bench_appb_concurrent_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appb_concurrent_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_traffic_model.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/bench_fig02_traffic_model.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig02_traffic_model.dir/bench/bench_fig02_traffic_model.cpp.o"
+  "CMakeFiles/bench_fig02_traffic_model.dir/bench/bench_fig02_traffic_model.cpp.o.d"
+  "bench/bench_fig02_traffic_model"
+  "bench/bench_fig02_traffic_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_traffic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

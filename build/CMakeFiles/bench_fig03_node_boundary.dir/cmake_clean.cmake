@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_node_boundary.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/bench_fig03_node_boundary.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig03_node_boundary.dir/bench/bench_fig03_node_boundary.cpp.o"
+  "CMakeFiles/bench_fig03_node_boundary.dir/bench/bench_fig03_node_boundary.cpp.o.d"
+  "bench/bench_fig03_node_boundary"
+  "bench/bench_fig03_node_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_node_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

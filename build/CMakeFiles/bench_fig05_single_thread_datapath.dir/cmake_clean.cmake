@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_single_thread_datapath.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/bench_fig05_single_thread_datapath.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig05_single_thread_datapath.dir/bench/bench_fig05_single_thread_datapath.cpp.o"
+  "CMakeFiles/bench_fig05_single_thread_datapath.dir/bench/bench_fig05_single_thread_datapath.cpp.o.d"
+  "bench/bench_fig05_single_thread_datapath"
+  "bench/bench_fig05_single_thread_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_single_thread_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_bitmap_sizing.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/bench_fig07_bitmap_sizing.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig07_bitmap_sizing.dir/bench/bench_fig07_bitmap_sizing.cpp.o"
+  "CMakeFiles/bench_fig07_bitmap_sizing.dir/bench/bench_fig07_bitmap_sizing.cpp.o.d"
+  "bench/bench_fig07_bitmap_sizing"
+  "bench/bench_fig07_bitmap_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_bitmap_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

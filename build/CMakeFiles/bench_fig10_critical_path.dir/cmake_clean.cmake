@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_critical_path.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/bench_fig10_critical_path.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig10_critical_path.dir/bench/bench_fig10_critical_path.cpp.o"
+  "CMakeFiles/bench_fig10_critical_path.dir/bench/bench_fig10_critical_path.cpp.o.d"
+  "bench/bench_fig10_critical_path"
+  "bench/bench_fig10_critical_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_critical_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

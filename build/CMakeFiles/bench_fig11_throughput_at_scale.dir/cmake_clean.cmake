@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_throughput_at_scale.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/bench_fig11_throughput_at_scale.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig11_throughput_at_scale.dir/bench/bench_fig11_throughput_at_scale.cpp.o"
+  "CMakeFiles/bench_fig11_throughput_at_scale.dir/bench/bench_fig11_throughput_at_scale.cpp.o.d"
+  "bench/bench_fig11_throughput_at_scale"
+  "bench/bench_fig11_throughput_at_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_throughput_at_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

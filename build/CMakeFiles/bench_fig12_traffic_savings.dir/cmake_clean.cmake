@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_traffic_savings.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/bench_fig12_traffic_savings.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig12_traffic_savings.dir/bench/bench_fig12_traffic_savings.cpp.o"
+  "CMakeFiles/bench_fig12_traffic_savings.dir/bench/bench_fig12_traffic_savings.cpp.o.d"
+  "bench/bench_fig12_traffic_savings"
+  "bench/bench_fig12_traffic_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_traffic_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

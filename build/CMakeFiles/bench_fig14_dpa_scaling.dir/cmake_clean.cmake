@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_dpa_scaling.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/bench_fig14_dpa_scaling.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig14_dpa_scaling.dir/bench/bench_fig14_dpa_scaling.cpp.o"
+  "CMakeFiles/bench_fig14_dpa_scaling.dir/bench/bench_fig14_dpa_scaling.cpp.o.d"
+  "bench/bench_fig14_dpa_scaling"
+  "bench/bench_fig14_dpa_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_dpa_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

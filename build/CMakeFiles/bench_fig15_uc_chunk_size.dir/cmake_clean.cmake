@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_uc_chunk_size.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/bench_fig15_uc_chunk_size.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig15_uc_chunk_size.dir/bench/bench_fig15_uc_chunk_size.cpp.o"
+  "CMakeFiles/bench_fig15_uc_chunk_size.dir/bench/bench_fig15_uc_chunk_size.cpp.o.d"
+  "bench/bench_fig15_uc_chunk_size"
+  "bench/bench_fig15_uc_chunk_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_uc_chunk_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_tbit_links.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/bench_fig16_tbit_links.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig16_tbit_links.dir/bench/bench_fig16_tbit_links.cpp.o"
+  "CMakeFiles/bench_fig16_tbit_links.dir/bench/bench_fig16_tbit_links.cpp.o.d"
+  "bench/bench_fig16_tbit_links"
+  "bench/bench_fig16_tbit_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_tbit_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_single_thread_dpa.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/bench_tab1_single_thread_dpa.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/bench_tab1_single_thread_dpa.dir/bench/bench_tab1_single_thread_dpa.cpp.o"
+  "CMakeFiles/bench_tab1_single_thread_dpa.dir/bench/bench_tab1_single_thread_dpa.cpp.o.d"
+  "bench/bench_tab1_single_thread_dpa"
+  "bench/bench_tab1_single_thread_dpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_single_thread_dpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

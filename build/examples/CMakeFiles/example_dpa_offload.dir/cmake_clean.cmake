@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dpa_offload.dir/dpa_offload.cpp.o"
+  "CMakeFiles/example_dpa_offload.dir/dpa_offload.cpp.o.d"
+  "example_dpa_offload"
+  "example_dpa_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dpa_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fsdp_training.dir/fsdp_training.cpp.o"
+  "CMakeFiles/example_fsdp_training.dir/fsdp_training.cpp.o.d"
+  "example_fsdp_training"
+  "example_fsdp_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fsdp_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_reliability_storm.dir/reliability_storm.cpp.o"
+  "CMakeFiles/example_reliability_storm.dir/reliability_storm.cpp.o.d"
+  "example_reliability_storm"
+  "example_reliability_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_reliability_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/cluster.cpp" "src/CMakeFiles/mccl.dir/coll/cluster.cpp.o" "gcc" "src/CMakeFiles/mccl.dir/coll/cluster.cpp.o.d"
+  "/root/repo/src/coll/communicator.cpp" "src/CMakeFiles/mccl.dir/coll/communicator.cpp.o" "gcc" "src/CMakeFiles/mccl.dir/coll/communicator.cpp.o.d"
+  "/root/repo/src/coll/endpoint.cpp" "src/CMakeFiles/mccl.dir/coll/endpoint.cpp.o" "gcc" "src/CMakeFiles/mccl.dir/coll/endpoint.cpp.o.d"
+  "/root/repo/src/coll/mcast_coll.cpp" "src/CMakeFiles/mccl.dir/coll/mcast_coll.cpp.o" "gcc" "src/CMakeFiles/mccl.dir/coll/mcast_coll.cpp.o.d"
+  "/root/repo/src/coll/p2p_coll.cpp" "src/CMakeFiles/mccl.dir/coll/p2p_coll.cpp.o" "gcc" "src/CMakeFiles/mccl.dir/coll/p2p_coll.cpp.o.d"
+  "/root/repo/src/coll/reduce_scatter.cpp" "src/CMakeFiles/mccl.dir/coll/reduce_scatter.cpp.o" "gcc" "src/CMakeFiles/mccl.dir/coll/reduce_scatter.cpp.o.d"
+  "/root/repo/src/coll/vandegeijn.cpp" "src/CMakeFiles/mccl.dir/coll/vandegeijn.cpp.o" "gcc" "src/CMakeFiles/mccl.dir/coll/vandegeijn.cpp.o.d"
+  "/root/repo/src/exec/worker.cpp" "src/CMakeFiles/mccl.dir/exec/worker.cpp.o" "gcc" "src/CMakeFiles/mccl.dir/exec/worker.cpp.o.d"
+  "/root/repo/src/fabric/fabric.cpp" "src/CMakeFiles/mccl.dir/fabric/fabric.cpp.o" "gcc" "src/CMakeFiles/mccl.dir/fabric/fabric.cpp.o.d"
+  "/root/repo/src/fabric/topology.cpp" "src/CMakeFiles/mccl.dir/fabric/topology.cpp.o" "gcc" "src/CMakeFiles/mccl.dir/fabric/topology.cpp.o.d"
+  "/root/repo/src/inc/engine.cpp" "src/CMakeFiles/mccl.dir/inc/engine.cpp.o" "gcc" "src/CMakeFiles/mccl.dir/inc/engine.cpp.o.d"
+  "/root/repo/src/model/models.cpp" "src/CMakeFiles/mccl.dir/model/models.cpp.o" "gcc" "src/CMakeFiles/mccl.dir/model/models.cpp.o.d"
+  "/root/repo/src/rdma/nic.cpp" "src/CMakeFiles/mccl.dir/rdma/nic.cpp.o" "gcc" "src/CMakeFiles/mccl.dir/rdma/nic.cpp.o.d"
+  "/root/repo/src/rdma/qp.cpp" "src/CMakeFiles/mccl.dir/rdma/qp.cpp.o" "gcc" "src/CMakeFiles/mccl.dir/rdma/qp.cpp.o.d"
+  "/root/repo/src/rdma/rc_qp.cpp" "src/CMakeFiles/mccl.dir/rdma/rc_qp.cpp.o" "gcc" "src/CMakeFiles/mccl.dir/rdma/rc_qp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

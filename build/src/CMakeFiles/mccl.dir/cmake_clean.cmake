@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccl.dir/coll/cluster.cpp.o"
+  "CMakeFiles/mccl.dir/coll/cluster.cpp.o.d"
+  "CMakeFiles/mccl.dir/coll/communicator.cpp.o"
+  "CMakeFiles/mccl.dir/coll/communicator.cpp.o.d"
+  "CMakeFiles/mccl.dir/coll/endpoint.cpp.o"
+  "CMakeFiles/mccl.dir/coll/endpoint.cpp.o.d"
+  "CMakeFiles/mccl.dir/coll/mcast_coll.cpp.o"
+  "CMakeFiles/mccl.dir/coll/mcast_coll.cpp.o.d"
+  "CMakeFiles/mccl.dir/coll/p2p_coll.cpp.o"
+  "CMakeFiles/mccl.dir/coll/p2p_coll.cpp.o.d"
+  "CMakeFiles/mccl.dir/coll/reduce_scatter.cpp.o"
+  "CMakeFiles/mccl.dir/coll/reduce_scatter.cpp.o.d"
+  "CMakeFiles/mccl.dir/coll/vandegeijn.cpp.o"
+  "CMakeFiles/mccl.dir/coll/vandegeijn.cpp.o.d"
+  "CMakeFiles/mccl.dir/exec/worker.cpp.o"
+  "CMakeFiles/mccl.dir/exec/worker.cpp.o.d"
+  "CMakeFiles/mccl.dir/fabric/fabric.cpp.o"
+  "CMakeFiles/mccl.dir/fabric/fabric.cpp.o.d"
+  "CMakeFiles/mccl.dir/fabric/topology.cpp.o"
+  "CMakeFiles/mccl.dir/fabric/topology.cpp.o.d"
+  "CMakeFiles/mccl.dir/inc/engine.cpp.o"
+  "CMakeFiles/mccl.dir/inc/engine.cpp.o.d"
+  "CMakeFiles/mccl.dir/model/models.cpp.o"
+  "CMakeFiles/mccl.dir/model/models.cpp.o.d"
+  "CMakeFiles/mccl.dir/rdma/nic.cpp.o"
+  "CMakeFiles/mccl.dir/rdma/nic.cpp.o.d"
+  "CMakeFiles/mccl.dir/rdma/qp.cpp.o"
+  "CMakeFiles/mccl.dir/rdma/qp.cpp.o.d"
+  "CMakeFiles/mccl.dir/rdma/rc_qp.cpp.o"
+  "CMakeFiles/mccl.dir/rdma/rc_qp.cpp.o.d"
+  "libmccl.a"
+  "libmccl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_coll_allgather.cpp" "tests/CMakeFiles/mccl_tests.dir/test_coll_allgather.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_coll_allgather.cpp.o.d"
+  "/root/repo/tests/test_coll_broadcast.cpp" "tests/CMakeFiles/mccl_tests.dir/test_coll_broadcast.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_coll_broadcast.cpp.o.d"
+  "/root/repo/tests/test_coll_matrix.cpp" "tests/CMakeFiles/mccl_tests.dir/test_coll_matrix.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_coll_matrix.cpp.o.d"
+  "/root/repo/tests/test_coll_reduce_scatter.cpp" "tests/CMakeFiles/mccl_tests.dir/test_coll_reduce_scatter.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_coll_reduce_scatter.cpp.o.d"
+  "/root/repo/tests/test_coll_reliability.cpp" "tests/CMakeFiles/mccl_tests.dir/test_coll_reliability.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_coll_reliability.cpp.o.d"
+  "/root/repo/tests/test_coll_vandegeijn.cpp" "tests/CMakeFiles/mccl_tests.dir/test_coll_vandegeijn.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_coll_vandegeijn.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/mccl_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/mccl_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_exec.cpp" "tests/CMakeFiles/mccl_tests.dir/test_exec.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_exec.cpp.o.d"
+  "/root/repo/tests/test_fabric.cpp" "tests/CMakeFiles/mccl_tests.dir/test_fabric.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_fabric.cpp.o.d"
+  "/root/repo/tests/test_inc.cpp" "tests/CMakeFiles/mccl_tests.dir/test_inc.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_inc.cpp.o.d"
+  "/root/repo/tests/test_memory.cpp" "tests/CMakeFiles/mccl_tests.dir/test_memory.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_memory.cpp.o.d"
+  "/root/repo/tests/test_misc_integration.cpp" "tests/CMakeFiles/mccl_tests.dir/test_misc_integration.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_misc_integration.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/mccl_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_nic_arbiter.cpp" "tests/CMakeFiles/mccl_tests.dir/test_nic_arbiter.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_nic_arbiter.cpp.o.d"
+  "/root/repo/tests/test_rdma_rc.cpp" "tests/CMakeFiles/mccl_tests.dir/test_rdma_rc.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_rdma_rc.cpp.o.d"
+  "/root/repo/tests/test_rdma_uc.cpp" "tests/CMakeFiles/mccl_tests.dir/test_rdma_uc.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_rdma_uc.cpp.o.d"
+  "/root/repo/tests/test_rdma_ud.cpp" "tests/CMakeFiles/mccl_tests.dir/test_rdma_ud.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_rdma_ud.cpp.o.d"
+  "/root/repo/tests/test_sequencer.cpp" "tests/CMakeFiles/mccl_tests.dir/test_sequencer.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_sequencer.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/mccl_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/mccl_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/mccl_tests.dir/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mccl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
