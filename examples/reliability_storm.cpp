@@ -2,52 +2,92 @@
 // "lossless" fabric isn't.
 //
 // Sweeps the per-link drop probability from 0 to 2% and reports, for each
-// run: completion time, chunks recovered through the fetch ring, RNR drops,
-// and — crucially — that every byte still verifies. Demonstrates the
-// two-component design of Section III: the fast path carries everything
+// point: mean completion time and recovery counters over several seeds, and
+// — crucially — that every byte still verifies on every run. Demonstrates
+// the two-component design of Section III: the fast path carries everything
 // when the fabric behaves; the slow path (cutoff timer -> per-block fetch
 // requests -> selective RDMA Reads from the left neighbor) fills the holes
 // when it does not, degenerating to a ring Allgather in the worst case.
+//
+// Usage: example_reliability_storm [base_seed] [seeds_per_point]
+// Each sweep point runs `seeds_per_point` (default 3, min 3) independent
+// fabrics seeded base_seed, base_seed+1, ... — a single hard-coded seed
+// would report one arbitrary sample of a wide loss distribution.
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/coll/communicator.hpp"
 
 using namespace mccl;
 
-int main() {
+namespace {
+
+struct Sample {
+  double time_us = 0.0;
+  std::uint64_t fetched = 0;
+  std::uint64_t rnr = 0;
+  std::uint64_t link_drops = 0;
+  bool verified = false;
+};
+
+Sample run_once(double drop, std::uint64_t seed) {
   constexpr std::size_t kRanks = 8;
   constexpr std::uint64_t kBytes = 128 * KiB;
+  coll::ClusterConfig kcfg;
+  kcfg.fabric.drop_prob = drop;
+  kcfg.fabric.seed = seed;
+  coll::Cluster cluster(fabric::make_fat_tree_for_hosts(kRanks, 16, {}),
+                        kcfg);
+  coll::CommConfig cfg;
+  cfg.cutoff_alpha = 100 * kMicrosecond;  // eager recovery for the demo
+  std::vector<fabric::NodeId> hosts;
+  for (std::size_t h = 0; h < kRanks; ++h)
+    hosts.push_back(static_cast<fabric::NodeId>(h));
+  coll::Communicator comm(cluster, hosts, cfg);
 
-  std::printf("%10s %12s %10s %10s %10s %9s\n", "drop_prob", "time_us",
-              "fetched", "rnr", "retrans", "verified");
+  const coll::OpResult res =
+      comm.allgather(kBytes, coll::AllgatherAlgo::kMcast);
+  return {to_microseconds(res.duration()), res.fetched_chunks, res.rnr_drops,
+          cluster.fabric().traffic().drops, res.data_verified};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t base_seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  std::size_t seeds = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+  if (seeds < 3) seeds = 3;  // one sample of a loss distribution is noise
+
+  std::printf("base_seed=%llu seeds_per_point=%zu\n",
+              static_cast<unsigned long long>(base_seed), seeds);
+  std::printf("%10s %12s %10s %10s %10s %9s\n", "drop_prob", "mean_us",
+              "fetched", "rnr", "drops", "verified");
 
   for (const double drop : {0.0, 0.0001, 0.001, 0.005, 0.01, 0.02}) {
-    coll::ClusterConfig kcfg;
-    kcfg.fabric.drop_prob = drop;
-    kcfg.fabric.seed = 42;
-    coll::Cluster cluster(fabric::make_fat_tree_for_hosts(kRanks, 16, {}),
-                          kcfg);
-    coll::CommConfig cfg;
-    cfg.cutoff_alpha = 100 * kMicrosecond;  // eager recovery for the demo
-    std::vector<fabric::NodeId> hosts;
-    for (std::size_t h = 0; h < kRanks; ++h)
-      hosts.push_back(static_cast<fabric::NodeId>(h));
-    coll::Communicator comm(cluster, hosts, cfg);
-
-    const coll::OpResult res =
-        comm.allgather(kBytes, coll::AllgatherAlgo::kMcast);
-    std::printf("%9.2f%% %12.1f %10llu %10llu %10llu %9s\n", drop * 100.0,
-                to_microseconds(res.duration()),
-                static_cast<unsigned long long>(res.fetched_chunks),
-                static_cast<unsigned long long>(res.rnr_drops),
-                static_cast<unsigned long long>(cluster.fabric().traffic().drops),
-                res.data_verified ? "yes" : "NO");
-    if (!res.data_verified) return 1;
+    double time_us = 0.0;
+    double fetched = 0.0, rnr = 0.0, link_drops = 0.0;
+    bool all_verified = true;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      const Sample r = run_once(drop, base_seed + s);
+      time_us += r.time_us;
+      fetched += static_cast<double>(r.fetched);
+      rnr += static_cast<double>(r.rnr);
+      link_drops += static_cast<double>(r.link_drops);
+      all_verified = all_verified && r.verified;
+    }
+    const double n = static_cast<double>(seeds);
+    std::printf("%9.2f%% %12.1f %10.1f %10.1f %10.1f %9s\n", drop * 100.0,
+                time_us / n, fetched / n, rnr / n, link_drops / n,
+                all_verified ? "yes" : "NO");
+    if (!all_verified) return 1;
   }
 
   // The nuclear option: the multicast path is severed entirely; the fetch
   // ring must reconstruct everything (worst case = ring Allgather).
   {
+    constexpr std::size_t kRanks = 8;
+    constexpr std::uint64_t kBytes = 128 * KiB;
     coll::ClusterConfig kcfg;
     coll::Cluster cluster(fabric::make_fat_tree_for_hosts(kRanks, 16, {}),
                           kcfg);

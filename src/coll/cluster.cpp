@@ -20,6 +20,16 @@ Cluster::Cluster(fabric::Topology topology, ClusterConfig config)
     cpus_.push_back(std::make_unique<exec::Complex>(engine_, config.cpu));
     dpas_.push_back(std::make_unique<exec::Complex>(engine_, config.dpa));
   }
+  // The fault plane owns the straggler timeline; applying the slowdown to a
+  // host's compute complexes is the Cluster's job (the fabric has no notion
+  // of progress engines).
+  fabric_->faults().set_straggler_handler(
+      [this](fabric::NodeId host, double factor) {
+        const auto h = static_cast<std::size_t>(host);
+        MCCL_CHECK(h < cpus_.size());
+        cpus_[h]->set_cost_scale(factor);
+        dpas_[h]->set_cost_scale(factor);
+      });
 }
 
 Time Cluster::run_until_done(const std::function<bool()>& done) {

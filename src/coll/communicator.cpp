@@ -47,6 +47,19 @@ void OpBase::rank_done(std::size_t r) {
   ++completed_;
 }
 
+void OpBase::fail_op(std::string error) {
+  MCCL_CHECK(!failed_);
+  failed_ = true;
+  error_ = std::move(error);
+  const Time now = comm_.cluster().engine().now();
+  for (std::size_t r = 0; r < finish_.size(); ++r) {
+    if (finish_[r] == 0) {
+      finish_[r] = now;
+      ++completed_;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Communicator
 // ---------------------------------------------------------------------------
@@ -54,7 +67,8 @@ void OpBase::rank_done(std::size_t r) {
 Communicator::Communicator(Cluster& cluster,
                            std::vector<fabric::NodeId> hosts,
                            CommConfig config)
-    : cluster_(cluster), config_(config) {
+    : cluster_(cluster), config_(config),
+      adaptive_alpha_(config.cutoff_alpha) {
   MCCL_CHECK(hosts.size() >= 2);
   MCCL_CHECK(config_.subgroups >= 1 && config_.chains >= 1);
   MCCL_CHECK(config_.send_workers >= 1 && config_.recv_workers >= 1);
@@ -154,12 +168,29 @@ OpResult Communicator::finish(OpBase& op) {
   res.finish = op.finish_time();
   res.rank_finish = op.rank_finish();
   res.max_phases = op.max_phases();
-  res.data_verified = op.verify();
   res.fetched_chunks = op.fetched_chunks();
+  res.fetch_retries = op.fetch_retries();
+  res.fetch_failovers = op.fetch_failovers();
+  res.watchdog_fired = op.watchdog_fired();
+  res.failed = op.failed();
+  res.error = op.error();
+  // A watchdog-terminated op has incomplete buffers by definition; don't
+  // report synthetic-mode success for garbage.
+  res.data_verified = !res.failed && op.verify();
   std::uint64_t rnr_after = 0;
   for (auto& ep : eps_) rnr_after += ep->rnr_drops();
   res.rnr_drops = rnr_after - rnr_before;
+  note_op_loss(res.fetched_chunks > 0 || res.rnr_drops > 0 || res.failed);
   return res;
+}
+
+void Communicator::note_op_loss(bool lossy) {
+  if (!config_.adaptive_cutoff) return;
+  if (lossy) {
+    adaptive_alpha_ = std::max(config_.cutoff_alpha_min, adaptive_alpha_ / 2);
+  } else if (adaptive_alpha_ < config_.cutoff_alpha) {
+    adaptive_alpha_ = std::min(config_.cutoff_alpha, adaptive_alpha_ * 2);
+  }
 }
 
 OpResult Communicator::broadcast(std::size_t root, std::uint64_t bytes,

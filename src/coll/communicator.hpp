@@ -57,6 +57,28 @@ struct CommConfig {
   std::size_t staging_slots = 2048;  // staging ring slots per subgroup (UD)
   Time cutoff_alpha = 500 * kMicrosecond;  // cutoff-timer slack
   bool reliability = true;                 // enable the slow-path fetch ring
+
+  // --- slow-path hardening (fault tolerance beyond the paper) --------------
+  /// A fetch request that is not ACKed within this window is retried with
+  /// exponential backoff (x2 per attempt).
+  Time fetch_retry_timeout = 150 * kMicrosecond;
+  /// Requests sent to one target before failing over to its left neighbor
+  /// (skipping the unresponsive rank; the chain still ends at the block
+  /// root, which always holds its own block).
+  std::size_t fetch_retry_cap = 3;
+  /// Tighten the effective cutoff alpha after an op that observed loss
+  /// (halved per lossy op down to `cutoff_alpha_min`, relaxed back toward
+  /// `cutoff_alpha` after clean ops) — recovery starts sooner on a fabric
+  /// known to be misbehaving.
+  bool adaptive_cutoff = true;
+  Time cutoff_alpha_min = 25 * kMicrosecond;
+  /// Hard per-op deadline: `watchdog_multiplier` times the cutoff deadline
+  /// (or `watchdog_timeout` if nonzero). On expiry the op dumps per-rank
+  /// protocol state and fails with a structured error instead of hanging
+  /// the simulation (e.g. a partitioned fabric with no surviving path).
+  double watchdog_multiplier = 50.0;
+  Time watchdog_timeout = 0;  // explicit override; 0 = multiplier-based
+
   std::optional<exec::DatapathCosts> costs_override;  // else by engine kind
 };
 
@@ -79,6 +101,14 @@ struct OpResult {
   bool data_verified = false;
   std::uint64_t fetched_chunks = 0;  // chunks recovered via the slow path
   std::uint64_t rnr_drops = 0;
+  // Slow-path hardening counters (all zero on a clean fast-path run).
+  std::uint64_t fetch_retries = 0;    // re-sent fetch requests (same target)
+  std::uint64_t fetch_failovers = 0;  // targets skipped as unresponsive
+  bool watchdog_fired = false;
+  /// Set when the op was terminated by the watchdog instead of completing;
+  /// `error` carries the structured reason and `data_verified` is false.
+  bool failed = false;
+  std::string error;
 };
 
 enum class BcastAlgo : std::uint8_t {
@@ -225,6 +255,11 @@ class OpBase {
   Phases max_phases() const;
   const Phases& rank_phases(std::size_t r) const { return phases_[r]; }
   std::uint64_t fetched_chunks() const { return fetched_chunks_; }
+  std::uint64_t fetch_retries() const { return fetch_retries_; }
+  std::uint64_t fetch_failovers() const { return fetch_failovers_; }
+  bool watchdog_fired() const { return watchdog_fired_; }
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
 
   /// Launches the op (records the start time, posts initial tasks).
   virtual void start() = 0;
@@ -234,6 +269,10 @@ class OpBase {
  protected:
   void mark_started();
   void rank_done(std::size_t r);
+  /// Watchdog path: records the error, marks every unfinished rank complete
+  /// at the current time so done() holds, and freezes further protocol
+  /// callbacks behind failed().
+  void fail_op(std::string error);
 
   Communicator& comm_;
   std::string name_;
@@ -243,6 +282,11 @@ class OpBase {
   std::vector<Phases> phases_;
   std::size_t completed_ = 0;
   std::uint64_t fetched_chunks_ = 0;
+  std::uint64_t fetch_retries_ = 0;
+  std::uint64_t fetch_failovers_ = 0;
+  bool watchdog_fired_ = false;
+  bool failed_ = false;
+  std::string error_;
 };
 
 // ---------------------------------------------------------------------------
@@ -264,6 +308,10 @@ class Communicator {
     return groups_[s];
   }
   bool data_mode() const;  // false when the cluster runs payload-free
+
+  /// Cutoff slack currently in effect: equal to `config().cutoff_alpha`
+  /// until an op observes loss, then adaptively tightened (see CommConfig).
+  Time effective_cutoff_alpha() const { return adaptive_alpha_; }
 
   // --- non-blocking API ------------------------------------------------------
   OpBase& start_broadcast(std::size_t root, std::uint64_t bytes,
@@ -297,9 +345,11 @@ class Communicator {
  private:
   friend class OpBase;
   OpResult run_blocking(OpBase& op);
+  void note_op_loss(bool lossy);
 
   Cluster& cluster_;
   CommConfig config_;
+  Time adaptive_alpha_ = 0;  // set from config in the constructor
   std::vector<std::unique_ptr<Endpoint>> eps_;
   std::unordered_map<fabric::NodeId, std::size_t> rank_of_;
   std::vector<fabric::McastGroupId> groups_;  // one per subgroup

@@ -19,8 +19,15 @@ enum class CtrlType : std::uint8_t {
   kBarrier = 1,     // dissemination-barrier round token (arg = round)
   kChainToken = 2,  // multicast sequencer activation (arg unused)
   kFinal = 3,       // final-handshake packet (arg unused)
-  kFetchReq = 4,    // reliability: request permission to fetch chunks
-  kFetchAck = 5,    // reliability: left neighbor has all chunks
+  // Reliability slow path (arg = block index). A request may arrive from
+  // ANY rank, not just the right neighbor: requesters retry with backoff
+  // and, after `fetch_retry_cap` unanswered attempts, fail over to the
+  // target's own left neighbor. Duplicate requests (retries) are normal;
+  // the target acks at most once per (requester, block) transition to
+  // complete, and the requester latches the first ack per block.
+  kFetchReq = 4,    // request permission to fetch a block's chunks
+  kFetchAck = 5,    // sender holds the whole block; fetch via RDMA Read
+
   kStep = 6,        // generic step token for P2P baselines (arg = step)
 };
 

@@ -65,7 +65,8 @@ McastCollective::McastCollective(Communicator& comm, std::string name,
 
     s.barrier_seen.assign(barrier_rounds_ == 0 ? 1 : barrier_rounds_, 0);
     s.block_received.assign(p_.roots.size(), 0);
-    s.fetch_wanted_by_right.assign(p_.roots.size(), false);
+    s.fetch_waiters.assign(p_.roots.size(), {});
+    s.fetch.assign(p_.roots.size(), BlockFetch{});
     s.bitmaps.reserve(map_.subgroups);
     for (std::size_t sg = 0; sg < map_.subgroups; ++sg)
       s.bitmaps.emplace_back(map_.total_chunks());
@@ -100,6 +101,7 @@ McastCollective::~McastCollective() {
 
 void McastCollective::start() {
   mark_started();
+  arm_watchdog();
   for (std::size_t r = 0; r < comm_.size(); ++r) {
     st_[r].t_start = start_time_;
     barrier_kick(r);
@@ -111,6 +113,7 @@ void McastCollective::start() {
       const std::uint64_t dst =
           s.recvbuf + static_cast<std::size_t>(s.root_index) * p_.block_bytes;
       ep.nic().post_local_copy(s.sendbuf, dst, p_.block_bytes, [this, r] {
+        if (failed_) return;
         RankState& s2 = st_[r];
         s2.local_copy_done = true;
         const auto own = static_cast<std::size_t>(s2.root_index);
@@ -245,6 +248,7 @@ void McastCollective::on_subgroup_sent(std::size_t r, std::size_t sg) {
 
 void McastCollective::on_chunk(std::size_t r, std::uint32_t chunk,
                                std::size_t sg, const rdma::Cqe& cqe) {
+  if (failed_) return;
   if (cqe.opcode == rdma::CqeOpcode::kSend) {
     on_subgroup_sent(r, sg);
     return;
@@ -285,7 +289,7 @@ bool McastCollective::set_chunk(std::size_t r, std::uint32_t id) {
 
 void McastCollective::check_data_complete(std::size_t r) {
   RankState& s = st_[r];
-  if (s.data_complete || !s.barrier_done) return;
+  if (failed_ || s.data_complete || !s.barrier_done) return;
   if (s.received < s.expected || s.pending_copies > 0 || !s.local_copy_done)
     return;
   s.data_complete = true;
@@ -302,53 +306,124 @@ void McastCollective::check_data_complete(std::size_t r) {
 // Reliability slow path
 // --------------------------------------------------------------------------
 
+Time McastCollective::cutoff_deadline(std::size_t r) const {
+  const std::uint64_t expected_bytes =
+      static_cast<std::uint64_t>(st_[r].expected) * map_.chunk_bytes;
+  // N/B_link plus per-schedule-step slack (chain tokens serialize the
+  // roots) plus the (adaptively tightened) alpha for synchronization noise.
+  return serialization_time(expected_bytes, comm_.ep(r).link_gbps()) +
+         static_cast<Time>(schedule_.chain_len) * 10 * kMicrosecond +
+         comm_.effective_cutoff_alpha();
+}
+
 void McastCollective::arm_cutoff(std::size_t r) {
   RankState& s = st_[r];
   const std::uint64_t gen = s.timer_gen;
-  const std::uint64_t expected_bytes =
-      static_cast<std::uint64_t>(s.expected) * map_.chunk_bytes;
-  // N/B_link plus per-schedule-step slack (chain tokens serialize the
-  // roots) plus the configured alpha for synchronization noise.
-  const Time deadline =
-      serialization_time(expected_bytes, comm_.ep(r).link_gbps()) +
-      static_cast<Time>(schedule_.chain_len) * 10 * kMicrosecond +
-      comm_.config().cutoff_alpha;
-  comm_.cluster().engine().schedule(deadline,
+  comm_.cluster().engine().schedule(cutoff_deadline(r),
                                     [this, r, gen] { on_cutoff(r, gen); });
 }
 
 void McastCollective::on_cutoff(std::size_t r, std::uint64_t gen) {
   RankState& s = st_[r];
-  if (gen != s.timer_gen || s.data_complete) return;
-  MCCL_CHECK_MSG(comm_.config().reliability,
-                 "cutoff timer expired with the reliability layer disabled");
+  if (failed_ || gen != s.timer_gen || s.data_complete) return;
+  // Without the reliability layer there is no slow path; the watchdog is
+  // the only thing standing between a lossy fabric and a hang.
+  if (!comm_.config().reliability) return;
   if (s.recovering) return;
   s.recovering = true;
   s.t_recovery_begin = comm_.cluster().engine().now();
-  // One fetch request per incomplete block: the left neighbor acks each
-  // block as soon as it holds it in full.
+  // One fetch request per incomplete block: the target acks each block as
+  // soon as it holds it in full. The first target is the left neighbor.
   for (std::size_t b = 0; b < p_.roots.size(); ++b) {
     if (static_cast<int>(b) == s.root_index) continue;
     if (s.block_received[b] < map_.chunks_per_block())
-      comm_.ep(r).ctrl_send(left_of(r),
-                            {CtrlType::kFetchReq, id(),
-                             static_cast<std::uint16_t>(b)});
+      start_fetch(r, b, left_of(r));
   }
 }
 
 void McastCollective::on_block_complete(std::size_t r, std::size_t block) {
   RankState& s = st_[r];
-  if (s.fetch_wanted_by_right[block]) {
-    s.fetch_wanted_by_right[block] = false;
-    comm_.ep(r).ctrl_send(right_of(r),
-                          {CtrlType::kFetchAck, id(),
-                           static_cast<std::uint16_t>(block)});
+  // Serve every rank whose fetch request was deferred until we held the
+  // block (pre-hardening this could only be the right neighbor).
+  for (const std::size_t waiter : s.fetch_waiters[block])
+    comm_.ep(r).ctrl_send(waiter, {CtrlType::kFetchAck, id(),
+                                   static_cast<std::uint16_t>(block)});
+  s.fetch_waiters[block].clear();
+  // Cancel our own outstanding fetch of this block (multicast raced the
+  // slow path); a late ACK is ignored via the `acked` latch.
+  BlockFetch& f = s.fetch[block];
+  if (f.active && !f.acked) {
+    f.active = false;
+    ++f.gen;
   }
 }
 
-void McastCollective::on_fetch_ack(std::size_t r, std::size_t block) {
+void McastCollective::start_fetch(std::size_t r, std::size_t block,
+                                  std::size_t target) {
   RankState& s = st_[r];
-  if (s.data_complete) return;
+  MCCL_CHECK(target != r);
+  BlockFetch& f = s.fetch[block];
+  f.active = true;
+  f.acked = false;
+  f.target = target;
+  f.attempts = 1;
+  ++f.gen;
+  comm_.ep(r).ctrl_send(target, {CtrlType::kFetchReq, id(),
+                                 static_cast<std::uint16_t>(block)});
+  arm_fetch_retry(r, block);
+}
+
+void McastCollective::arm_fetch_retry(std::size_t r, std::size_t block) {
+  const BlockFetch& f = st_[r].fetch[block];
+  if (comm_.config().fetch_retry_timeout == 0) return;  // retries disabled
+  // Exponential backoff per attempt against the current target.
+  const Time delay = comm_.config().fetch_retry_timeout
+                     << (f.attempts > 0 ? f.attempts - 1 : 0);
+  const std::uint64_t gen = f.gen;
+  comm_.cluster().engine().schedule(
+      delay, [this, r, block, gen] { on_fetch_retry(r, block, gen); });
+}
+
+void McastCollective::on_fetch_retry(std::size_t r, std::size_t block,
+                                     std::uint64_t gen) {
+  RankState& s = st_[r];
+  BlockFetch& f = s.fetch[block];
+  if (failed_ || !f.active || f.acked || gen != f.gen) return;
+  if (s.block_received[block] == map_.chunks_per_block()) return;
+  if (f.attempts < comm_.config().fetch_retry_cap) {
+    // Same target, another request: the original (or its ACK) may have
+    // been lost on a degraded link.
+    ++f.attempts;
+    ++fetch_retries_;
+    comm_.ep(r).ctrl_send(f.target, {CtrlType::kFetchReq, id(),
+                                     static_cast<std::uint16_t>(block)});
+    arm_fetch_retry(r, block);
+    return;
+  }
+  // Retries exhausted: the target is unreachable or stuck. Fail over one
+  // step further left. The chain still terminates at the block root (which
+  // completes its block through the local copy); if even the root is
+  // unreachable the watchdog ends the op.
+  std::size_t next = left_of(f.target);
+  if (next == r) next = left_of(next);  // never fetch from ourselves
+  if (next == f.target) return;         // two-rank comm: nowhere to go
+  ++fetch_failovers_;
+  f.target = next;
+  f.attempts = 1;
+  ++f.gen;
+  comm_.ep(r).ctrl_send(f.target, {CtrlType::kFetchReq, id(),
+                                   static_cast<std::uint16_t>(block)});
+  arm_fetch_retry(r, block);
+}
+
+void McastCollective::on_fetch_ack(std::size_t r, std::size_t block,
+                                   std::size_t src) {
+  RankState& s = st_[r];
+  if (failed_ || s.data_complete) return;
+  BlockFetch& f = s.fetch[block];
+  if (f.acked) return;  // duplicate ACK (retry raced the original)
+  f.acked = true;
+  ++f.gen;  // cancel pending retry timers
   // Collect this block's chunks still missing at ACK time (some may have
   // raced in through the multicast path).
   std::vector<std::uint32_t> missing;
@@ -365,32 +440,70 @@ void McastCollective::on_fetch_ack(std::size_t r, std::size_t block) {
   }
   fetched_chunks_ += missing.size();
   Endpoint& ep = comm_.ep(r);
-  const std::size_t left = left_of(r);
   s.pending_fetches += missing.size();
   for (const std::uint32_t id32 : missing) {
-    ep.recv_worker(0).post(ep.costs().fetch_post, [this, r, left, id32] {
+    ep.recv_worker(0).post(ep.costs().fetch_post, [this, r, src, id32] {
       RankState& s2 = st_[r];
       Endpoint& ep2 = comm_.ep(r);
       rdma::SendFlags flags;
       flags.signaled = true;
       flags.wr_id = (static_cast<std::uint64_t>(id()) << 32) | id32;
-      // Symmetric layout: the chunk lives at the same offset in the left
-      // neighbor's receive buffer.
-      ep2.data_qp(left).post_read(s2.recvbuf + map_.offset_of(id32),
-                                  map_.len_of(id32),
-                                  s2.recvbuf + map_.offset_of(id32), rkey_,
-                                  flags);
+      // Symmetric layout: the chunk lives at the same offset in the
+      // ACKing rank's receive buffer (the left neighbor normally, a
+      // further-left rank after failover).
+      ep2.data_qp(src).post_read(s2.recvbuf + map_.offset_of(id32),
+                                 map_.len_of(id32),
+                                 s2.recvbuf + map_.offset_of(id32), rkey_,
+                                 flags);
     });
   }
 }
 
 void McastCollective::on_read_done(std::size_t r, const rdma::Cqe& cqe) {
   RankState& s = st_[r];
+  if (failed_) return;
   MCCL_CHECK(cqe.opcode == rdma::CqeOpcode::kRead);
   const std::uint32_t id32 = static_cast<std::uint32_t>(cqe.wr_id);
   set_chunk(r, id32);  // may be a duplicate if multicast raced the fetch
   MCCL_CHECK(s.pending_fetches > 0);
   if (--s.pending_fetches == 0) check_data_complete(r);
+}
+
+// --------------------------------------------------------------------------
+// Watchdog: the op-level hard deadline. The slow path retries forever at
+// the transport level (RC go-back-N), so a partitioned fabric would spin
+// the simulator indefinitely; the watchdog converts that into a structured
+// failure.
+// --------------------------------------------------------------------------
+
+void McastCollective::arm_watchdog() {
+  Time deadline = comm_.config().watchdog_timeout;
+  if (deadline == 0) {
+    Time worst = 0;
+    for (std::size_t r = 0; r < comm_.size(); ++r)
+      worst = std::max(worst, cutoff_deadline(r));
+    deadline = static_cast<Time>(
+        static_cast<double>(worst) * comm_.config().watchdog_multiplier);
+  }
+  comm_.cluster().engine().schedule(deadline, [this] { on_watchdog(); });
+}
+
+void McastCollective::on_watchdog() {
+  if (done() || failed_) return;
+  watchdog_fired_ = true;
+  std::fprintf(stderr, "[%s #%u] watchdog fired at t=%llu ps; dumping "
+               "protocol state:\n", name_.c_str(),
+               static_cast<unsigned>(id()),
+               static_cast<unsigned long long>(
+                   comm_.cluster().engine().now()));
+  debug_dump();
+  std::size_t incomplete = 0;
+  for (std::size_t r = 0; r < comm_.size(); ++r)
+    if (!st_[r].op_done) ++incomplete;
+  fail_op("watchdog: " + std::to_string(incomplete) + "/" +
+          std::to_string(comm_.size()) +
+          " ranks incomplete past the op deadline (fabric partitioned or "
+          "recovery disabled)");
 }
 
 // --------------------------------------------------------------------------
@@ -400,6 +513,7 @@ void McastCollective::on_read_done(std::size_t r, const rdma::Cqe& cqe) {
 void McastCollective::on_ctrl(std::size_t r, const CtrlMsg& msg,
                               std::size_t src, const rdma::Cqe& cqe) {
   (void)cqe;
+  if (failed_) return;
   RankState& s = st_[r];
   switch (msg.type) {
     case CtrlType::kBarrier: {
@@ -417,18 +531,20 @@ void McastCollective::on_ctrl(std::size_t r, const CtrlMsg& msg,
       check_op_done(r);
       break;
     case CtrlType::kFetchReq: {
-      MCCL_CHECK(src == right_of(r));
+      // Any rank may ask (failover walks past the immediate neighbor);
+      // retries make duplicates normal.
       const std::size_t block = msg.arg;
-      if (s.block_received[block] == map_.chunks_per_block())
-        comm_.ep(r).ctrl_send(right_of(r),
-                              {CtrlType::kFetchAck, id(), msg.arg});
-      else
-        s.fetch_wanted_by_right[block] = true;
+      if (s.block_received[block] == map_.chunks_per_block()) {
+        comm_.ep(r).ctrl_send(src, {CtrlType::kFetchAck, id(), msg.arg});
+      } else {
+        auto& waiters = s.fetch_waiters[block];
+        if (std::find(waiters.begin(), waiters.end(), src) == waiters.end())
+          waiters.push_back(src);
+      }
       break;
     }
     case CtrlType::kFetchAck:
-      MCCL_CHECK(src == left_of(r));
-      on_fetch_ack(r, msg.arg);
+      on_fetch_ack(r, msg.arg, src);
       break;
     default:
       MCCL_CHECK_MSG(false, "unexpected control message");
@@ -437,7 +553,7 @@ void McastCollective::on_ctrl(std::size_t r, const CtrlMsg& msg,
 
 void McastCollective::check_op_done(std::size_t r) {
   RankState& s = st_[r];
-  if (s.op_done || !s.data_complete || !s.final_from_right) return;
+  if (failed_ || s.op_done || !s.data_complete || !s.final_from_right) return;
   if (is_root(r) && !s.send_done) return;
   s.op_done = true;
   const Time now = comm_.cluster().engine().now();
@@ -464,10 +580,16 @@ void McastCollective::debug_dump() const {
                  s.pending_fetches, s.final_sent, s.final_from_right,
                  s.op_done);
     std::fprintf(stderr, "  blocks:");
-    for (std::size_t b = 0; b < p_.roots.size(); ++b)
-      std::fprintf(stderr, " %zu/%zu%s", s.block_received[b],
-                   map_.chunks_per_block(),
-                   s.fetch_wanted_by_right[b] ? "*" : "");
+    for (std::size_t b = 0; b < p_.roots.size(); ++b) {
+      const BlockFetch& f = s.fetch[b];
+      std::fprintf(stderr, " %zu/%zu", s.block_received[b],
+                   map_.chunks_per_block());
+      if (!s.fetch_waiters[b].empty())
+        std::fprintf(stderr, "(w=%zu)", s.fetch_waiters[b].size());
+      if (f.active)
+        std::fprintf(stderr, "[->%zu a=%zu%s]", f.target, f.attempts,
+                     f.acked ? " acked" : "");
+    }
     std::fprintf(stderr, "\n");
   }
 }

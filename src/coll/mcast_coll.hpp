@@ -19,6 +19,15 @@
 //         ──► final handshake: send Final left, await Final from the right
 //             (the right neighbor may still fetch from us until then)
 //         ──► buffer released; rank done.
+//
+// Hardening beyond the paper (fault injection, see fabric/faults.hpp): a
+// fetch request that is not ACKed is retried with exponential backoff; after
+// `fetch_retry_cap` attempts the rank fails over to the target's own left
+// neighbor (skipping the unresponsive rank — the chain still terminates at
+// the block root, which owns its block). An op-level watchdog (a multiple of
+// the cutoff deadline) dumps protocol state and fails the op with a
+// structured OpResult error when no recovery path exists (e.g. a partitioned
+// fabric), instead of hanging the simulation.
 #pragma once
 
 #include <vector>
@@ -52,6 +61,15 @@ class McastCollective : public OpBase {
   void debug_dump() const;
 
  private:
+  /// One rank's fetch of one block through the hardened slow path.
+  struct BlockFetch {
+    bool active = false;
+    bool acked = false;
+    std::size_t target = 0;    // rank currently being asked
+    std::size_t attempts = 0;  // requests sent to the current target
+    std::uint64_t gen = 0;     // invalidates in-flight retry timers
+  };
+
   struct RankState {
     std::uint64_t sendbuf = 0;
     std::uint64_t recvbuf = 0;
@@ -75,16 +93,19 @@ class McastCollective : public OpBase {
     std::size_t subgroups_done = 0;
     bool send_done = false;
 
-    // Reliability. Fetch coordination is *per block*: the left neighbor
+    // Reliability. Fetch coordination is *per block*: the fetch target
     // acks a block once it holds all of that block's chunks, so every
     // request chain terminates at the block's root — deadlock-free even
     // when every rank lost chunks (the worst case degenerates to a ring
-    // Allgather, as the paper notes).
+    // Allgather, as the paper notes). The target starts as the left
+    // neighbor and walks further left on failover.
     std::uint64_t timer_gen = 0;
     bool recovering = false;
     std::size_t pending_fetches = 0;
     std::vector<std::size_t> block_received;  // chunks held per block
-    std::vector<bool> fetch_wanted_by_right;  // deferred acks per block
+    // Ranks whose fetch request for a block is deferred until we hold it.
+    std::vector<std::vector<std::size_t>> fetch_waiters;
+    std::vector<BlockFetch> fetch;  // our own per-block fetch progress
 
     // Handshake.
     bool final_sent = false;
@@ -125,8 +146,16 @@ class McastCollective : public OpBase {
   void arm_cutoff(std::size_t r);
   void on_cutoff(std::size_t r, std::uint64_t gen);
   void on_block_complete(std::size_t r, std::size_t block);
-  void on_fetch_ack(std::size_t r, std::size_t block);
+  void start_fetch(std::size_t r, std::size_t block, std::size_t target);
+  void arm_fetch_retry(std::size_t r, std::size_t block);
+  void on_fetch_retry(std::size_t r, std::size_t block, std::uint64_t gen);
+  void on_fetch_ack(std::size_t r, std::size_t block, std::size_t src);
   void on_read_done(std::size_t r, const rdma::Cqe& cqe);
+
+  // Watchdog (op-level hard deadline).
+  Time cutoff_deadline(std::size_t r) const;
+  void arm_watchdog();
+  void on_watchdog();
 
   // Handshake / completion.
   void on_ctrl(std::size_t r, const CtrlMsg& msg, std::size_t src,

@@ -68,8 +68,10 @@ void Worker::pump() {
   sim::Engine& engine = complex_.engine_;
   const double ghz = complex_.config_.ghz;
   const Time ready = std::max(engine.now(), thread_free_);
-  const Time instr_time = cycles_to_time(task.cost.instr, ghz);
-  const Time stall_time = cycles_to_time(task.cost.stall, ghz);
+  // cost_scale_ > 1 while the host is a straggler (fault injection).
+  const double scale = complex_.cost_scale_;
+  const Time instr_time = cycles_to_time(task.cost.instr * scale, ghz);
+  const Time stall_time = cycles_to_time(task.cost.stall * scale, ghz);
   // Issue cycles contend on the core's shared pipeline; stall cycles only
   // block this hardware thread (they overlap with other workers' issues).
   const Time issue_done =

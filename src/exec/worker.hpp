@@ -67,6 +67,15 @@ class Complex {
   sim::Engine& engine() { return engine_; }
   double ghz() const { return config_.ghz; }
   std::size_t num_cores() const { return cores_.size(); }
+
+  /// Straggler injection (fault plane): every task executed while the scale
+  /// is s takes s times as long (instruction and stall components alike),
+  /// modeling a paused or oversubscribed node. 1.0 = nominal.
+  void set_cost_scale(double scale) {
+    MCCL_CHECK(scale >= 1.0);
+    cost_scale_ = scale;
+  }
+  double cost_scale() const { return cost_scale_; }
   std::size_t capacity() const {
     return config_.cores * config_.threads_per_core;
   }
@@ -85,6 +94,7 @@ class Complex {
   friend class Worker;
   sim::Engine& engine_;
   Config config_;
+  double cost_scale_ = 1.0;
   std::vector<Core> cores_;
   std::vector<std::unique_ptr<Worker>> workers_;
 };

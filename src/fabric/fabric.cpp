@@ -10,12 +10,14 @@ Fabric::Fabric(sim::Engine& engine, Topology topology, Config config)
     : engine_(engine),
       topo_(std::move(topology)),
       config_(config),
-      rng_(config.seed) {
+      rng_(config.seed),
+      faults_(engine, topo_, config.faults) {
   MCCL_CHECK_MSG(topo_.routes_ready(), "topology routes not computed");
   delivery_.resize(topo_.num_nodes());
   serializers_.resize(topo_.num_dirs());
   counters_.resize(topo_.num_dirs());
   lanes_.resize(topo_.num_dirs());
+  faults_.arm();
 }
 
 void Fabric::set_delivery(NodeId host, DeliveryFn fn) {
@@ -36,13 +38,39 @@ Time Fabric::inject(const PacketPtr& packet) {
   } else {
     out_port = pick_next_hop(src, *packet);
   }
+  if (out_port < 0) {  // fault plane: no usable path from the host
+    black_hole(src, packet);
+    return engine_.now();
+  }
   send_out(src, out_port, packet);
-  // Departure completes when the host egress serializer frees.
+  // Departure completes when the host egress serializer frees (never in the
+  // past: a black-holed packet leaves the serializer untouched).
   const auto& port = topo_.ports(src)[static_cast<size_t>(out_port)];
-  return serializers_[port.dir_index].free_at();
+  return std::max(engine_.now(), serializers_[port.dir_index].free_at());
+}
+
+void Fabric::black_hole(NodeId node, const PacketPtr& packet) {
+  // Count the loss on the node's first egress direction so per-port drop
+  // analysis still sees it; the packet never occupies a wire.
+  const auto& ports = topo_.ports(node);
+  if (!ports.empty()) {
+    DirCounters& ctr = counters_[ports.front().dir_index];
+    ctr.drops += 1;
+    ctr.lane_drops[packet->vl] += 1;
+  }
+  faults_.count_black_hole();
 }
 
 void Fabric::send_out(NodeId node, int port_idx, const PacketPtr& packet) {
+  // Dead egress (downed link, or a downed switch on either end): the packet
+  // is black-holed here. Multicast-tree edges land on this path — the tree
+  // is not rebuilt around faults, so every subtree behind a dead edge goes
+  // dark and the collective's slow path must recover.
+  if (!faults_.dir_usable(
+          topo_.ports(node)[static_cast<size_t>(port_idx)].dir_index)) {
+    black_hole(node, packet);
+    return;
+  }
   // Switch egress with virtual lanes enabled goes through the per-port
   // priority queues; host egress (already paced one-packet-at-a-time by the
   // NIC arbiter) and VL-less fabrics serialize directly.
@@ -72,7 +100,10 @@ void Fabric::pump_lanes(NodeId node, int port_idx) {
   if (!next) return;
   lane.busy = true;
   put_on_wire(node, port_idx, next);
-  engine_.schedule_at(serializers_[port.dir_index].free_at(),
+  // Clamp to now: a packet black-holed inside put_on_wire (link died while
+  // queued) leaves the serializer's free_at in the past.
+  engine_.schedule_at(std::max(engine_.now(),
+                               serializers_[port.dir_index].free_at()),
                       [this, node, port_idx] {
                         lanes_[topo_.ports(node)[static_cast<size_t>(
                                     port_idx)].dir_index].busy = false;
@@ -82,26 +113,37 @@ void Fabric::pump_lanes(NodeId node, int port_idx) {
 
 void Fabric::put_on_wire(NodeId node, int port_idx, const PacketPtr& packet) {
   const Port& port = topo_.ports(node)[static_cast<size_t>(port_idx)];
+  if (!faults_.dir_usable(port.dir_index)) {  // link died while lane-queued
+    black_hole(node, packet);
+    return;
+  }
   sim::Resource& ser = serializers_[port.dir_index];
   DirCounters& ctr = counters_[port.dir_index];
 
-  const Time ser_time =
-      serialization_time(packet->wire_size, port.params.gbps);
+  // A degraded link serializes at a fraction of its nominal bandwidth.
+  const double gbps_eff = port.params.gbps * faults_.bw_factor(port.dir_index);
+  const Time ser_time = serialization_time(packet->wire_size, gbps_eff);
   const Time wire_done = ser.acquire(engine_.now(), ser_time);
   ctr.packets += 1;
   ctr.bytes += packet->wire_size;
 
   // Decide link-layer corruption up front; a corrupted packet still
-  // occupies the wire (it is dropped at the receiver's CRC check).
-  bool drop = config_.drop_prob > 0.0 && rng_.chance(config_.drop_prob);
+  // occupies the wire (it is dropped at the receiver's CRC check). The
+  // burst model is consulted per packet even when uniform BER already
+  // condemned it, so the Gilbert-Elliott chain advances identically
+  // regardless of the other loss sources (determinism across configs).
+  bool drop = faults_.burst_drop(port.dir_index);
+  if (config_.drop_prob > 0.0 && rng_.chance(config_.drop_prob)) drop = true;
   if (!drop && drop_filter_ && drop_filter_(node, port.peer, *packet))
     drop = true;
   if (drop) {
     ctr.drops += 1;
+    ctr.lane_drops[packet->vl] += 1;
     return;
   }
 
-  Time arrival = wire_done + port.params.latency;
+  Time arrival =
+      wire_done + port.params.latency + faults_.extra_latency(port.dir_index);
   if (config_.latency_jitter > 0)
     arrival += static_cast<Time>(
         rng_.below(static_cast<std::uint64_t>(config_.latency_jitter) + 1));
@@ -114,6 +156,10 @@ void Fabric::put_on_wire(NodeId node, int port_idx, const PacketPtr& packet) {
 }
 
 void Fabric::arrive(NodeId node, int in_port, const PacketPtr& packet) {
+  if (faults_.node_down(node)) {  // switch died while the packet flew
+    faults_.count_black_hole();
+    return;
+  }
   if (topo_.is_host(node)) {
     // Unicast packets only arrive at their destination; multicast packets
     // only reach group members (tree leaves are members by construction).
@@ -140,12 +186,85 @@ void Fabric::forward(NodeId sw, int in_port, const PacketPtr& packet) {
       if (p != in_port) send_out(sw, p, packet);
     }
   } else {
-    send_out(sw, pick_next_hop(sw, *packet), packet);
+    const int next = pick_next_hop(sw, *packet);
+    if (next < 0) {
+      black_hole(sw, packet);
+      return;
+    }
+    send_out(sw, next, packet);
+  }
+}
+
+void Fabric::recompute_viability() {
+  viable_version_ = faults_.topo_version();
+  const std::size_t n_nodes = topo_.num_nodes();
+  const auto& hosts = topo_.hosts();
+  viable_.assign(hosts.size() * n_nodes, 0);
+  // viable(dst, node): some shortest-path candidate at `node` crosses a
+  // usable direction into a node that is itself viable toward dst. Next
+  // hops strictly decrease the distance to dst, so processing nodes in
+  // ascending-distance order makes one pass sufficient (no cycles).
+  std::vector<std::pair<int, NodeId>> order;
+  order.reserve(n_nodes);
+  for (std::size_t hi = 0; hi < hosts.size(); ++hi) {
+    const NodeId dst = hosts[hi];
+    order.clear();
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+      const NodeId node = static_cast<NodeId>(n);
+      order.emplace_back(topo_.distance(node, dst), node);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [dist, node] : order) {
+      char v = 0;
+      if (node == dst) {
+        v = faults_.node_down(node) ? 0 : 1;
+      } else {
+        for (int c : topo_.next_hops(node, dst)) {
+          const Port& p = topo_.ports(node)[static_cast<size_t>(c)];
+          if (faults_.dir_usable(p.dir_index) &&
+              viable_[hi * n_nodes + static_cast<size_t>(p.peer)]) {
+            v = 1;
+            break;
+          }
+        }
+      }
+      viable_[hi * n_nodes + static_cast<size_t>(node)] = v;
+    }
   }
 }
 
 int Fabric::pick_next_hop(NodeId node, const Packet& packet) {
-  const auto& cand = topo_.next_hops(node, packet.dst_host);
+  const auto& all = topo_.next_hops(node, packet.dst_host);
+  // ECMP re-routes around faulted candidates; a flow whose hashed path died
+  // deterministically lands on the same surviving alternate. A candidate is
+  // usable only if its own direction is up AND the peer can still reach the
+  // destination over usable links (the viability table) — a greedy
+  // dead-dir check alone would happily hand a packet to a spine whose only
+  // down-link died. Returns -1 when every path is dead (caller black-holes).
+  std::vector<int> alive;  // only materialized on the (rare) faulted path
+  bool any_dead = false;
+  if (faults_.topo_version() != 0) {
+    if (viable_version_ != faults_.topo_version()) recompute_viability();
+    const std::size_t hi = topo_.host_index(packet.dst_host);
+    const std::size_t n_nodes = topo_.num_nodes();
+    const auto usable = [&](int port_idx) {
+      const Port& p = topo_.ports(node)[static_cast<size_t>(port_idx)];
+      return faults_.dir_usable(p.dir_index) &&
+             viable_[hi * n_nodes + static_cast<size_t>(p.peer)] != 0;
+    };
+    for (int c : all) {
+      if (!usable(c)) {
+        any_dead = true;
+        break;
+      }
+    }
+    if (any_dead) {
+      for (int c : all)
+        if (usable(c)) alive.push_back(c);
+      if (alive.empty()) return -1;
+    }
+  }
+  const std::vector<int>& cand = any_dead ? alive : all;
   if (cand.size() == 1) return cand.front();
   if (config_.routing == RoutingMode::kAdaptive)
     return cand[rng_.below(cand.size())];
@@ -249,11 +368,14 @@ void Fabric::build_mcast_tree(McastGroup& group) {
 
 Fabric::TrafficSnapshot Fabric::traffic() const {
   TrafficSnapshot s;
+  s.black_holed = faults_.black_holed();
   const auto& dirs = topo_.dirs();
   for (std::size_t i = 0; i < dirs.size(); ++i) {
     s.total_bytes += counters_[i].bytes;
     s.packets += counters_[i].packets;
     s.drops += counters_[i].drops;
+    s.ctrl_drops += counters_[i].lane_drops[kCtrlLane];
+    s.bulk_drops += counters_[i].lane_drops[kBulkLane];
     if (topo_.is_host(dirs[i].from))
       s.host_egress_bytes += counters_[i].bytes;
     else

@@ -4,8 +4,12 @@
 // serialization at link bandwidth, fixed per-hop latency, switch forwarding
 // (deterministic ECMP or adaptive per-packet), hardware multicast via
 // spanning trees over group members, per-port TX byte counters (the Fig 12
-// methodology), and configurable fault injection (uniform BER-style drops
-// and arbitrary drop filters for tests).
+// methodology), and configurable fault injection: uniform BER-style drops,
+// arbitrary drop filters for tests, and a scheduled fault timeline
+// (link/switch outages, Gilbert-Elliott burst loss, degradation windows,
+// stragglers — see faults.hpp). Deterministic ECMP routes around dead links
+// when an equal-cost alternate exists; packets with no usable path are
+// black-holed and counted.
 #pragma once
 
 #include <array>
@@ -16,6 +20,7 @@
 
 #include "src/common/rng.hpp"
 #include "src/common/units.hpp"
+#include "src/fabric/faults.hpp"
 #include "src/fabric/packet.hpp"
 #include "src/fabric/topology.hpp"
 #include "src/sim/engine.hpp"
@@ -40,13 +45,19 @@ class Fabric {
     /// control lane is served with strict priority over bulk data, so
     /// chain tokens / ACKs never queue behind megabytes of payload.
     bool virtual_lanes = true;
+    /// Scheduled fault timeline + burst-loss model (see faults.hpp).
+    FaultConfig faults;
   };
 
   /// Per-link-direction traffic counters (switch-port-counter equivalent).
+  /// Note that `drop_prob` and the burst model apply to control-lane packets
+  /// just like bulk packets (corruption does not respect QoS); the per-lane
+  /// split lets recovery analysis distinguish lost data from lost ACKs.
   struct DirCounters {
     std::uint64_t packets = 0;
     std::uint64_t bytes = 0;
-    std::uint64_t drops = 0;
+    std::uint64_t drops = 0;  // all causes, both lanes
+    std::array<std::uint64_t, kNumLanes> lane_drops{};  // [ctrl, bulk]
   };
 
   struct TrafficSnapshot {
@@ -58,6 +69,9 @@ class Fabric {
     std::uint64_t switch_port_bytes = 0;
     std::uint64_t packets = 0;
     std::uint64_t drops = 0;
+    std::uint64_t ctrl_drops = 0;   // control-lane (ACK/token) losses
+    std::uint64_t bulk_drops = 0;   // bulk-lane (data) losses
+    std::uint64_t black_holed = 0;  // no usable path (fault plane)
   };
 
   using DeliveryFn = std::function<void(const PacketPtr&)>;
@@ -88,6 +102,8 @@ class Fabric {
 
   // --- Fault injection -----------------------------------------------------
   void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
+  FaultPlane& faults() { return faults_; }
+  const FaultPlane& faults() const { return faults_; }
 
   // --- In-switch services ----------------------------------------------------
   void set_switch_interceptor(SwitchInterceptor f) {
@@ -122,17 +138,22 @@ class Fabric {
   };
 
   void send_out(NodeId node, int port, const PacketPtr& packet);
+  void black_hole(NodeId node, const PacketPtr& packet);
   void put_on_wire(NodeId node, int port, const PacketPtr& packet);
   void pump_lanes(NodeId node, int port);
   void arrive(NodeId node, int in_port, const PacketPtr& packet);
   void forward(NodeId sw, int in_port, const PacketPtr& packet);
   int pick_next_hop(NodeId node, const Packet& packet);
+  /// Rebuilds the per-(host, node) reachability table consulted by ECMP
+  /// when the fault plane has taken links or switches down.
+  void recompute_viability();
   void build_mcast_tree(McastGroup& group);
 
   sim::Engine& engine_;
   Topology topo_;
   Config config_;
   Rng rng_;
+  FaultPlane faults_;
   std::vector<DeliveryFn> delivery_;        // per host node id
   std::vector<sim::Resource> serializers_;  // per link direction
   std::vector<DirCounters> counters_;       // per link direction
@@ -140,6 +161,11 @@ class Fabric {
   std::vector<McastGroup> groups_;
   DropFilter drop_filter_;
   SwitchInterceptor interceptor_;
+  // ECMP viability under faults: viable_[host_index * num_nodes + node] is
+  // nonzero iff `node` can still reach the host over usable directions.
+  // Rebuilt lazily whenever the fault plane's topo_version moves.
+  std::vector<char> viable_;
+  std::uint64_t viable_version_ = 0;
 };
 
 }  // namespace mccl::fabric

@@ -1,0 +1,116 @@
+#include "src/fabric/faults.hpp"
+
+namespace mccl::fabric {
+
+FaultPlane::FaultPlane(sim::Engine& engine, const Topology& topo,
+                       FaultConfig config)
+    : engine_(engine), config_(std::move(config)), rng_(config_.seed) {
+  state_.resize(topo.num_dirs());
+  for (std::size_t i = 0; i < topo.num_dirs(); ++i) {
+    state_[i].from = topo.dirs()[i].from;
+    state_[i].to = topo.dirs()[i].to;
+  }
+  node_down_.assign(topo.num_nodes(), false);
+}
+
+void FaultPlane::arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (const FaultEvent& ev : config_.events) {
+    MCCL_CHECK_MSG(ev.at >= engine_.now(), "fault event scheduled in the past");
+    engine_.schedule_at(ev.at, [this, ev] { apply(ev); });
+  }
+}
+
+void FaultPlane::set_straggler_handler(StragglerHandler fn) {
+  straggler_ = std::move(fn);
+  if (straggler_) {
+    for (const auto& [host, factor] : pending_straggles_)
+      straggler_(host, factor);
+    pending_straggles_.clear();
+  }
+}
+
+void FaultPlane::for_link_dirs(NodeId a, NodeId b,
+                               const std::function<void(DirState&)>& fn) {
+  bool found = false;
+  for (DirState& d : state_) {
+    if ((d.from == a && d.to == b) || (d.from == b && d.to == a)) {
+      fn(d);
+      found = true;
+    }
+  }
+  MCCL_CHECK_MSG(found, "fault event names a non-existent link");
+}
+
+void FaultPlane::apply(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultEvent::Kind::kLinkDown:
+      for_link_dirs(ev.a, ev.b, [](DirState& d) { d.down = true; });
+      ++topo_version_;
+      break;
+    case FaultEvent::Kind::kLinkUp:
+      for_link_dirs(ev.a, ev.b, [](DirState& d) { d.down = false; });
+      ++topo_version_;
+      break;
+    case FaultEvent::Kind::kSwitchDown:
+      node_down_[static_cast<std::size_t>(ev.a)] = true;
+      ++topo_version_;
+      break;
+    case FaultEvent::Kind::kSwitchUp:
+      node_down_[static_cast<std::size_t>(ev.a)] = false;
+      ++topo_version_;
+      break;
+    case FaultEvent::Kind::kDegrade:
+      MCCL_CHECK_MSG(ev.factor > 0.0 && ev.factor <= 1.0,
+                     "degrade factor must be in (0, 1]");
+      for_link_dirs(ev.a, ev.b, [&ev](DirState& d) {
+        d.bw_factor = ev.factor;
+        d.extra_latency = ev.extra_latency;
+      });
+      break;
+    case FaultEvent::Kind::kRestore:
+      for_link_dirs(ev.a, ev.b, [](DirState& d) {
+        d.bw_factor = 1.0;
+        d.extra_latency = 0;
+      });
+      break;
+    case FaultEvent::Kind::kStragglerBegin:
+      MCCL_CHECK_MSG(ev.factor >= 1.0, "straggler factor must be >= 1");
+      if (straggler_)
+        straggler_(ev.a, ev.factor);
+      else
+        pending_straggles_.emplace_back(ev.a, ev.factor);
+      break;
+    case FaultEvent::Kind::kStragglerEnd:
+      if (straggler_)
+        straggler_(ev.a, 1.0);
+      else
+        pending_straggles_.emplace_back(ev.a, 1.0);
+      break;
+  }
+}
+
+bool FaultPlane::burst_drop(std::size_t dir) {
+  const GilbertElliott& ge = config_.burst;
+  if (!ge.enabled()) return false;
+  DirState& d = state_[dir];
+  // Advance the chain first, then sample loss in the resulting state: a
+  // burst affects the packet that triggered it.
+  if (!d.bad) {
+    if (rng_.chance(ge.p_enter_bad)) {
+      d.bad = true;
+      ++bursts_entered_;
+    }
+  } else if (rng_.chance(ge.p_exit_bad)) {
+    d.bad = false;
+  }
+  const double p = d.bad ? ge.drop_bad : ge.drop_good;
+  if (p > 0.0 && rng_.chance(p)) {
+    ++burst_drops_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mccl::fabric

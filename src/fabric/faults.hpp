@@ -1,0 +1,188 @@
+// Scheduled fault injection for the fabric.
+//
+// Real clusters do not fail with i.i.d. per-packet bit errors: the dominant
+// fault classes are persistent link/switch outages, degraded links, and
+// correlated burst loss under congestion (see PAPERS.md, "Don't Let a Few
+// Network Failures Slow the Entire AllReduce"). The FaultPlane holds a
+// deterministic, seeded timeline of such events and the per-link-direction
+// fault state the Fabric consults on every packet:
+//
+//  - link_down / link_up:     persistent outage of both directions of a link;
+//                             unicast routing re-routes around it where an
+//                             equal-cost alternate exists, multicast-tree
+//                             edges black-hole (a subnet manager would
+//                             eventually rebuild the tree — the protocol's
+//                             slow path must survive the interim).
+//  - switch_down / switch_up: every direction touching the switch goes dark.
+//  - degrade / restore:       a bandwidth factor and extra latency window on
+//                             one link (flaky cable / congested port).
+//  - Gilbert-Elliott burst loss: per-direction two-state Markov chain
+//                             (good/bad) advanced per packet, replacing the
+//                             uniform-BER model's independence assumption.
+//  - straggler_begin / _end:  a host whose progress-engine datapath costs are
+//                             scaled xK for a window (paused / oversubscribed
+//                             node). The fabric owns the timeline; the
+//                             Cluster registers a handler that applies the
+//                             scale to the host's compute complexes.
+//
+// All state transitions are driven by engine events at fixed simulated times
+// with a dedicated seeded RNG, so identical configurations replay
+// bit-identically (tests/test_determinism.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/units.hpp"
+#include "src/fabric/packet.hpp"
+#include "src/fabric/topology.hpp"
+#include "src/sim/engine.hpp"
+
+namespace mccl::fabric {
+
+/// Two-state Markov loss model: a link is in the `good` state (loss
+/// `drop_good`, usually 0) until a per-packet coin flip moves it to `bad`
+/// (loss `drop_bad`), where it stays for a geometrically distributed burst.
+struct GilbertElliott {
+  double p_enter_bad = 0.0;  // per-packet good -> bad transition probability
+  double p_exit_bad = 0.05;  // per-packet bad -> good transition probability
+  double drop_good = 0.0;    // loss probability in the good state
+  double drop_bad = 0.5;     // loss probability in the bad state
+  bool enabled() const { return p_enter_bad > 0.0 || drop_good > 0.0; }
+};
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kLinkDown,
+    kLinkUp,
+    kSwitchDown,
+    kSwitchUp,
+    kDegrade,
+    kRestore,
+    kStragglerBegin,
+    kStragglerEnd,
+  };
+
+  Kind kind = Kind::kLinkDown;
+  Time at = 0;
+  NodeId a = kInvalidNode;  // link endpoint, switch id, or straggler host
+  NodeId b = kInvalidNode;  // link peer (link/degrade events only)
+  double factor = 1.0;      // kDegrade: bandwidth multiplier (0 < f <= 1);
+                            // kStragglerBegin: datapath cost multiplier
+  Time extra_latency = 0;   // kDegrade: added per-packet latency
+
+  static FaultEvent link_down(Time at, NodeId a, NodeId b) {
+    return {Kind::kLinkDown, at, a, b, 1.0, 0};
+  }
+  static FaultEvent link_up(Time at, NodeId a, NodeId b) {
+    return {Kind::kLinkUp, at, a, b, 1.0, 0};
+  }
+  static FaultEvent switch_down(Time at, NodeId sw) {
+    return {Kind::kSwitchDown, at, sw, kInvalidNode, 1.0, 0};
+  }
+  static FaultEvent switch_up(Time at, NodeId sw) {
+    return {Kind::kSwitchUp, at, sw, kInvalidNode, 1.0, 0};
+  }
+  static FaultEvent degrade(Time at, NodeId a, NodeId b, double bw_factor,
+                            Time extra_latency) {
+    return {Kind::kDegrade, at, a, b, bw_factor, extra_latency};
+  }
+  static FaultEvent restore(Time at, NodeId a, NodeId b) {
+    return {Kind::kRestore, at, a, b, 1.0, 0};
+  }
+  static FaultEvent straggler_begin(Time at, NodeId host, double cost_factor) {
+    return {Kind::kStragglerBegin, at, host, kInvalidNode, cost_factor, 0};
+  }
+  static FaultEvent straggler_end(Time at, NodeId host) {
+    return {Kind::kStragglerEnd, at, host, kInvalidNode, 1.0, 0};
+  }
+};
+
+struct FaultConfig {
+  std::vector<FaultEvent> events;
+  GilbertElliott burst;     // applied to every link direction independently
+  std::uint64_t seed = 1;   // burst-model RNG (separate from Fabric's)
+  bool any() const { return !events.empty() || burst.enabled(); }
+};
+
+class FaultPlane {
+ public:
+  /// The fault plane applies host-datapath slowdowns through this hook
+  /// (registered by the Cluster, which owns the compute complexes).
+  using StragglerHandler = std::function<void(NodeId host, double factor)>;
+
+  FaultPlane(sim::Engine& engine, const Topology& topo, FaultConfig config);
+
+  /// Schedules every configured event on the engine. Idempotent per event
+  /// list; called once by the Fabric constructor.
+  void arm();
+
+  void set_straggler_handler(StragglerHandler fn);
+
+  // --- per-packet queries (Fabric hot path) --------------------------------
+  /// A direction is usable iff the link is up and neither endpoint is a
+  /// downed switch.
+  bool dir_usable(std::size_t dir) const {
+    const DirState& d = state_[dir];
+    return !d.down && !node_down_[static_cast<std::size_t>(d.to)] &&
+           !node_down_[static_cast<std::size_t>(d.from)];
+  }
+  bool node_down(NodeId n) const {
+    return node_down_[static_cast<std::size_t>(n)];
+  }
+  /// Incremented on every link/switch up/down transition. Consumers caching
+  /// reachability (the Fabric's ECMP viability table) recompute when this
+  /// moves; 0 means the fault timeline has never touched connectivity.
+  std::uint64_t topo_version() const { return topo_version_; }
+  /// Advances the direction's Gilbert-Elliott chain by one packet and
+  /// returns true if that packet is lost to a burst.
+  bool burst_drop(std::size_t dir);
+  double bw_factor(std::size_t dir) const { return state_[dir].bw_factor; }
+  Time extra_latency(std::size_t dir) const {
+    return state_[dir].extra_latency;
+  }
+  bool degraded(std::size_t dir) const {
+    return state_[dir].bw_factor != 1.0 || state_[dir].extra_latency != 0;
+  }
+
+  // --- counters ------------------------------------------------------------
+  /// Packets that had no usable path (dead egress and no ECMP alternate).
+  std::uint64_t black_holed() const { return black_holed_; }
+  void count_black_hole() { ++black_holed_; }
+  std::uint64_t burst_drops() const { return burst_drops_; }
+  std::uint64_t bursts_entered() const { return bursts_entered_; }
+
+ private:
+  struct DirState {
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    bool down = false;
+    bool bad = false;  // Gilbert-Elliott state
+    double bw_factor = 1.0;
+    Time extra_latency = 0;
+  };
+
+  void apply(const FaultEvent& ev);
+  /// Applies `fn` to both directions of every (a, b) link.
+  void for_link_dirs(NodeId a, NodeId b,
+                     const std::function<void(DirState&)>& fn);
+
+  sim::Engine& engine_;
+  FaultConfig config_;
+  Rng rng_;
+  std::vector<DirState> state_;  // per link direction
+  std::vector<bool> node_down_;  // per node
+  StragglerHandler straggler_;
+  // Straggler events that fired before the Cluster registered its handler
+  // (both happen at t=0 during construction; replay on registration).
+  std::vector<std::pair<NodeId, double>> pending_straggles_;
+  bool armed_ = false;
+  std::uint64_t topo_version_ = 0;
+  std::uint64_t black_holed_ = 0;
+  std::uint64_t burst_drops_ = 0;
+  std::uint64_t bursts_entered_ = 0;
+};
+
+}  // namespace mccl::fabric

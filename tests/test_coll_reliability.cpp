@@ -164,6 +164,75 @@ TEST(Reliability, FetchedBytesAreCorrectNotJustPresent) {
   EXPECT_EQ(res.fetched_chunks, 2u);
 }
 
+TEST(Reliability, DeadLeftNeighborFailsOverToNextRank) {
+  // Host 2 loses a multicast chunk AND its left neighbor (host 1) is
+  // unreachable from it for the first 400us — every 2->1 packet black-holes,
+  // so the fetch request is never answered. Retries back off, exhaust the
+  // cap, and rank 2 fails over to rank 1's own left neighbor (rank 0, the
+  // root), which acks immediately; the op completes verified.
+  CommConfig cfg = quick_recovery();
+  cfg.fetch_retry_timeout = 30 * kMicrosecond;
+  World w(4, cfg);
+  auto& engine = w.cluster->engine();
+  int mcast_pkts = 0;
+  w.cluster->fabric().set_drop_filter(
+      [&](fabric::NodeId, fabric::NodeId to, const fabric::Packet& p) {
+        if (p.th.op == fabric::TransportOp::kUdSend && to == 2 &&
+            ++mcast_pkts == 5)
+          return true;  // the chunk host 2 will have to fetch
+        // The "dead" left neighbor: RC retransmits into the void until the
+        // window closes (after which the blocked kFetchReq/kFinal drain).
+        return p.src_host == 2 && p.dst_host == 1 &&
+               engine.now() < 400 * kMicrosecond;
+      });
+  const OpResult res = w.comm->broadcast(0, 64 * 1024, BcastAlgo::kMcast);
+  EXPECT_TRUE(res.data_verified);
+  EXPECT_FALSE(res.watchdog_fired);
+  EXPECT_GE(res.fetch_retries, 2u);    // backoff against the dead target
+  EXPECT_GE(res.fetch_failovers, 1u);  // then walk left past it
+  EXPECT_GE(res.fetched_chunks, 1u);
+}
+
+TEST(Reliability, LostFetchRequestIsRetriedWithoutFailover) {
+  // Transient control-plane outage: the first fetch request (and the RC
+  // retransmits inside the window) vanish, but the target itself is fine.
+  // A retry after the window must succeed against the SAME target.
+  CommConfig cfg = quick_recovery();
+  cfg.fetch_retry_timeout = 150 * kMicrosecond;  // first retry at ~210us
+  World w(4, cfg);
+  auto& engine = w.cluster->engine();
+  int mcast_pkts = 0;
+  w.cluster->fabric().set_drop_filter(
+      [&](fabric::NodeId, fabric::NodeId to, const fabric::Packet& p) {
+        if (p.th.op == fabric::TransportOp::kUdSend && to == 2 &&
+            ++mcast_pkts == 5)
+          return true;
+        return p.src_host == 2 && p.dst_host == 1 &&
+               engine.now() < 180 * kMicrosecond;
+      });
+  const OpResult res = w.comm->broadcast(0, 64 * 1024, BcastAlgo::kMcast);
+  EXPECT_TRUE(res.data_verified);
+  EXPECT_EQ(res.fetch_failovers, 0u);
+  EXPECT_GE(res.fetched_chunks, 1u);
+}
+
+TEST(Reliability, AdaptiveCutoffTightensAfterLossyOps) {
+  // Back-to-back lossy ops halve the effective alpha (floored); a clean op
+  // relaxes it back toward the configured value.
+  CommConfig cfg = quick_recovery();  // alpha = 50us
+  cfg.cutoff_alpha_min = 10 * kMicrosecond;
+  ClusterConfig kcfg;
+  kcfg.fabric.drop_prob = 0.02;
+  kcfg.fabric.seed = 7;
+  World w(4, cfg, kcfg);
+  EXPECT_EQ(w.comm->effective_cutoff_alpha(), 50 * kMicrosecond);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_TRUE(
+        w.comm->allgather(64 * 1024, AllgatherAlgo::kMcast).data_verified);
+  EXPECT_LT(w.comm->effective_cutoff_alpha(), 50 * kMicrosecond);
+  EXPECT_GE(w.comm->effective_cutoff_alpha(), 10 * kMicrosecond);
+}
+
 TEST(Reliability, BaselinesSurviveLossViaRc) {
   ClusterConfig kcfg;
   kcfg.fabric.drop_prob = 0.01;

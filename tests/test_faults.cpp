@@ -1,0 +1,219 @@
+// Fault-injection tests: scheduled link/switch outages, Gilbert-Elliott
+// burst loss, degradation windows and stragglers (fabric/faults.hpp), and
+// the hardened slow path that must survive them — fetch retry/failover and
+// the op watchdog (coll/mcast_coll.cpp).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "tests/coll_test_util.hpp"
+
+namespace mccl::coll {
+namespace {
+
+using testing::World;
+
+// Two-leaf, two-spine fat tree: hosts 0-3 on leaf 8, hosts 4-7 on leaf 9,
+// spines 10-11. Cutting leaf8<->spine10 leaves an equal-cost alternate
+// (via spine 11) for every unicast flow.
+constexpr std::size_t kFtRanks = 8;
+
+struct FtWorld {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<Communicator> comm;
+
+  explicit FtWorld(CommConfig ccfg = {}, ClusterConfig kcfg = {}) {
+    cluster = std::make_unique<Cluster>(
+        fabric::make_fat_tree(2, 4, 2, 1, {}, {}), kcfg);
+    std::vector<fabric::NodeId> ids;
+    for (std::size_t h = 0; h < kFtRanks; ++h)
+      ids.push_back(static_cast<fabric::NodeId>(h));
+    comm = std::make_unique<Communicator>(*cluster, ids, ccfg);
+  }
+};
+
+CommConfig quick_recovery() {
+  CommConfig cfg;
+  cfg.cutoff_alpha = 50 * kMicrosecond;
+  return cfg;
+}
+
+TEST(Faults, LinkDownMidBroadcastRecoversViaFetch) {
+  // A trunk dies while multicast data is on the wire. The mcast tree is not
+  // rebuilt — every chunk crossing the dead edge black-holes — but unicast
+  // (control + fetch reads) re-routes over the surviving spine, so the
+  // slow path reconstructs the missing data.
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::link_down(15 * kMicrosecond, 8, 10)};
+  FtWorld w(quick_recovery(), kcfg);
+  const OpResult res = w.comm->broadcast(0, 512 * 1024, BcastAlgo::kMcast);
+  EXPECT_TRUE(res.data_verified);
+  EXPECT_FALSE(res.failed);
+  EXPECT_FALSE(res.watchdog_fired);
+  EXPECT_GE(res.fetched_chunks, 1u);
+  EXPECT_GT(w.cluster->fabric().traffic().black_holed, 0u);
+}
+
+TEST(Faults, LinkUpRestoresTheFastPath) {
+  // After the outage window closes, a second broadcast must run clean.
+  ClusterConfig kcfg;
+  // The outage window [15us, 100us] covers the first broadcast's transfer
+  // phase but closes before the second broadcast starts.
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::link_down(15 * kMicrosecond, 8, 10),
+      fabric::FaultEvent::link_up(100 * kMicrosecond, 8, 10)};
+  FtWorld w(quick_recovery(), kcfg);
+  const OpResult first = w.comm->broadcast(0, 512 * 1024, BcastAlgo::kMcast);
+  EXPECT_TRUE(first.data_verified);
+  const OpResult second = w.comm->broadcast(0, 512 * 1024, BcastAlgo::kMcast);
+  EXPECT_TRUE(second.data_verified);
+  EXPECT_EQ(second.fetched_chunks, 0u);
+}
+
+TEST(Faults, SwitchDownWithNoAlternateFailsCleanlyViaWatchdog) {
+  // A star's single switch dies mid-broadcast: no alternate path exists for
+  // anything. The op must terminate with a structured watchdog error —
+  // not hang the simulation (RC would retransmit into the void forever).
+  CommConfig cfg = quick_recovery();
+  ClusterConfig kcfg;
+  // Star topology: hosts 0-3, switch 4.
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::switch_down(15 * kMicrosecond, 4)};
+  World w(4, cfg, kcfg);
+  const OpResult res = w.comm->broadcast(0, 512 * 1024, BcastAlgo::kMcast);
+  EXPECT_TRUE(res.failed);
+  EXPECT_TRUE(res.watchdog_fired);
+  EXPECT_FALSE(res.data_verified);
+  EXPECT_NE(res.error.find("watchdog"), std::string::npos);
+  EXPECT_GT(w.cluster->fabric().traffic().black_holed, 0u);
+}
+
+TEST(Faults, RecoveryDisabledLinkCutDiesByWatchdogNotHang) {
+  // reliability=false: the cutoff never arms a fetch, so lost multicast
+  // data is unrecoverable. Pre-hardening this CHECK-aborted; now it must
+  // produce a structured failure.
+  CommConfig cfg = quick_recovery();
+  cfg.reliability = false;
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::link_down(15 * kMicrosecond, 8, 10)};
+  FtWorld w(cfg, kcfg);
+  const OpResult res = w.comm->broadcast(0, 512 * 1024, BcastAlgo::kMcast);
+  EXPECT_TRUE(res.failed);
+  EXPECT_TRUE(res.watchdog_fired);
+  EXPECT_FALSE(res.data_verified);
+}
+
+TEST(Faults, GilbertElliottBurstLossRecoversVerified) {
+  CommConfig cfg = quick_recovery();
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.burst.p_enter_bad = 0.002;
+  kcfg.fabric.faults.burst.p_exit_bad = 0.05;
+  kcfg.fabric.faults.burst.drop_bad = 0.5;
+  kcfg.fabric.faults.seed = 11;
+  World w(4, cfg, kcfg);
+  const OpResult res = w.comm->allgather(128 * 1024, AllgatherAlgo::kMcast);
+  EXPECT_TRUE(res.data_verified);
+  EXPECT_GT(w.cluster->fabric().faults().burst_drops(), 0u);
+  EXPECT_GT(w.cluster->fabric().faults().bursts_entered(), 0u);
+}
+
+TEST(Faults, GilbertElliottIsDeterministicAcrossIdenticalSeeds) {
+  auto run = [](std::uint64_t seed) {
+    CommConfig cfg;
+    cfg.cutoff_alpha = 50 * kMicrosecond;
+    ClusterConfig kcfg;
+    kcfg.fabric.faults.burst.p_enter_bad = 0.002;
+    kcfg.fabric.faults.burst.p_exit_bad = 0.05;
+    kcfg.fabric.faults.burst.drop_bad = 0.5;
+    kcfg.fabric.faults.seed = seed;
+    World w(4, cfg, kcfg);
+    const OpResult res = w.comm->allgather(128 * 1024, AllgatherAlgo::kMcast);
+    EXPECT_TRUE(res.data_verified);
+    return std::tuple{res.finish, res.rank_finish, res.fetched_chunks,
+                      res.fetch_retries, res.fetch_failovers,
+                      w.cluster->fabric().faults().burst_drops(),
+                      w.cluster->fabric().faults().bursts_entered(),
+                      w.cluster->fabric().traffic().total_bytes};
+  };
+  EXPECT_EQ(run(21), run(21));  // bit-identical counters and timings
+  // And a different seed produces a different burst pattern.
+  const auto a = run(21), b = run(22);
+  EXPECT_NE(std::get<5>(a), std::get<5>(b));
+}
+
+TEST(Faults, FaultTimelineIsDeterministic) {
+  // Identical scheduled outages => bit-identical results, including the
+  // recovery counters and black-hole count (acceptance criterion).
+  auto run = [] {
+    ClusterConfig kcfg;
+    kcfg.fabric.faults.events = {
+        fabric::FaultEvent::link_down(15 * kMicrosecond, 8, 10),
+        fabric::FaultEvent::link_up(300 * kMicrosecond, 8, 10)};
+    CommConfig cfg;
+    cfg.cutoff_alpha = 50 * kMicrosecond;
+    FtWorld w(cfg, kcfg);
+    const OpResult res = w.comm->broadcast(0, 512 * 1024, BcastAlgo::kMcast);
+    EXPECT_TRUE(res.data_verified);
+    return std::tuple{res.finish, res.rank_finish, res.fetched_chunks,
+                      res.fetch_retries, res.fetch_failovers,
+                      w.cluster->fabric().faults().black_holed(),
+                      w.cluster->fabric().traffic().total_bytes};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Faults, StragglerRankCompletesVerified) {
+  // One host's progress-engine datapath runs 20x slower for a window; the
+  // collective stretches but completes correct, with no watchdog.
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::straggler_begin(0, 2, 20.0),
+      fabric::FaultEvent::straggler_end(500 * kMicrosecond, 2)};
+  World straggling(4, quick_recovery(), kcfg);
+  const OpResult slow =
+      straggling.comm->broadcast(0, 256 * 1024, BcastAlgo::kMcast);
+  EXPECT_TRUE(slow.data_verified);
+  EXPECT_FALSE(slow.watchdog_fired);
+
+  World clean(4, quick_recovery());
+  const OpResult fast = clean.comm->broadcast(0, 256 * 1024, BcastAlgo::kMcast);
+  EXPECT_TRUE(fast.data_verified);
+  EXPECT_GT(slow.duration(), fast.duration());
+}
+
+TEST(Faults, DegradedLinkSlowsButDeliversEverything) {
+  // 10% bandwidth + 20us extra latency on one host link: no loss, just a
+  // longer tail — nothing to fetch, nothing black-holed.
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::degrade(0, 2, 4, 0.1, 20 * kMicrosecond)};
+  World w(4, quick_recovery(), kcfg);  // star: host 2 <-> switch 4
+  const OpResult res = w.comm->broadcast(0, 128 * 1024, BcastAlgo::kMcast);
+  EXPECT_TRUE(res.data_verified);
+  EXPECT_EQ(w.cluster->fabric().traffic().black_holed, 0u);
+
+  World clean(4, quick_recovery());
+  const OpResult fast = clean.comm->broadcast(0, 128 * 1024, BcastAlgo::kMcast);
+  EXPECT_GT(res.duration(), fast.duration());
+}
+
+TEST(Faults, PerLaneDropCountersSplitControlFromBulk) {
+  // Uniform loss hits both lanes; the per-lane counters must partition the
+  // total drop count.
+  ClusterConfig kcfg;
+  kcfg.fabric.drop_prob = 0.02;
+  kcfg.fabric.seed = 5;
+  World w(4, quick_recovery(), kcfg);
+  const OpResult res = w.comm->allgather(128 * 1024, AllgatherAlgo::kMcast);
+  EXPECT_TRUE(res.data_verified);
+  const auto t = w.cluster->fabric().traffic();
+  EXPECT_GT(t.drops, 0u);
+  EXPECT_EQ(t.drops, t.ctrl_drops + t.bulk_drops);
+  EXPECT_GT(t.bulk_drops, 0u);  // data dominates the packet mix
+}
+
+}  // namespace
+}  // namespace mccl::coll
