@@ -142,7 +142,5 @@ int main(int argc, char** argv) {
                 "trigger RNR + slow-path rescues; chains help until links "
                 "saturate.");
   register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::run_main(argc, argv);
 }

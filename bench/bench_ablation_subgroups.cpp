@@ -93,7 +93,5 @@ int main(int argc, char** argv) {
                 "subgroups; concurrent communicators share the engine "
                 "gracefully.");
   register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::run_main(argc, argv);
 }

@@ -64,7 +64,5 @@ int main(int argc, char** argv) {
                 "Expect: measured speedup tracks S = 2 - 2/P (1.0 at P=2 "
                 "toward 2.0 at scale).");
   register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::run_main(argc, argv);
 }

@@ -1,6 +1,12 @@
 #include "bench/bench_common.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <map>
+#include <string_view>
+
+#include "src/common/stats.hpp"
 
 namespace mccl::bench {
 
@@ -38,11 +44,29 @@ coll::ClusterConfig dpa_testbed_cluster() {
 World::World(fabric::Topology topo, coll::ClusterConfig kcfg,
              coll::CommConfig ccfg, std::size_t ranks) {
   MCCL_CHECK(ranks <= topo.num_hosts());
+  if (!trace_path().empty()) {
+    kcfg.telemetry.trace = true;
+    // 188-rank sweeps emit ~1M worker-occupancy spans per collective; the
+    // default 1M cap would drop the op-completion phase spans.
+    kcfg.telemetry.trace_max_events = 1u << 22;
+  }
   cluster = std::make_unique<coll::Cluster>(std::move(topo), kcfg);
   std::vector<fabric::NodeId> ids;
   for (std::size_t h = 0; h < ranks; ++h)
     ids.push_back(static_cast<fabric::NodeId>(h));
   comm = std::make_unique<coll::Communicator>(*cluster, ids, ccfg);
+}
+
+World::~World() {
+  if (cluster == nullptr || trace_path().empty() ||
+      !cluster->telemetry().tracer.enabled())
+    return;
+  cluster->write_trace(trace_path());
+  const std::uint64_t dropped = cluster->telemetry().tracer.dropped();
+  if (dropped > 0)
+    std::fprintf(stderr,
+                 "warning: trace event cap hit, %llu events dropped\n",
+                 static_cast<unsigned long long>(dropped));
 }
 
 void record_sim_time(benchmark::State& state, Time duration) {
@@ -99,6 +123,192 @@ DatapathResult run_datapath(World& w, std::uint64_t bytes) {
 void banner(const char* figure, const char* expectation) {
   std::printf("\n=== %s ===\n%s\n(all times are *simulated* hardware time)\n\n",
               figure, expectation);
+}
+
+// --- Shared main -------------------------------------------------------------
+
+namespace {
+
+std::string g_json_path;
+std::string g_trace_path;
+
+struct RunRecord {
+  std::string name;
+  std::uint64_t iterations = 0;
+  double real_time_us = 0;  // simulated (manual-time) per-iteration time
+  std::map<std::string, double> counters;
+};
+
+/// Keeps the normal console table while collecting per-run data for the
+/// --mccl_json report. Aggregate rows (mean/median across repetitions) are
+/// skipped: we recompute our own aggregates over the raw runs.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  std::vector<RunRecord> runs;
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      RunRecord rec;
+      rec.name = run.benchmark_name();
+      rec.iterations = static_cast<std::uint64_t>(run.iterations);
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      rec.real_time_us = run.real_accumulated_time / iters * 1e6;
+      for (const auto& [key, counter] : run.counters)
+        rec.counters[key] = counter.value;
+      runs.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+/// "Bcast/mcast/188/262144/iterations:1/manual_time" -> "Bcast/mcast":
+/// trailing all-digit segments are sweep parameters and `key:value` /
+/// `manual_time`-style segments are google-benchmark modifiers — neither is
+/// part of the series identity.
+std::string family_of(const std::string& name) {
+  std::string out = name;
+  for (;;) {
+    const std::size_t pos = out.rfind('/');
+    if (pos == std::string::npos || pos + 1 >= out.size()) break;
+    const std::string_view seg(out.data() + pos + 1, out.size() - pos - 1);
+    const bool digits =
+        std::all_of(seg.begin(), seg.end(), [](char c) {
+          return std::isdigit(static_cast<unsigned char>(c)) != 0;
+        });
+    const bool modifier = seg.find(':') != std::string_view::npos ||
+                          seg == "manual_time" || seg == "real_time" ||
+                          seg == "process_time";
+    if (!digits && !modifier) break;
+    out.resize(pos);
+  }
+  return out;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+std::string report_json(const char* argv0,
+                        const std::vector<RunRecord>& runs) {
+  std::string out = "{\"binary\":\"";
+  append_escaped(out, argv0);
+  out += "\",\"benchmarks\":[";
+  bool first = true;
+  for (const RunRecord& r : runs) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, r.name);
+    out += "\",\"iterations\":" + std::to_string(r.iterations);
+    out += ",\"real_time_us\":";
+    append_number(out, r.real_time_us);
+    out += ",\"counters\":{";
+    bool cf = true;
+    for (const auto& [key, value] : r.counters) {
+      if (!cf) out += ',';
+      cf = false;
+      out += '"';
+      append_escaped(out, key);
+      out += "\":";
+      append_number(out, value);
+    }
+    out += "}}";
+  }
+  out += "],\"series\":[";
+  std::map<std::string, StreamingStats> families;
+  for (const RunRecord& r : runs) {
+    auto [it, inserted] = families.try_emplace(
+        family_of(r.name), /*reservoir_capacity=*/1024, /*seed=*/0x5eedULL);
+    (void)inserted;
+    it->second.add(r.real_time_us);
+  }
+  first = true;
+  for (const auto& [family, stats] : families) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, family);
+    out += "\",\"count\":" + std::to_string(stats.count());
+    out += ",\"time_us\":{\"min\":";
+    append_number(out, stats.min());
+    out += ",\"median\":";
+    append_number(out, stats.median());
+    out += ",\"p99\":";
+    append_number(out, stats.quantile(0.99));
+    out += ",\"mean\":";
+    append_number(out, stats.mean());
+    out += ",\"max\":";
+    append_number(out, stats.max());
+    out += "}}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace
+
+const std::string& trace_path() { return g_trace_path; }
+const std::string& json_path() { return g_json_path; }
+
+int run_main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a.rfind("--mccl_json=", 0) == 0) {
+      g_json_path = std::string(a.substr(12));
+    } else if (a.rfind("--mccl_trace=", 0) == 0) {
+      g_trace_path = std::string(a.substr(13));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!g_json_path.empty()) {
+    const std::string doc = report_json(argv[0], reporter.runs);
+    std::FILE* f = std::fopen(g_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write --mccl_json file %s\n",
+                   g_json_path.c_str());
+      return 1;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("wrote %zu runs / %s\n", reporter.runs.size(),
+                g_json_path.c_str());
+  }
+  return 0;
 }
 
 }  // namespace mccl::bench

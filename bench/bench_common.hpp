@@ -42,8 +42,12 @@ struct World {
   std::unique_ptr<coll::Cluster> cluster;
   std::unique_ptr<coll::Communicator> comm;
 
+  /// When run_main() saw --mccl_trace=<path>, the cluster is built with
+  /// sim-time tracing enabled and the trace is written at destruction (the
+  /// file ends up holding the last-destroyed World's trace).
   World(fabric::Topology topo, coll::ClusterConfig kcfg,
         coll::CommConfig ccfg, std::size_t ranks);
+  ~World();
 };
 
 // --- Reporting ---------------------------------------------------------------
@@ -59,6 +63,25 @@ void set_gibps(benchmark::State& state, const char* name,
 
 /// Prints a figure banner: what the paper shows, what to look for here.
 void banner(const char* figure, const char* expectation);
+
+// --- Shared main -------------------------------------------------------------
+
+/// Path given via --mccl_trace=<path>; empty if unset.
+const std::string& trace_path();
+/// Path given via --mccl_json=<path>; empty if unset.
+const std::string& json_path();
+
+/// Shared bench main. Strips the harness's own flags before handing argv to
+/// google benchmark, then runs the registered benchmarks with the usual
+/// console output:
+///   --mccl_json=<path>   write every reported run (name, simulated
+///                        real_time_us, counters) plus per-family aggregate
+///                        series (count/min/median/p99/mean over the
+///                        family's data points) as JSON.
+///   --mccl_trace=<path>  enable sim-time tracing on Worlds constructed
+///                        during the run; Chrome trace-event JSON for
+///                        Perfetto is written as Worlds are destroyed.
+int run_main(int argc, char** argv);
 
 // --- DPA-testbed datapath runs ------------------------------------------------
 

@@ -78,7 +78,5 @@ int main(int argc, char** argv) {
       "Expect: mcast/ring savings factor grows toward 2x with node count;\n"
       "the simulator cross-check (sim_savings_x) tracks the closed form.");
   model_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mccl::bench::run_main(argc, argv);
 }

@@ -94,7 +94,5 @@ int main(int argc, char** argv) {
       "Expect: Ring+Ring = N(P-1) on every path; INC+Mcast = {N(P-1) send, "
       "N recv}\nfor Reduce-Scatter and the mirror image for Allgather.");
   model_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::run_main(argc, argv);
 }

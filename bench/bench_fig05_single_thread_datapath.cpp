@@ -79,7 +79,5 @@ int main(int argc, char** argv) {
                 "Expect: cpu_middleware < cpu_chunked < 200 Gbit/s; "
                 "dpa_1core reaches the practical link rate.");
   register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::run_main(argc, argv);
 }

@@ -63,7 +63,5 @@ int main(int argc, char** argv) {
       "Expect: ~24 bits -> tens-of-GiB receive buffers with a ~2 MiB bitmap "
       "at the LLC boundary.");
   model_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::run_main(argc, argv);
 }

@@ -50,7 +50,5 @@ int main(int argc, char** argv) {
                 "Expect: multicast_pct -> ~99% as nodes x message size grow; "
                 "rnr_sync dominates only tiny/small cases.");
   register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::run_main(argc, argv);
 }

@@ -85,7 +85,5 @@ int main(int argc, char** argv) {
                 "Expect: mcast bcast > binomial > binary tree at large "
                 "sizes; mcast allgather ~= ring allgather throughput.");
   register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::run_main(argc, argv);
 }

@@ -79,7 +79,5 @@ int main(int argc, char** argv) {
                 "Expect: mcast variants show 1.5x-2x lower switch_MiB than "
                 "binomial bcast / ring allgather.");
   register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::run_main(argc, argv);
 }

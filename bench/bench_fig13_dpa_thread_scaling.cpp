@@ -73,7 +73,5 @@ int main(int argc, char** argv) {
                 "Expect: UC full rate by ~4 threads, UD by ~8-16; one DPA "
                 "core beats the single CPU core.");
   register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::run_main(argc, argv);
 }

@@ -59,7 +59,5 @@ int main(int argc, char** argv) {
                 "Expect: saturation thread count independent of buffer size; "
                 "UD needs ~2x the threads of UC.");
   register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::run_main(argc, argv);
 }

@@ -50,7 +50,5 @@ int main(int argc, char** argv) {
                 "Expect: larger chunks reach line rate with fewer threads; "
                 "1 thread suffices from ~16-64 KiB chunks.");
   register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::run_main(argc, argv);
 }

@@ -63,7 +63,5 @@ int main(int argc, char** argv) {
       "Expect: rate scales with threads; the 48.8 Mchunks/s line (x=1.0) is "
       "crossed within 128 threads.");
   register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::run_main(argc, argv);
 }

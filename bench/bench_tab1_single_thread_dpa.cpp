@@ -52,7 +52,5 @@ int main(int argc, char** argv) {
                 "chunks)",
                 "Expect: UC ~2x the UD throughput; cycles/CQE ~600 (UC) vs "
                 "~1100 (UD); IPC ~0.1 for both.");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::run_main(argc, argv);
 }

@@ -90,31 +90,56 @@ int run_case(const Scenario& sc, coll::Transport transport, bool recovery) {
   const coll::OpResult res =
       comm.broadcast(0, kBytes, coll::BcastAlgo::kMcast);
   const auto traffic = cluster.fabric().traffic();
+
+  // Slow-path counters come from the metrics registry — the snapshot must
+  // agree with the OpResult (single op on a fresh cluster), proving the
+  // telemetry path reports the same story as the return value.
+  const telemetry::Snapshot snap = cluster.telemetry().metrics.snapshot();
+  const auto metric = [&snap](const char* key) -> std::uint64_t {
+    const auto it = snap.find(key);
+    return it == snap.end() ? 0 : it->second.count;
+  };
+  const std::uint64_t m_retries = metric("coll.fetch_retries");
+  const std::uint64_t m_failovers = metric("coll.fetch_failovers");
+
   std::printf("%-9s %-8s %-8s %10.1f %8llu %8llu %9llu %9s %9s %10llu\n",
               sc.name, transport == coll::Transport::kUd ? "ud" : "uc-mcast",
               recovery ? "on" : "off", to_microseconds(res.duration()),
               static_cast<unsigned long long>(res.fetched_chunks),
-              static_cast<unsigned long long>(res.fetch_retries),
-              static_cast<unsigned long long>(res.fetch_failovers),
+              static_cast<unsigned long long>(m_retries),
+              static_cast<unsigned long long>(m_failovers),
               res.watchdog_fired ? "FIRED" : "-",
               res.data_verified ? "yes" : "NO",
               static_cast<unsigned long long>(traffic.black_holed));
 
   // Contract: recovery on => verified; recovery off on a lossy scenario =>
   // structured watchdog failure (and in both cases: no hang — reaching this
-  // line at all is the point).
+  // line at all is the point). On violation, dump the flight recorder so
+  // the failure comes with its packet/QP/collective event history.
+  int rc = 0;
   if (recovery && !res.data_verified) {
     std::fprintf(stderr, "FAIL: %s with recovery did not verify: %s\n",
                  sc.name, res.error.c_str());
-    return 1;
+    rc = 1;
   }
   if (!recovery && sc.lossy && !(res.failed && res.watchdog_fired)) {
     std::fprintf(stderr,
                  "FAIL: %s without recovery should die by watchdog\n",
                  sc.name);
-    return 1;
+    rc = 1;
   }
-  return 0;
+  if (m_retries != res.fetch_retries || m_failovers != res.fetch_failovers) {
+    std::fprintf(stderr,
+                 "FAIL: %s metrics registry disagrees with OpResult "
+                 "(retries %llu vs %llu, failovers %llu vs %llu)\n",
+                 sc.name, static_cast<unsigned long long>(m_retries),
+                 static_cast<unsigned long long>(res.fetch_retries),
+                 static_cast<unsigned long long>(m_failovers),
+                 static_cast<unsigned long long>(res.fetch_failovers));
+    rc = 1;
+  }
+  if (rc != 0) cluster.telemetry().recorder.dump(stderr);
+  return rc;
 }
 
 }  // namespace

@@ -2,21 +2,47 @@
 // the bandwidth-optimal Allgather, verify the bytes, inspect traffic.
 //
 //   $ ./example_quickstart
+//   $ ./example_quickstart --mccl_trace=trace.json --mccl_metrics=metrics.json
+//
+// With --mccl_trace the run records sim-time spans (per-rank protocol
+// phases, worker occupancy, engine dispatch) as Chrome trace-event JSON —
+// open it in Perfetto (https://ui.perfetto.dev). With --mccl_metrics the
+// final metrics-registry snapshot is written as JSON.
 //
 // Walks through the three layers a user touches:
 //   Cluster      — topology + NICs + progress-engine hardware,
 //   Communicator — ranks, multicast subgroups, workers,
 //   collectives  — blocking calls returning timing/phases/verification.
 #include <cstdio>
+#include <string>
+#include <string_view>
 
 #include "src/coll/communicator.hpp"
 
 using namespace mccl;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path, metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a.rfind("--mccl_trace=", 0) == 0) {
+      trace_path = std::string(a.substr(13));
+    } else if (a.rfind("--mccl_metrics=", 0) == 0) {
+      metrics_path = std::string(a.substr(15));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--mccl_trace=out.json] "
+                   "[--mccl_metrics=out.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
   // 1. A 16-host two-level fat tree of radix-16 switches, 200 Gbit/s links.
   fabric::Topology topo = fabric::make_fat_tree_for_hosts(16, 16, {});
-  coll::Cluster cluster(std::move(topo), coll::ClusterConfig{});
+  coll::ClusterConfig kcfg;
+  kcfg.telemetry.trace = !trace_path.empty();
+  coll::Cluster cluster(std::move(topo), kcfg);
 
   // 2. A communicator over all 16 hosts: 2 multicast subgroups processed by
   //    2 receive workers, one send worker, 4 broadcast chains.
@@ -61,5 +87,24 @@ int main() {
               static_cast<double>(ring_traffic.total_bytes) / MiB,
               static_cast<double>(ring_traffic.total_bytes) /
                   static_cast<double>(traffic.total_bytes));
+
+  // 4. Telemetry artifacts, when asked for.
+  if (!trace_path.empty()) {
+    if (!cluster.write_trace(trace_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace     : %zu events -> %s (open in ui.perfetto.dev)\n",
+                cluster.telemetry().tracer.num_events(), trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    if (!cluster.write_metrics(metrics_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics   : %zu series -> %s\n",
+                cluster.telemetry().metrics.num_metrics(),
+                metrics_path.c_str());
+  }
   return bc.data_verified && ag.data_verified && ring.data_verified ? 0 : 1;
 }

@@ -3,16 +3,22 @@
 namespace mccl::coll {
 
 Cluster::Cluster(fabric::Topology topology, ClusterConfig config)
-    : config_(config) {
+    : telemetry_(config.telemetry), config_(config) {
+  engine_.set_tracer(
+      &telemetry_.tracer,
+      telemetry_.tracer.track(telemetry::kSimTracePid, "sim", 0, "engine"),
+      config.telemetry.engine_sample);
   fabric_ =
       std::make_unique<fabric::Fabric>(engine_, std::move(topology),
                                        config.fabric);
+  fabric_->set_telemetry(&telemetry_);
   inc_ = std::make_unique<inc::Engine>(*fabric_);
   const std::size_t hosts = fabric_->topology().num_hosts();
   nics_.reserve(hosts);
   for (std::size_t h = 0; h < hosts; ++h) {
     nics_.push_back(std::make_unique<rdma::Nic>(
         engine_, *fabric_, static_cast<fabric::NodeId>(h), config.nic));
+    nics_.back()->set_telemetry(&telemetry_);
     nics_.back()->set_inc_handler(
         [this, h](const fabric::PacketPtr& p) {
           inc_->on_host_packet(static_cast<fabric::NodeId>(h), p);
@@ -30,6 +36,43 @@ Cluster::Cluster(fabric::Topology topology, ClusterConfig config)
         cpus_[h]->set_cost_scale(factor);
         dpas_[h]->set_cost_scale(factor);
       });
+  // Cluster-owned state (fabric counters, NIC/QP totals, engine stats) is
+  // mirrored into the registry at snapshot time; hot paths stay untouched.
+  telemetry_.metrics.add_publisher(
+      [this](telemetry::MetricsRegistry& reg) { publish_metrics(reg); });
+}
+
+void Cluster::publish_metrics(telemetry::MetricsRegistry& reg) {
+  reg.counter("sim.events_dispatched").set(engine_.dispatched());
+  reg.gauge("sim.time_us").set(to_microseconds(engine_.now()));
+  fabric_->publish_metrics(reg);
+  std::uint64_t rnr = 0, retx = 0, broken = 0, dma_ops = 0, dma_bytes = 0;
+  for (const auto& nic : nics_) {
+    rnr += nic->ud_rnr_drops() + nic->uc_rnr_drops();
+    retx += nic->rc_retransmissions();
+    broken += nic->uc_broken_messages();
+    dma_ops += nic->dma_ops();
+    dma_bytes += nic->dma_bytes();
+  }
+  reg.counter("nic.rnr_drops").set(rnr);
+  reg.counter("nic.rc_retransmissions").set(retx);
+  reg.counter("nic.uc_broken_messages").set(broken);
+  reg.counter("nic.dma_ops").set(dma_ops);
+  reg.counter("nic.dma_bytes").set(dma_bytes);
+}
+
+void Cluster::flush_trace() {
+  for (auto& c : cpus_) c->flush_trace();
+  for (auto& c : dpas_) c->flush_trace();
+}
+
+bool Cluster::write_trace(const std::string& path) {
+  flush_trace();
+  return telemetry_.tracer.write_json(path);
+}
+
+bool Cluster::write_metrics(const std::string& path) {
+  return telemetry_.metrics.write_json(path);
 }
 
 Time Cluster::run_until_done(const std::function<bool()>& done) {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/exec/worker.hpp"
@@ -15,6 +16,7 @@
 #include "src/inc/engine.hpp"
 #include "src/rdma/nic.hpp"
 #include "src/sim/engine.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace mccl::coll {
 
@@ -23,6 +25,7 @@ struct ClusterConfig {
   rdma::NicConfig nic;
   exec::Complex::Config cpu = exec::Complex::cpu_config();
   exec::Complex::Config dpa = exec::Complex::dpa_config();
+  telemetry::TelemetryConfig telemetry;
 };
 
 class Cluster {
@@ -51,7 +54,25 @@ class Cluster {
   /// Runs the simulation until `done` returns true; returns the time.
   Time run_until_done(const std::function<bool()>& done);
 
+  // --- Telemetry -----------------------------------------------------------
+  telemetry::Telemetry& telemetry() { return telemetry_; }
+  const telemetry::Telemetry& telemetry() const { return telemetry_; }
+
+  /// Flushes open worker-occupancy spans into the tracer (they are normally
+  /// closed lazily / at destruction). Call before reading tracer events.
+  void flush_trace();
+  /// flush_trace() + write the Chrome trace-event JSON. Returns false on
+  /// I/O failure.
+  bool write_trace(const std::string& path);
+  /// Snapshots the metrics registry (running publishers) and writes JSON.
+  bool write_metrics(const std::string& path);
+
  private:
+  void publish_metrics(telemetry::MetricsRegistry& reg);
+
+  // Declared first so it outlives every subsystem holding a pointer to it
+  // (workers flush trace spans from their destructors).
+  telemetry::Telemetry telemetry_;
   sim::Engine engine_;
   ClusterConfig config_;
   std::unique_ptr<fabric::Fabric> fabric_;

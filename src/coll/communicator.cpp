@@ -41,6 +41,8 @@ Phases OpBase::max_phases() const {
 
 void OpBase::mark_started() { start_time_ = comm_.cluster().engine().now(); }
 
+telemetry::Telemetry& OpBase::telem() { return comm_.cluster().telemetry(); }
+
 void OpBase::rank_done(std::size_t r) {
   MCCL_CHECK(finish_[r] == 0);
   finish_[r] = comm_.cluster().engine().now();
@@ -181,6 +183,17 @@ OpResult Communicator::finish(OpBase& op) {
   for (auto& ep : eps_) rnr_after += ep->rnr_drops();
   res.rnr_drops = rnr_after - rnr_before;
   note_op_loss(res.fetched_chunks > 0 || res.rnr_drops > 0 || res.failed);
+  // Surface slow-path counters through the metrics registry (incremental:
+  // op-scoped deltas accumulate communicator-wide, diffable via snapshots).
+  telemetry::MetricsRegistry& reg = cluster_.telemetry().metrics;
+  reg.counter("coll.ops", {{"result", res.failed ? "failed" : "ok"}}).add(1);
+  reg.counter("coll.fetched_chunks").add(res.fetched_chunks);
+  reg.counter("coll.fetch_retries").add(res.fetch_retries);
+  reg.counter("coll.fetch_failovers").add(res.fetch_failovers);
+  reg.counter("coll.rnr_drops").add(res.rnr_drops);
+  if (res.watchdog_fired) reg.counter("coll.watchdog_fired").add(1);
+  reg.histogram("coll.op_duration_us", {{"op", op.name()}})
+      .observe(to_microseconds(res.duration()));
   return res;
 }
 

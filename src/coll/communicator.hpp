@@ -204,6 +204,9 @@ class Endpoint {
 
   std::uint64_t rnr_drops() const;
 
+  /// Tracer row for this rank's protocol-phase spans (pid = rank, tid 0).
+  telemetry::TrackId trace_track() const { return trace_track_; }
+
  private:
   friend class Communicator;
   void setup_workers();
@@ -224,6 +227,7 @@ class Endpoint {
   exec::Worker* app_worker_ = nullptr;
   std::vector<exec::Worker*> send_workers_;
   std::vector<exec::Worker*> recv_workers_;
+  telemetry::TrackId trace_track_ = 0;
 
   rdma::Cq* ctrl_rcq_ = nullptr;
   rdma::Cq* data_rcq_ = nullptr;
@@ -269,6 +273,8 @@ class OpBase {
  protected:
   void mark_started();
   void rank_done(std::size_t r);
+  /// The cluster's telemetry bundle (metrics / tracer / flight recorder).
+  telemetry::Telemetry& telem();
   /// Watchdog path: records the error, marks every unfinished rank complete
   /// at the current time so done() holds, and freezes further protocol
   /// callbacks behind failed().

@@ -48,6 +48,23 @@ void Endpoint::setup_workers() {
   for (std::size_t i = 0; i < comm_.config().send_workers; ++i)
     send_workers_.push_back(&send_complex.create_worker());
 
+  // Trace rows: one process group per rank, one thread row per worker plus
+  // a "protocol" row for the per-phase collective spans.
+  telemetry::Tracer& tracer = cl.telemetry().tracer;
+  const auto pid = static_cast<std::int64_t>(rank_);
+  const std::string pname = "rank " + std::to_string(rank_);
+  trace_track_ = tracer.track(pid, pname, 0, "protocol");
+  app_worker_->set_trace(&tracer, tracer.track(pid, pname, 1, "app"));
+  std::int64_t tid = 2;
+  for (std::size_t i = 0; i < recv_workers_.size(); ++i)
+    recv_workers_[i]->set_trace(
+        &tracer,
+        tracer.track(pid, pname, tid++, "recv " + std::to_string(i)));
+  for (std::size_t i = 0; i < send_workers_.size(); ++i)
+    send_workers_[i]->set_trace(
+        &tracer,
+        tracer.track(pid, pname, tid++, "send " + std::to_string(i)));
+
   ctrl_rcq_ = &nic_.create_cq();
   data_rcq_ = &nic_.create_cq();
   data_scq_ = &nic_.create_cq();

@@ -332,6 +332,13 @@ void McastCollective::on_cutoff(std::size_t r, std::uint64_t gen) {
   if (s.recovering) return;
   s.recovering = true;
   s.t_recovery_begin = comm_.cluster().engine().now();
+  telemetry::Telemetry& te = telem();
+  te.recorder.record(s.t_recovery_begin, static_cast<std::int32_t>(r),
+                     telemetry::EventCat::kColl, "cutoff_recovery", id(),
+                     s.expected - s.received);
+  if (te.tracer.enabled())
+    te.tracer.instant(comm_.ep(r).trace_track(), "cutoff",
+                      s.t_recovery_begin, "coll");
   // One fetch request per incomplete block: the target acks each block as
   // soon as it holds it in full. The first target is the left neighbor.
   for (std::size_t b = 0; b < p_.roots.size(); ++b) {
@@ -368,6 +375,10 @@ void McastCollective::start_fetch(std::size_t r, std::size_t block,
   f.target = target;
   f.attempts = 1;
   ++f.gen;
+  telem().recorder.record(comm_.cluster().engine().now(),
+                          static_cast<std::int32_t>(r),
+                          telemetry::EventCat::kColl, "fetch_start", block,
+                          target);
   comm_.ep(r).ctrl_send(target, {CtrlType::kFetchReq, id(),
                                  static_cast<std::uint16_t>(block)});
   arm_fetch_retry(r, block);
@@ -395,6 +406,14 @@ void McastCollective::on_fetch_retry(std::size_t r, std::size_t block,
     // been lost on a degraded link.
     ++f.attempts;
     ++fetch_retries_;
+    telemetry::Telemetry& te = telem();
+    te.recorder.record(comm_.cluster().engine().now(),
+                       static_cast<std::int32_t>(r),
+                       telemetry::EventCat::kColl, "fetch_retry", block,
+                       f.target);
+    if (te.tracer.enabled())
+      te.tracer.instant(comm_.ep(r).trace_track(), "fetch_retry",
+                        comm_.cluster().engine().now(), "coll");
     comm_.ep(r).ctrl_send(f.target, {CtrlType::kFetchReq, id(),
                                      static_cast<std::uint16_t>(block)});
     arm_fetch_retry(r, block);
@@ -411,6 +430,14 @@ void McastCollective::on_fetch_retry(std::size_t r, std::size_t block,
   f.target = next;
   f.attempts = 1;
   ++f.gen;
+  telemetry::Telemetry& te = telem();
+  te.recorder.record(comm_.cluster().engine().now(),
+                     static_cast<std::int32_t>(r),
+                     telemetry::EventCat::kColl, "fetch_failover", block,
+                     next);
+  if (te.tracer.enabled())
+    te.tracer.instant(comm_.ep(r).trace_track(), "fetch_failover",
+                      comm_.cluster().engine().now(), "coll");
   comm_.ep(r).ctrl_send(f.target, {CtrlType::kFetchReq, id(),
                                    static_cast<std::uint16_t>(block)});
   arm_fetch_retry(r, block);
@@ -424,6 +451,10 @@ void McastCollective::on_fetch_ack(std::size_t r, std::size_t block,
   if (f.acked) return;  // duplicate ACK (retry raced the original)
   f.acked = true;
   ++f.gen;  // cancel pending retry timers
+  telem().recorder.record(comm_.cluster().engine().now(),
+                          static_cast<std::int32_t>(r),
+                          telemetry::EventCat::kColl, "fetch_ack", block,
+                          src);
   // Collect this block's chunks still missing at ACK time (some may have
   // raced in through the multicast path).
   std::vector<std::uint32_t> missing;
@@ -491,15 +522,26 @@ void McastCollective::arm_watchdog() {
 void McastCollective::on_watchdog() {
   if (done() || failed_) return;
   watchdog_fired_ = true;
-  std::fprintf(stderr, "[%s #%u] watchdog fired at t=%llu ps; dumping "
-               "protocol state:\n", name_.c_str(),
-               static_cast<unsigned>(id()),
-               static_cast<unsigned long long>(
-                   comm_.cluster().engine().now()));
-  debug_dump();
+  const Time now = comm_.cluster().engine().now();
+  // Record the verdict per stuck rank, then dump the flight recorder: the
+  // merged tail of recent packet/QP/collective/fault events around each
+  // ring is the post-mortem evidence, replacing the old raw-state print.
+  telemetry::Telemetry& te = telem();
   std::size_t incomplete = 0;
-  for (std::size_t r = 0; r < comm_.size(); ++r)
-    if (!st_[r].op_done) ++incomplete;
+  for (std::size_t r = 0; r < comm_.size(); ++r) {
+    const RankState& s = st_[r];
+    if (s.op_done) continue;
+    ++incomplete;
+    te.recorder.record(now, static_cast<std::int32_t>(r),
+                       telemetry::EventCat::kWatchdog, "rank_incomplete",
+                       s.received, s.expected);
+    if (te.tracer.enabled())
+      te.tracer.instant(comm_.ep(r).trace_track(), "watchdog", now, "coll");
+  }
+  std::fprintf(stderr, "[%s #%u] watchdog fired at t=%.3fus, %zu/%zu ranks "
+               "incomplete:\n", name_.c_str(), static_cast<unsigned>(id()),
+               static_cast<double>(now) / 1e6, incomplete, comm_.size());
+  te.recorder.dump(stderr);
   fail_op("watchdog: " + std::to_string(incomplete) + "/" +
           std::to_string(comm_.size()) +
           " ranks incomplete past the op deadline (fabric partitioned or "
@@ -563,6 +605,20 @@ void McastCollective::check_op_done(std::size_t r) {
   ph.reliability = s.t_recovery;
   ph.transfer = (data_ready - s.t_barrier) - s.t_recovery;
   ph.handshake = now - data_ready;
+  // Phase spans on the rank's protocol row, cut from the same timestamps as
+  // the Fig 10 phase timers: "multicast" covers transfer + reliability with
+  // the recovery window nested inside it, so span sums reproduce the timer
+  // totals exactly (tests/test_telemetry.cpp asserts equality).
+  telemetry::Tracer& tracer = telem().tracer;
+  if (tracer.enabled()) {
+    const telemetry::TrackId track = comm_.ep(r).trace_track();
+    tracer.complete(track, "barrier", s.t_start, s.t_barrier, "coll");
+    tracer.complete(track, "multicast", s.t_barrier, data_ready, "coll");
+    if (s.recovering)
+      tracer.complete(track, "recovery", s.t_recovery_begin,
+                      s.t_recovery_begin + s.t_recovery, "coll");
+    tracer.complete(track, "handshake", data_ready, now, "coll");
+  }
   rank_done(r);
 }
 

@@ -29,8 +29,26 @@ Worker& Complex::create_worker_on(std::size_t core) {
   return *workers_.back();
 }
 
+void Complex::flush_trace() {
+  for (auto& w : workers_) w->flush_trace();
+}
+
 Worker::Worker(Complex& complex, std::size_t core_index)
     : complex_(complex), core_(core_index) {}
+
+Worker::~Worker() { flush_trace(); }
+
+void Worker::set_trace(telemetry::Tracer* tracer, telemetry::TrackId track) {
+  tracer_ = tracer;
+  trace_track_ = track;
+}
+
+void Worker::flush_trace() {
+  if (!span_open_) return;
+  span_open_ = false;
+  if (tracer_ != nullptr && tracer_->enabled())
+    tracer_->complete(trace_track_, "busy", span_start_, span_end_, "exec");
+}
 
 void Worker::post(Cost cost, std::function<void()> fn) {
   queue_.push_back(Task{cost, std::move(fn)});
@@ -82,6 +100,15 @@ void Worker::pump() {
   total_stall_ += task.cost.stall;
   busy_time_ += thread_free_ - ready;
   ++tasks_done_;
+
+  if (tracer_ != nullptr && tracer_->enabled() && thread_free_ > ready) {
+    if (span_open_ && ready > span_end_) flush_trace();
+    if (!span_open_) {
+      span_open_ = true;
+      span_start_ = ready;
+    }
+    span_end_ = thread_free_;
+  }
 
   engine.schedule_at(thread_free_, [this, fn = std::move(task.fn)] {
     fn();

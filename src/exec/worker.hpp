@@ -28,6 +28,7 @@
 #include "src/rdma/cq.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/resource.hpp"
+#include "src/telemetry/trace.hpp"
 
 namespace mccl::exec {
 
@@ -90,6 +91,9 @@ class Complex {
   std::size_t num_workers() const { return workers_.size(); }
   Worker& worker(std::size_t i) { return *workers_[i]; }
 
+  /// Flushes every worker's open occupancy span (before writing a trace).
+  void flush_trace();
+
  private:
   friend class Worker;
   sim::Engine& engine_;
@@ -105,9 +109,19 @@ class Worker : public rdma::Cq::Consumer {
   using CqeCostFn = std::function<Cost(const rdma::Cqe&)>;
 
   Worker(Complex& complex, std::size_t core_index);
+  ~Worker();  // flushes any open trace span
 
   Complex& complex() { return complex_; }
   std::size_t core_index() const { return core_; }
+
+  /// Binds this worker to a tracer row. Busy intervals are emitted as
+  /// *coalesced* occupancy spans: back-to-back tasks merge into one span,
+  /// and a span closes when a gap appears (or at flush). Coalescing keeps
+  /// trace volume proportional to idle/busy transitions instead of CQE
+  /// count — per-CQE spans would be millions of slivers on large runs.
+  void set_trace(telemetry::Tracer* tracer, telemetry::TrackId track);
+  /// Emits the open occupancy span, if any (teardown / trace write).
+  void flush_trace();
 
   /// Enqueues a task: `fn` runs after the cost has been charged (FIFO per
   /// worker). Zero-cost tasks are allowed (control decisions).
@@ -151,6 +165,11 @@ class Worker : public rdma::Cq::Consumer {
   std::deque<Task> queue_;
   bool running_ = false;
   Time thread_free_ = 0;
+  telemetry::Tracer* tracer_ = nullptr;
+  telemetry::TrackId trace_track_ = 0;
+  bool span_open_ = false;
+  Time span_start_ = 0;
+  Time span_end_ = 0;
   std::unordered_map<rdma::Cq*, Subscription> subs_;
 
   std::uint64_t tasks_done_ = 0;

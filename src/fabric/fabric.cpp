@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <string>
+
+#include "src/telemetry/telemetry.hpp"
 
 namespace mccl::fabric {
 
@@ -59,6 +62,12 @@ void Fabric::black_hole(NodeId node, const PacketPtr& packet) {
     ctr.lane_drops[packet->vl] += 1;
   }
   faults_.count_black_hole();
+  if (telem_ != nullptr)
+    telem_->recorder.record(engine_.now(),
+                            static_cast<std::int32_t>(packet->dst_host),
+                            telemetry::EventCat::kPacket, "black_hole",
+                            static_cast<std::uint64_t>(node),
+                            packet->wire_size);
 }
 
 void Fabric::send_out(NodeId node, int port_idx, const PacketPtr& packet) {
@@ -139,6 +148,12 @@ void Fabric::put_on_wire(NodeId node, int port_idx, const PacketPtr& packet) {
   if (drop) {
     ctr.drops += 1;
     ctr.lane_drops[packet->vl] += 1;
+    if (telem_ != nullptr)
+      telem_->recorder.record(engine_.now(),
+                              static_cast<std::int32_t>(packet->dst_host),
+                              telemetry::EventCat::kPacket, "link_drop",
+                              static_cast<std::uint64_t>(node),
+                              static_cast<std::uint64_t>(port.peer));
     return;
   }
 
@@ -390,6 +405,36 @@ Fabric::TrafficSnapshot Fabric::traffic() const {
 
 void Fabric::reset_counters() {
   std::fill(counters_.begin(), counters_.end(), DirCounters{});
+}
+
+void Fabric::set_telemetry(telemetry::Telemetry* telem) {
+  telem_ = telem;
+  faults_.set_telemetry(telem);
+}
+
+void Fabric::publish_metrics(telemetry::MetricsRegistry& reg) const {
+  const TrafficSnapshot s = traffic();
+  reg.counter("fabric.bytes").set(s.total_bytes);
+  reg.counter("fabric.packets").set(s.packets);
+  reg.counter("fabric.drops").set(s.drops);
+  reg.counter("fabric.drops", {{"lane", "ctrl"}}).set(s.ctrl_drops);
+  reg.counter("fabric.drops", {{"lane", "bulk"}}).set(s.bulk_drops);
+  reg.counter("fabric.black_holed").set(s.black_holed);
+  reg.counter("fabric.switch_port_bytes").set(s.switch_port_bytes);
+  reg.counter("fabric.host_egress_bytes").set(s.host_egress_bytes);
+  // Per-link-direction counters, Fig 12 style. Only directions that saw
+  // traffic get a series (keeps the snapshot proportional to live links).
+  const auto& dirs = topo_.dirs();
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    const DirCounters& c = counters_[i];
+    if (c.packets == 0 && c.drops == 0) continue;
+    const telemetry::Labels link{
+        {"link", std::to_string(dirs[i].from) + "->" +
+                     std::to_string(dirs[i].to)}};
+    reg.counter("fabric.link.bytes", link).set(c.bytes);
+    reg.counter("fabric.link.packets", link).set(c.packets);
+    if (c.drops != 0) reg.counter("fabric.link.drops", link).set(c.drops);
+  }
 }
 
 }  // namespace mccl::fabric

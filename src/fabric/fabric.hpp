@@ -26,6 +26,11 @@
 #include "src/sim/engine.hpp"
 #include "src/sim/resource.hpp"
 
+namespace mccl::telemetry {
+class Telemetry;
+class MetricsRegistry;
+}  // namespace mccl::telemetry
+
 namespace mccl::fabric {
 
 enum class RoutingMode : std::uint8_t {
@@ -122,6 +127,16 @@ class Fabric {
   }
   void reset_counters();
 
+  // --- Telemetry -----------------------------------------------------------
+  /// Wires the fabric (and its fault plane) to the cluster's telemetry:
+  /// drops/black-holes go to the flight recorder, fault-timeline
+  /// transitions become trace instants + recorder entries.
+  void set_telemetry(telemetry::Telemetry* telem);
+  telemetry::Telemetry* telemetry() const { return telem_; }
+  /// Mirrors per-direction and aggregate traffic counters into the metrics
+  /// registry (called from a snapshot-time publisher, not the hot path).
+  void publish_metrics(telemetry::MetricsRegistry& reg) const;
+
  private:
   struct McastGroup {
     std::vector<NodeId> members;
@@ -154,6 +169,7 @@ class Fabric {
   Config config_;
   Rng rng_;
   FaultPlane faults_;
+  telemetry::Telemetry* telem_ = nullptr;
   std::vector<DeliveryFn> delivery_;        // per host node id
   std::vector<sim::Resource> serializers_;  // per link direction
   std::vector<DirCounters> counters_;       // per link direction

@@ -1,6 +1,34 @@
 #include "src/fabric/faults.hpp"
 
+#include "src/telemetry/telemetry.hpp"
+
 namespace mccl::fabric {
+
+namespace {
+
+const char* kind_name(FaultEvent::Kind k) {
+  switch (k) {
+    case FaultEvent::Kind::kLinkDown:
+      return "link_down";
+    case FaultEvent::Kind::kLinkUp:
+      return "link_up";
+    case FaultEvent::Kind::kSwitchDown:
+      return "switch_down";
+    case FaultEvent::Kind::kSwitchUp:
+      return "switch_up";
+    case FaultEvent::Kind::kDegrade:
+      return "degrade";
+    case FaultEvent::Kind::kRestore:
+      return "restore";
+    case FaultEvent::Kind::kStragglerBegin:
+      return "straggler_begin";
+    case FaultEvent::Kind::kStragglerEnd:
+      return "straggler_end";
+  }
+  return "?";
+}
+
+}  // namespace
 
 FaultPlane::FaultPlane(sim::Engine& engine, const Topology& topo,
                        FaultConfig config)
@@ -20,6 +48,26 @@ void FaultPlane::arm() {
     MCCL_CHECK_MSG(ev.at >= engine_.now(), "fault event scheduled in the past");
     engine_.schedule_at(ev.at, [this, ev] { apply(ev); });
   }
+}
+
+void FaultPlane::set_telemetry(telemetry::Telemetry* telem) {
+  telem_ = telem;
+  if (telem_ != nullptr)
+    trace_track_ =
+        telem_->tracer.track(telemetry::kSimTracePid, "sim", 1, "faults");
+}
+
+void FaultPlane::note_transition(const FaultEvent& ev) {
+  if (telem_ == nullptr) return;
+  const char* name = kind_name(ev.kind);
+  telem_->recorder.record(engine_.now(), static_cast<std::int32_t>(ev.a),
+                          telemetry::EventCat::kFault, name,
+                          static_cast<std::uint64_t>(ev.a),
+                          ev.b == kInvalidNode
+                              ? 0
+                              : static_cast<std::uint64_t>(ev.b));
+  if (telem_->tracer.enabled())
+    telem_->tracer.instant(trace_track_, name, engine_.now(), "fault");
 }
 
 void FaultPlane::set_straggler_handler(StragglerHandler fn) {
@@ -44,6 +92,7 @@ void FaultPlane::for_link_dirs(NodeId a, NodeId b,
 }
 
 void FaultPlane::apply(const FaultEvent& ev) {
+  note_transition(ev);
   switch (ev.kind) {
     case FaultEvent::Kind::kLinkDown:
       for_link_dirs(ev.a, ev.b, [](DirState& d) { d.down = true; });

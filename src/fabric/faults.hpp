@@ -40,6 +40,10 @@
 #include "src/fabric/topology.hpp"
 #include "src/sim/engine.hpp"
 
+namespace mccl::telemetry {
+class Telemetry;
+}  // namespace mccl::telemetry
+
 namespace mccl::fabric {
 
 /// Two-state Markov loss model: a link is in the `good` state (loss
@@ -121,6 +125,10 @@ class FaultPlane {
 
   void set_straggler_handler(StragglerHandler fn);
 
+  /// Fault-timeline transitions become trace instant events (on the sim
+  /// "faults" row) and flight-recorder entries.
+  void set_telemetry(telemetry::Telemetry* telem);
+
   // --- per-packet queries (Fabric hot path) --------------------------------
   /// A direction is usable iff the link is up and neither endpoint is a
   /// downed switch.
@@ -169,9 +177,14 @@ class FaultPlane {
   void for_link_dirs(NodeId a, NodeId b,
                      const std::function<void(DirState&)>& fn);
 
+  /// Records the applied transition (recorder + trace instant).
+  void note_transition(const FaultEvent& ev);
+
   sim::Engine& engine_;
   FaultConfig config_;
   Rng rng_;
+  telemetry::Telemetry* telem_ = nullptr;
+  std::uint32_t trace_track_ = 0;
   std::vector<DirState> state_;  // per link direction
   std::vector<bool> node_down_;  // per node
   StragglerHandler straggler_;

@@ -91,6 +91,8 @@ void Nic::pump_tx() {
 
 void Nic::post_local_copy(std::uint64_t src, std::uint64_t dst,
                           std::uint64_t len, std::function<void()> done) {
+  ++dma_ops_;
+  dma_bytes_ += len;
   const Time xfer = serialization_time(len, config_.dma_gbps);
   const Time queued_done = dma_.acquire(engine_.now(), xfer);
   engine_.schedule_at(queued_done + config_.dma_latency,
@@ -111,6 +113,30 @@ std::uint64_t Nic::ud_rnr_drops() const {
   for (const auto& qp : qps_)
     if (auto* ud = dynamic_cast<const UdQp*>(qp.get()))
       total += ud->rnr_drops();
+  return total;
+}
+
+std::uint64_t Nic::uc_rnr_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& qp : qps_)
+    if (auto* uc = dynamic_cast<const UcQp*>(qp.get()))
+      total += uc->rnr_drops();
+  return total;
+}
+
+std::uint64_t Nic::uc_broken_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& qp : qps_)
+    if (auto* uc = dynamic_cast<const UcQp*>(qp.get()))
+      total += uc->broken_messages();
+  return total;
+}
+
+std::uint64_t Nic::rc_retransmissions() const {
+  std::uint64_t total = 0;
+  for (const auto& qp : qps_)
+    if (auto* rc = dynamic_cast<const RcQp*>(qp.get()))
+      total += rc->retransmissions();
   return total;
 }
 

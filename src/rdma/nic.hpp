@@ -18,6 +18,10 @@
 #include "src/sim/engine.hpp"
 #include "src/sim/resource.hpp"
 
+namespace mccl::telemetry {
+class Telemetry;
+}  // namespace mccl::telemetry
+
 namespace mccl::rdma {
 
 struct NicConfig {
@@ -97,6 +101,16 @@ class Nic {
   }
 
   std::uint64_t ud_rnr_drops() const;
+  std::uint64_t uc_rnr_drops() const;
+  std::uint64_t uc_broken_messages() const;
+  std::uint64_t rc_retransmissions() const;
+  std::uint64_t dma_ops() const { return dma_ops_; }
+  std::uint64_t dma_bytes() const { return dma_bytes_; }
+
+  /// Telemetry sink shared by this NIC's QPs (flight-recorder entries for
+  /// RNR drops / retransmits / broken messages). May stay null.
+  void set_telemetry(telemetry::Telemetry* telem) { telem_ = telem; }
+  telemetry::Telemetry* telemetry() const { return telem_; }
 
  private:
   struct TxItem {
@@ -124,6 +138,9 @@ class Nic {
   std::vector<std::deque<TxItem>> tx_queues_;
   std::size_t tx_rr_ = 0;
   bool tx_active_ = false;
+  telemetry::Telemetry* telem_ = nullptr;
+  std::uint64_t dma_ops_ = 0;
+  std::uint64_t dma_bytes_ = 0;
 };
 
 }  // namespace mccl::rdma

@@ -2,6 +2,7 @@
 #include "src/rdma/qp.hpp"
 
 #include "src/rdma/nic.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace mccl::rdma {
 
@@ -81,6 +82,11 @@ void UdQp::on_packet(const fabric::PacketPtr& packet) {
     // Receiver-not-ready: the datagram is dropped by the NIC (paper
     // Section III-C scenario 1).
     ++rnr_drops_;
+    if (auto* t = nic_.telemetry())
+      t->recorder.record(nic_.engine().now(),
+                         static_cast<std::int32_t>(nic_.host()),
+                         telemetry::EventCat::kQp, "ud_rnr_drop", qpn_,
+                         static_cast<std::uint64_t>(packet->src_host));
     return;
   }
   RecvWr wr = rq_pop();
@@ -185,6 +191,11 @@ void UcQp::on_packet(const fabric::PacketPtr& packet) {
     // A segment was lost or reordered: UC drops the whole message.
     r.broken = true;
     ++broken_messages_;
+    if (auto* t = nic_.telemetry())
+      t->recorder.record(nic_.engine().now(),
+                         static_cast<std::int32_t>(nic_.host()),
+                         telemetry::EventCat::kQp, "uc_broken_message", qpn_,
+                         th.msg_id);
     return;
   }
   const std::uint32_t len = packet->th.seg_len;
@@ -205,6 +216,11 @@ void UcQp::on_packet(const fabric::PacketPtr& packet) {
       // the completion (and thus the message, as far as the protocol can
       // tell) is lost.
       ++rnr_drops_;
+      if (auto* t = nic_.telemetry())
+        t->recorder.record(nic_.engine().now(),
+                           static_cast<std::int32_t>(nic_.host()),
+                           telemetry::EventCat::kQp, "uc_rnr_drop", qpn_,
+                           static_cast<std::uint64_t>(packet->src_host));
       return;
     }
     RecvWr wr = rq_pop();

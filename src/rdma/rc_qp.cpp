@@ -6,6 +6,7 @@
 
 #include "src/rdma/nic.hpp"
 #include "src/rdma/qp.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace mccl::rdma {
 
@@ -183,6 +184,11 @@ void RcQp::retransmit_from(std::uint32_t psn, Time delay) {
       nic_.transmit(qpn_, inflight_[i].packet);
       ++retransmissions_;
     }
+    if (auto* t = nic_.telemetry())
+      t->recorder.record(nic_.engine().now(),
+                         static_cast<std::int32_t>(nic_.host()),
+                         telemetry::EventCat::kQp, "rc_retransmit", qpn_,
+                         inflight_.size() - start);
     arm_rto();
   });
 }

@@ -13,6 +13,7 @@
 
 #include "src/common/check.hpp"
 #include "src/common/units.hpp"
+#include "src/telemetry/trace.hpp"
 
 namespace mccl::sim {
 
@@ -68,6 +69,19 @@ class Engine {
 
   bool empty() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
+  std::uint64_t dispatched() const { return dispatched_; }
+
+  /// Sampled dispatch tracing: every `sample` dispatched events the engine
+  /// emits one span covering the window plus a pending-queue counter on
+  /// `track`. Sampling (rather than per-event spans) because sim time does
+  /// not advance inside a callback — per-event spans would be zero-width
+  /// noise at enormous volume.
+  void set_tracer(telemetry::Tracer* tracer, telemetry::TrackId track,
+                  std::uint64_t sample = 8192) {
+    tracer_ = tracer;
+    trace_track_ = track;
+    trace_sample_ = sample == 0 ? 1 : sample;
+  }
 
  private:
   struct Event {
@@ -88,12 +102,25 @@ class Engine {
     queue_.pop();
     MCCL_CHECK(ev.when >= now_);
     now_ = ev.when;
+    if (++dispatched_ % trace_sample_ == 0 && tracer_ != nullptr &&
+        tracer_->enabled()) {
+      tracer_->complete(trace_track_, "dispatch", trace_window_start_, now_,
+                        "sim");
+      tracer_->counter(trace_track_, "pending_events", now_,
+                       static_cast<double>(queue_.size() + 1));
+      trace_window_start_ = now_;
+    }
     ev.fn();
   }
 
   Time now_ = 0;
   std::uint64_t seq_ = 0;
+  std::uint64_t dispatched_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  telemetry::Tracer* tracer_ = nullptr;
+  telemetry::TrackId trace_track_ = 0;
+  std::uint64_t trace_sample_ = 8192;
+  Time trace_window_start_ = 0;
 };
 
 }  // namespace mccl::sim

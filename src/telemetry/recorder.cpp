@@ -1,0 +1,63 @@
+#include "src/telemetry/recorder.hpp"
+
+#include <algorithm>
+
+namespace mccl::telemetry {
+
+const char* to_string(EventCat cat) {
+  switch (cat) {
+    case EventCat::kPacket:
+      return "packet";
+    case EventCat::kQp:
+      return "qp";
+    case EventCat::kColl:
+      return "coll";
+    case EventCat::kFault:
+      return "fault";
+    case EventCat::kWatchdog:
+      return "watchdog";
+  }
+  return "?";
+}
+
+std::size_t FlightRecorder::size() const {
+  std::size_t n = 0;
+  for (const Ring& r : rings_) n += r.buf.size();
+  return n;
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::merged() const {
+  std::vector<Entry> out;
+  out.reserve(size());
+  for (const Ring& r : rings_)
+    out.insert(out.end(), r.buf.begin(), r.buf.end());
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+void FlightRecorder::dump(std::FILE* out) const {
+  const std::vector<Entry> entries = merged();
+  std::fprintf(out,
+               "--- flight recorder: %zu events retained (%llu recorded, "
+               "%llu evicted) ---\n",
+               entries.size(), static_cast<unsigned long long>(recorded_),
+               static_cast<unsigned long long>(evicted_));
+  for (const Entry& e : entries) {
+    std::fprintf(out, "  t=%14.3fus node=%-4d %-8s %-18s a=%llu b=%llu\n",
+                 static_cast<double>(e.t) / 1e6, e.node, to_string(e.cat),
+                 e.what, static_cast<unsigned long long>(e.a),
+                 static_cast<unsigned long long>(e.b));
+  }
+  std::fprintf(out, "--- end flight recorder ---\n");
+}
+
+void FlightRecorder::clear() {
+  rings_.clear();
+  recorded_ = 0;
+  evicted_ = 0;
+}
+
+}  // namespace mccl::telemetry

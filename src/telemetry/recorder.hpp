@@ -1,0 +1,100 @@
+// Flight recorder: a bounded ring of recent packet / QP / collective /
+// fault events per node, kept cheap enough to leave on during chaos runs.
+// When the slow-path watchdog declares an operation dead it dumps the
+// merged (time-ordered) tail instead of an ad-hoc protocol-state print —
+// the last N events per rank are exactly what post-mortem debugging needs
+// ("Don't Let a Few Network Failures Slow the Entire AllReduce" builds its
+// diagnosis on the same shape of evidence).
+//
+// Entries carry a static-string event name plus two uninterpreted operands;
+// recording is O(1), allocation-free after warm-up, and a single branch
+// when disabled.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/units.hpp"
+
+namespace mccl::telemetry {
+
+enum class EventCat : std::uint8_t {
+  kPacket,    // fabric-level: drops, black-holes
+  kQp,        // RNR drops, retransmits, broken messages
+  kColl,      // protocol: cutoff, fetch lifecycle
+  kFault,     // fault-plane timeline transitions
+  kWatchdog,  // watchdog verdicts
+};
+
+const char* to_string(EventCat cat);
+
+class FlightRecorder {
+ public:
+  struct Entry {
+    Time t = 0;
+    std::uint64_t seq = 0;  // global record order (tie-break within t)
+    std::int32_t node = -1;
+    EventCat cat = EventCat::kColl;
+    const char* what = "";  // must point at static storage
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+  };
+
+  explicit FlightRecorder(std::size_t per_node_capacity = 256)
+      : capacity_(per_node_capacity == 0 ? 1 : per_node_capacity) {}
+
+  bool enabled() const { return enabled_; }
+  void enable(bool on = true) { enabled_ = on; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Records an event for `node` (-1 = global ring). `what` must point at
+  /// static storage (string literal); the recorder never copies it.
+  void record(Time t, std::int32_t node, EventCat cat, const char* what,
+              std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (!enabled_) return;
+    Ring& ring = ring_for(node);
+    Entry e{t, recorded_++, node, cat, what, a, b};
+    if (ring.buf.size() < capacity_) {
+      ring.buf.push_back(e);
+    } else {
+      ring.buf[ring.next] = e;
+      ring.next = (ring.next + 1) % capacity_;
+      ++evicted_;
+    }
+  }
+
+  /// Entries currently retained (across all rings).
+  std::size_t size() const;
+  /// Total record() calls accepted / entries overwritten by ring wrap.
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t evicted() const { return evicted_; }
+
+  /// All retained entries, ordered by (time, record order).
+  std::vector<Entry> merged() const;
+
+  /// Human-readable dump of merged() — the watchdog's failure report.
+  void dump(std::FILE* out) const;
+
+  void clear();
+
+ private:
+  struct Ring {
+    std::vector<Entry> buf;
+    std::size_t next = 0;  // overwrite cursor once full
+  };
+
+  Ring& ring_for(std::int32_t node) {
+    const std::size_t idx = static_cast<std::size_t>(node + 1);
+    if (idx >= rings_.size()) rings_.resize(idx + 1);
+    return rings_[idx];
+  }
+
+  std::size_t capacity_;
+  bool enabled_ = true;
+  std::vector<Ring> rings_;  // index node + 1 (slot 0 = global)
+  std::uint64_t recorded_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace mccl::telemetry

@@ -1,0 +1,199 @@
+#include "src/telemetry/trace.hpp"
+
+#include <cstdio>
+
+namespace mccl::telemetry {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Picoseconds -> microseconds with fixed precision: exact (1 ps = 1e-6 us)
+/// and byte-stable across runs.
+void append_us(std::string& out, Time ps) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6f",
+                static_cast<double>(ps) / 1'000'000.0);
+  out += buf;
+}
+
+void append_value(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+TrackId Tracer::track(std::int64_t pid, std::string process, std::int64_t tid,
+                      std::string thread) {
+  const auto key = std::make_pair(pid, tid);
+  auto it = track_ids_.find(key);
+  if (it != track_ids_.end()) return it->second;
+  const TrackId id = static_cast<TrackId>(tracks_.size());
+  tracks_.push_back(Track{pid, tid, std::move(process), std::move(thread)});
+  track_ids_.emplace(key, id);
+  return id;
+}
+
+bool Tracer::push(Event ev) {
+  if (events_.size() >= options_.max_events) {
+    ++dropped_;
+    return false;
+  }
+  events_.push_back(std::move(ev));
+  return true;
+}
+
+void Tracer::complete(TrackId track, std::string name, Time start, Time end,
+                      const char* cat) {
+  if (!enabled_) return;
+  Event ev;
+  ev.ph = 'X';
+  ev.track = track;
+  ev.ts = start;
+  ev.dur = end - start;
+  ev.name = std::move(name);
+  ev.cat = cat;
+  push(std::move(ev));
+}
+
+void Tracer::instant(TrackId track, std::string name, Time ts,
+                     const char* cat) {
+  if (!enabled_) return;
+  Event ev;
+  ev.ph = 'i';
+  ev.track = track;
+  ev.ts = ts;
+  ev.name = std::move(name);
+  ev.cat = cat;
+  push(std::move(ev));
+}
+
+void Tracer::counter(TrackId track, std::string name, Time ts, double value) {
+  if (!enabled_) return;
+  Event ev;
+  ev.ph = 'C';
+  ev.track = track;
+  ev.ts = ts;
+  ev.value = value;
+  ev.name = std::move(name);
+  push(std::move(ev));
+}
+
+std::string Tracer::to_json() const {
+  std::string out;
+  out.reserve(128 + tracks_.size() * 128 + events_.size() * 96);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&out, &first] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  // Metadata: one process_name per distinct pid (first track wins), one
+  // thread_name per track. sort_index keeps rows in registration order.
+  std::map<std::int64_t, bool> named_pids;
+  for (const Track& t : tracks_) {
+    if (!named_pids[t.pid]) {
+      named_pids[t.pid] = true;
+      sep();
+      out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+      out += std::to_string(t.pid);
+      out += ",\"tid\":0,\"args\":{\"name\":\"";
+      append_escaped(out, t.process);
+      out += "\"}}";
+    }
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+    out += std::to_string(t.pid);
+    out += ",\"tid\":";
+    out += std::to_string(t.tid);
+    out += ",\"args\":{\"name\":\"";
+    append_escaped(out, t.thread);
+    out += "\"}}";
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":";
+    out += std::to_string(t.pid);
+    out += ",\"tid\":";
+    out += std::to_string(t.tid);
+    out += ",\"args\":{\"sort_index\":";
+    out += std::to_string(t.tid);
+    out += "}}";
+  }
+  for (const Event& ev : events_) {
+    const Track& t = tracks_[ev.track];
+    sep();
+    out += "{\"ph\":\"";
+    out += ev.ph;
+    out += "\",\"pid\":";
+    out += std::to_string(t.pid);
+    out += ",\"tid\":";
+    out += std::to_string(t.tid);
+    out += ",\"ts\":";
+    append_us(out, ev.ts);
+    if (ev.ph == 'X') {
+      out += ",\"dur\":";
+      append_us(out, ev.dur);
+    }
+    out += ",\"name\":\"";
+    append_escaped(out, ev.name);
+    out += "\"";
+    if (ev.ph == 'C') {
+      out += ",\"args\":{\"value\":";
+      append_value(out, ev.value);
+      out += "}";
+    } else {
+      if (ev.cat != nullptr && ev.cat[0] != '\0') {
+        out += ",\"cat\":\"";
+        append_escaped(out, ev.cat);
+        out += "\"";
+      }
+      if (ev.ph == 'i') out += ",\"s\":\"t\"";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ns\"}\n";
+  return out;
+}
+
+bool Tracer::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = n == json.size() && std::fclose(f) == 0;
+  if (n != json.size()) std::fclose(f);
+  return ok;
+}
+
+void Tracer::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace mccl::telemetry
