@@ -16,10 +16,21 @@
 //   burst:     Gilbert-Elliott burst loss, ~0.5 average loss inside bursts.
 //   straggler: one host's progress-engine datapath runs 10x slower for the
 //              first half of the op.
+//   crash_leaf / crash_root / rack_crash: node-crash faults — a non-root
+//              leaf dies, the block root dies, or a whole rack (leaf switch
+//              plus every host behind it) goes down at once. The failure
+//              detector confirms the dead ranks and the repair machinery
+//              (barrier credit, chain re-route, fetch failover, root-repair
+//              census, handshake re-closure) must deliver a *structured*
+//              verdict: kOk when the data survives, kPartial naming the
+//              dead blocks when it does not — independent of whether the
+//              cutoff-fetch recovery layer is on.
 //
 // With recovery enabled every scenario must end in data_verified=yes; with
 // it disabled, loss scenarios must end in a *structured* watchdog failure —
-// never a hang.
+// never a hang. Crash scenarios must never watchdog at all: the detector's
+// verdict is the contract, and it is cross-checked against the metrics
+// registry (coll.reroots / coll.missing_blocks / detector.confirmed_dead).
 #include <cstdio>
 #include <vector>
 
@@ -39,6 +50,7 @@ struct Scenario {
   const char* name;
   fabric::FaultConfig faults;
   bool lossy;  // expect a watchdog failure when recovery is off
+  bool crash = false;  // node-crash scenario: detector verdict, no watchdog
 };
 
 std::vector<Scenario> scenarios() {
@@ -70,6 +82,29 @@ std::vector<Scenario> scenarios() {
         fabric::FaultEvent::straggler_end(200 * kMicrosecond, 3)};
     out.push_back(std::move(s));
   }
+  {
+    // A non-root leaf dies mid-broadcast: no data is lost, but the barrier,
+    // fetch ring and final handshake all had the dead rank as a neighbor.
+    Scenario s{"crash_leaf", {}, false, true};
+    s.faults.events = {fabric::FaultEvent::node_crash(kMidBcast, 5)};
+    out.push_back(std::move(s));
+  }
+  {
+    // The block root dies mid-transfer: survivors either re-root at a full
+    // holder or complete degraded with the block named missing.
+    Scenario s{"crash_root", {}, false, true};
+    s.faults.events = {fabric::FaultEvent::node_crash(kMidBcast, 0)};
+    out.push_back(std::move(s));
+  }
+  {
+    // Correlated failure: leaf switch 9 and every host behind it die
+    // together. Survivors under leaf 8 (including the root) finish clean.
+    Scenario s{"rack_crash", {}, false, true};
+    s.faults.events = {fabric::FaultEvent::switch_down(kMidBcast, 9)};
+    for (fabric::NodeId h = 4; h < 8; ++h)
+      s.faults.events.push_back(fabric::FaultEvent::node_crash(kMidBcast, h));
+    out.push_back(std::move(s));
+  }
   return out;
 }
 
@@ -89,7 +124,6 @@ int run_case(const Scenario& sc, coll::Transport transport, bool recovery) {
 
   const coll::OpResult res =
       comm.broadcast(0, kBytes, coll::BcastAlgo::kMcast);
-  const auto traffic = cluster.fabric().traffic();
 
   // Slow-path counters come from the metrics registry — the snapshot must
   // agree with the OpResult (single op on a fresh cluster), proving the
@@ -102,20 +136,23 @@ int run_case(const Scenario& sc, coll::Transport transport, bool recovery) {
   const std::uint64_t m_retries = metric("coll.fetch_retries");
   const std::uint64_t m_failovers = metric("coll.fetch_failovers");
 
-  std::printf("%-9s %-8s %-8s %10.1f %8llu %8llu %9llu %9s %9s %10llu\n",
+  std::printf("%-10s %-8s %-8s %10.1f %8llu %8llu %9llu %9s %9s %-7s %7zu\n",
               sc.name, transport == coll::Transport::kUd ? "ud" : "uc-mcast",
               recovery ? "on" : "off", to_microseconds(res.duration()),
               static_cast<unsigned long long>(res.fetched_chunks),
               static_cast<unsigned long long>(m_retries),
               static_cast<unsigned long long>(m_failovers),
               res.watchdog_fired ? "FIRED" : "-",
-              res.data_verified ? "yes" : "NO",
-              static_cast<unsigned long long>(traffic.black_holed));
+              res.data_verified ? "yes" : "NO", coll::to_string(res.status),
+              res.missing_blocks.size());
 
   // Contract: recovery on => verified; recovery off on a lossy scenario =>
   // structured watchdog failure (and in both cases: no hang — reaching this
-  // line at all is the point). On violation, dump the flight recorder so
-  // the failure comes with its packet/QP/collective event history.
+  // line at all is the point). Crash scenarios must resolve through the
+  // failure detector — structured kOk/kPartial, never a watchdog — whether
+  // or not the cutoff-fetch layer is on. On violation, dump the flight
+  // recorder so the failure comes with its packet/QP/collective/detector
+  // event history.
   int rc = 0;
   if (recovery && !res.data_verified) {
     std::fprintf(stderr, "FAIL: %s with recovery did not verify: %s\n",
@@ -127,6 +164,37 @@ int run_case(const Scenario& sc, coll::Transport transport, bool recovery) {
                  "FAIL: %s without recovery should die by watchdog\n",
                  sc.name);
     rc = 1;
+  }
+  if (sc.crash) {
+    if (res.failed || res.watchdog_fired || !res.data_verified) {
+      std::fprintf(stderr,
+                   "FAIL: %s must complete structurally (failed=%d "
+                   "watchdog=%d verified=%d): %s\n",
+                   sc.name, res.failed, res.watchdog_fired,
+                   res.data_verified, res.error.c_str());
+      rc = 1;
+    }
+    // The OpResult verdict and the metrics registry must tell one story.
+    if (metric("coll.reroots") != res.reroots ||
+        metric("coll.missing_blocks") != res.missing_blocks.size()) {
+      std::fprintf(stderr,
+                   "FAIL: %s crash verdict disagrees with metrics "
+                   "(reroots %llu vs %llu, missing %llu vs %zu)\n",
+                   sc.name,
+                   static_cast<unsigned long long>(metric("coll.reroots")),
+                   static_cast<unsigned long long>(res.reroots),
+                   static_cast<unsigned long long>(
+                       metric("coll.missing_blocks")),
+                   res.missing_blocks.size());
+      rc = 1;
+    }
+    if (metric("detector.confirmed_dead") == 0) {
+      std::fprintf(stderr,
+                   "FAIL: %s killed a node but the detector confirmed "
+                   "nothing\n",
+                   sc.name);
+      rc = 1;
+    }
   }
   if (m_retries != res.fetch_retries || m_failovers != res.fetch_failovers) {
     std::fprintf(stderr,
@@ -145,9 +213,9 @@ int run_case(const Scenario& sc, coll::Transport transport, bool recovery) {
 }  // namespace
 
 int main() {
-  std::printf("%-9s %-8s %-8s %10s %8s %8s %9s %9s %9s %10s\n", "scenario",
-              "trans", "recov", "time_us", "fetched", "retries", "failover",
-              "watchdog", "verified", "blackhole");
+  std::printf("%-10s %-8s %-8s %10s %8s %8s %9s %9s %9s %-7s %7s\n",
+              "scenario", "trans", "recov", "time_us", "fetched", "retries",
+              "failover", "watchdog", "verified", "status", "missing");
   int rc = 0;
   for (const Scenario& sc : scenarios())
     for (const coll::Transport t :

@@ -109,5 +109,70 @@ int main(int argc, char** argv) {
                 res.data_verified ? "yes" : "NO");
     if (!res.data_verified) return 1;
   }
+
+  // Crash storm: a seed-derived victim rank dies at a seed-derived instant
+  // mid-allgather. The contract is structural, not byte-complete: survivors
+  // must finish (never a watchdog abort, never a hang) with status kOk
+  // (victim's block re-rooted or already delivered) or kPartial naming
+  // exactly the victim's block — and the OpResult verdict must agree with
+  // the metrics registry.
+  std::printf("\ncrash storm (victim/when derived from seed):\n");
+  std::printf("%6s %7s %9s %12s %8s %7s %8s %9s\n", "seed", "victim",
+              "crash_us", "mean_us", "status", "missing", "reroots",
+              "verified");
+  for (std::size_t s = 0; s < seeds; ++s) {
+    const std::uint64_t seed = base_seed + s;
+    // splitmix64: decorrelate victim and crash time from consecutive seeds.
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    constexpr std::size_t kRanks = 8;
+    const std::size_t victim = z % kRanks;
+    const Time when = (5 + (z >> 8) % 40) * kMicrosecond;
+
+    coll::ClusterConfig kcfg;
+    kcfg.fabric.faults.events = {fabric::FaultEvent::node_crash(when, victim)};
+    coll::Cluster cluster(fabric::make_fat_tree_for_hosts(kRanks, 16, {}),
+                          kcfg);
+    coll::CommConfig cfg;
+    cfg.cutoff_alpha = 100 * kMicrosecond;
+    std::vector<fabric::NodeId> hosts;
+    for (std::size_t h = 0; h < kRanks; ++h)
+      hosts.push_back(static_cast<fabric::NodeId>(h));
+    coll::Communicator comm(cluster, hosts, cfg);
+    const coll::OpResult res =
+        comm.allgather(128 * KiB, coll::AllgatherAlgo::kMcast);
+
+    const telemetry::Snapshot snap = cluster.telemetry().metrics.snapshot();
+    const auto metric = [&snap](const char* key) -> std::uint64_t {
+      const auto it = snap.find(key);
+      return it == snap.end() ? 0 : it->second.count;
+    };
+    std::printf("%6llu %7zu %9.1f %12.1f %8s %7zu %8llu %9s\n",
+                static_cast<unsigned long long>(seed), victim,
+                to_microseconds(when), to_microseconds(res.duration()),
+                coll::to_string(res.status), res.missing_blocks.size(),
+                static_cast<unsigned long long>(res.reroots),
+                res.data_verified ? "yes" : "NO");
+
+    bool ok = !res.failed && !res.watchdog_fired && res.data_verified;
+    ok = ok && res.crashed_ranks == std::vector<std::size_t>{victim};
+    // Only the victim's block can be at risk.
+    for (const std::size_t b : res.missing_blocks) ok = ok && b == victim;
+    // Verdict vs registry: one story.
+    ok = ok && metric("coll.reroots") == res.reroots;
+    ok = ok && metric("coll.missing_blocks") == res.missing_blocks.size();
+    ok = ok && metric("detector.confirmed_dead") > 0;
+    if (!ok) {
+      std::fprintf(stderr,
+                   "FAIL: crash seed %llu (victim %zu at %.1fus) did not "
+                   "resolve structurally: %s\n",
+                   static_cast<unsigned long long>(seed), victim,
+                   to_microseconds(when), res.error.c_str());
+      cluster.telemetry().recorder.dump(stderr);
+      return 1;
+    }
+  }
   return 0;
 }

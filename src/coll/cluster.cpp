@@ -36,6 +36,16 @@ Cluster::Cluster(fabric::Topology topology, ClusterConfig config)
         cpus_[h]->set_cost_scale(factor);
         dpas_[h]->set_cost_scale(factor);
       });
+  // Node crashes silence the host's NIC (delivery, egress, DMA completions
+  // and CQE generation all stop); interested communicators are notified so
+  // they can settle op accounting for the dead rank.
+  fabric_->faults().set_crash_handler(
+      [this](fabric::NodeId host, bool crashed) {
+        const auto h = static_cast<std::size_t>(host);
+        MCCL_CHECK(h < nics_.size());
+        nics_[h]->set_crashed(crashed);
+        for (const auto& [id, fn] : crash_listeners_) fn(host, crashed);
+      });
   // Cluster-owned state (fabric counters, NIC/QP totals, engine stats) is
   // mirrored into the registry at snapshot time; hot paths stay untouched.
   telemetry_.metrics.add_publisher(
@@ -47,18 +57,36 @@ void Cluster::publish_metrics(telemetry::MetricsRegistry& reg) {
   reg.gauge("sim.time_us").set(to_microseconds(engine_.now()));
   fabric_->publish_metrics(reg);
   std::uint64_t rnr = 0, retx = 0, broken = 0, dma_ops = 0, dma_bytes = 0;
+  std::uint64_t crc_drops = 0;
   for (const auto& nic : nics_) {
     rnr += nic->ud_rnr_drops() + nic->uc_rnr_drops();
     retx += nic->rc_retransmissions();
     broken += nic->uc_broken_messages();
     dma_ops += nic->dma_ops();
     dma_bytes += nic->dma_bytes();
+    crc_drops += nic->crc_drops();
   }
   reg.counter("nic.rnr_drops").set(rnr);
   reg.counter("nic.rc_retransmissions").set(retx);
   reg.counter("nic.uc_broken_messages").set(broken);
   reg.counter("nic.dma_ops").set(dma_ops);
   reg.counter("nic.dma_bytes").set(dma_bytes);
+  reg.counter("integrity.crc_drops").set(crc_drops);
+}
+
+std::uint64_t Cluster::add_crash_listener(CrashListener fn) {
+  const std::uint64_t id = next_crash_listener_++;
+  crash_listeners_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void Cluster::remove_crash_listener(std::uint64_t id) {
+  for (auto it = crash_listeners_.begin(); it != crash_listeners_.end(); ++it) {
+    if (it->first == id) {
+      crash_listeners_.erase(it);
+      return;
+    }
+  }
 }
 
 void Cluster::flush_trace() {

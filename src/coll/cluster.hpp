@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/exec/worker.hpp"
@@ -54,6 +56,17 @@ class Cluster {
   /// Runs the simulation until `done` returns true; returns the time.
   Time run_until_done(const std::function<bool()>& done);
 
+  /// Physical-crash notifications (fault-plane kNodeCrash/kNodeRecover).
+  /// The Cluster silences the host's NIC itself; communicators subscribe
+  /// here for membership accounting. Returns an id for removal — listeners
+  /// must unregister before they are destroyed.
+  using CrashListener = std::function<void(fabric::NodeId host, bool crashed)>;
+  std::uint64_t add_crash_listener(CrashListener fn);
+  void remove_crash_listener(std::uint64_t id);
+  bool host_crashed(std::size_t host) const {
+    return nics_[host]->crashed();
+  }
+
   // --- Telemetry -----------------------------------------------------------
   telemetry::Telemetry& telemetry() { return telemetry_; }
   const telemetry::Telemetry& telemetry() const { return telemetry_; }
@@ -82,6 +95,8 @@ class Cluster {
   std::vector<std::unique_ptr<exec::Complex>> dpas_;
   std::uint16_t next_op_id_ = 1;
   std::uint32_t next_rkey_ = 1 << 20;  // above per-NIC sequential keys
+  std::vector<std::pair<std::uint64_t, CrashListener>> crash_listeners_;
+  std::uint64_t next_crash_listener_ = 1;
 };
 
 }  // namespace mccl::coll

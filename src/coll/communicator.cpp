@@ -18,7 +18,8 @@ OpBase::OpBase(Communicator& comm, std::string name)
       name_(std::move(name)),
       id_(comm.cluster().next_op_id()),
       finish_(comm.size(), 0),
-      phases_(comm.size()) {}
+      phases_(comm.size()),
+      crashed_(comm.size(), 0) {}
 
 OpBase::~OpBase() = default;
 
@@ -39,7 +40,14 @@ Phases OpBase::max_phases() const {
   return out;
 }
 
-void OpBase::mark_started() { start_time_ = comm_.cluster().engine().now(); }
+void OpBase::mark_started() {
+  start_time_ = comm_.cluster().engine().now();
+  comm_.note_op_started();
+  // Ranks that crashed before this op started never participate: settle
+  // their completion accounting up front so survivors alone gate done().
+  for (std::size_t r = 0; r < comm_.size(); ++r)
+    if (comm_.rank_host_crashed(r)) note_rank_crashed(r);
+}
 
 telemetry::Telemetry& OpBase::telem() { return comm_.cluster().telemetry(); }
 
@@ -47,6 +55,24 @@ void OpBase::rank_done(std::size_t r) {
   MCCL_CHECK(finish_[r] == 0);
   finish_[r] = comm_.cluster().engine().now();
   ++completed_;
+  maybe_note_done();
+}
+
+void OpBase::note_rank_crashed(std::size_t r) {
+  if (crashed_[r]) return;
+  crashed_[r] = true;
+  if (failed_ || finish_[r] != 0) return;  // already accounted for
+  // finish_[r] == 0 is the "unfinished" sentinel; clamp a t=0 crash to 1ps.
+  finish_[r] = std::max<Time>(comm_.cluster().engine().now(), 1);
+  ++completed_;
+  maybe_note_done();
+}
+
+std::vector<std::size_t> OpBase::crashed_ranks() const {
+  std::vector<std::size_t> out;
+  for (std::size_t r = 0; r < crashed_.size(); ++r)
+    if (crashed_[r]) out.push_back(r);
+  return out;
 }
 
 void OpBase::fail_op(std::string error) {
@@ -60,6 +86,13 @@ void OpBase::fail_op(std::string error) {
       ++completed_;
     }
   }
+  maybe_note_done();
+}
+
+void OpBase::maybe_note_done() {
+  if (done_noted_ || !done()) return;
+  done_noted_ = true;
+  comm_.note_op_finished();
 }
 
 // ---------------------------------------------------------------------------
@@ -84,9 +117,60 @@ Communicator::Communicator(Cluster& cluster,
     ep->setup_workers();
     ep->setup_subgroups();
   }
+  host_crashed_.assign(size(), 0);
+  for (std::size_t r = 0; r < size(); ++r)
+    if (cluster_.host_crashed(static_cast<std::size_t>(hosts[r])))
+      host_crashed_[r] = 1;
+  crash_listener_id_ = cluster_.add_crash_listener(
+      [this](fabric::NodeId host, bool crashed) {
+        on_host_crash(host, crashed);
+      });
+  if (config_.detector.enabled) {
+    detector_ = std::make_unique<FailureDetector>(*this, config_.detector);
+    // Heartbeats travel on the reserved op id 0 (Cluster::next_op_id starts
+    // at 1, so no collective ever claims it).
+    for (auto& ep : eps_) {
+      const std::size_t r = ep->rank();
+      ep->register_ctrl(0, [this, r](const CtrlMsg& m, std::size_t src,
+                                     const rdma::Cqe&) {
+        if (m.type == CtrlType::kHeartbeat) detector_->on_heartbeat(r, src);
+      });
+    }
+    detector_->add_listener([this](std::size_t observer, std::size_t peer) {
+      for (auto& op : ops_)
+        if (!op->done()) op->on_peer_confirmed_dead(observer, peer);
+    });
+  }
 }
 
-Communicator::~Communicator() = default;
+Communicator::~Communicator() {
+  cluster_.remove_crash_listener(crash_listener_id_);
+}
+
+void Communicator::on_host_crash(fabric::NodeId host, bool crashed) {
+  auto it = rank_of_.find(host);
+  if (it == rank_of_.end()) return;  // not one of ours
+  const std::size_t r = it->second;
+  host_crashed_[r] = crashed ? 1 : 0;
+  if (!crashed) return;
+  for (auto& op : ops_)
+    if (!op->done()) op->note_rank_crashed(r);
+}
+
+std::size_t Communicator::presumed_alive() const {
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < size(); ++r)
+    if (!rank_presumed_dead(r)) ++n;
+  return n;
+}
+
+void Communicator::note_op_started() {
+  if (detector_) detector_->note_op_started();
+}
+
+void Communicator::note_op_finished() {
+  if (detector_) detector_->note_op_finished();
+}
 
 std::size_t Communicator::rank_of_host(fabric::NodeId host) const {
   auto it = rank_of_.find(host);
@@ -121,8 +205,12 @@ OpBase& Communicator::start_allgather(std::uint64_t bytes,
   switch (algo) {
     case AllgatherAlgo::kMcast: {
       McastCollective::Params p;
-      p.roots.resize(size());
-      for (std::size_t r = 0; r < size(); ++r) p.roots[r] = r;
+      // Shrunk membership: a rank presumed dead (host crashed, or confirmed
+      // by any survivor's detector) no longer sources a block — subsequent
+      // ops run clean over the survivors.
+      for (std::size_t r = 0; r < size(); ++r)
+        if (!rank_presumed_dead(r)) p.roots.push_back(r);
+      MCCL_CHECK_MSG(p.roots.size() >= 1, "no surviving ranks to allgather");
       p.block_bytes = bytes;
       ops_.push_back(std::make_unique<McastCollective>(
           *this, "mcast_allgather", std::move(p)));
@@ -176,8 +264,14 @@ OpResult Communicator::finish(OpBase& op) {
   res.watchdog_fired = op.watchdog_fired();
   res.failed = op.failed();
   res.error = op.error();
+  res.status = op.status();
+  res.missing_blocks = op.missing_blocks();
+  std::sort(res.missing_blocks.begin(), res.missing_blocks.end());
+  res.crashed_ranks = op.crashed_ranks();
+  res.reroots = op.reroots();
   // A watchdog-terminated op has incomplete buffers by definition; don't
-  // report synthetic-mode success for garbage.
+  // report synthetic-mode success for garbage. Partial completion verifies
+  // what survivors do hold (crashed ranks and abandoned blocks exempt).
   res.data_verified = !res.failed && op.verify();
   std::uint64_t rnr_after = 0;
   for (auto& ep : eps_) rnr_after += ep->rnr_drops();
@@ -186,12 +280,14 @@ OpResult Communicator::finish(OpBase& op) {
   // Surface slow-path counters through the metrics registry (incremental:
   // op-scoped deltas accumulate communicator-wide, diffable via snapshots).
   telemetry::MetricsRegistry& reg = cluster_.telemetry().metrics;
-  reg.counter("coll.ops", {{"result", res.failed ? "failed" : "ok"}}).add(1);
+  reg.counter("coll.ops", {{"result", to_string(res.status)}}).add(1);
   reg.counter("coll.fetched_chunks").add(res.fetched_chunks);
   reg.counter("coll.fetch_retries").add(res.fetch_retries);
   reg.counter("coll.fetch_failovers").add(res.fetch_failovers);
   reg.counter("coll.rnr_drops").add(res.rnr_drops);
   if (res.watchdog_fired) reg.counter("coll.watchdog_fired").add(1);
+  reg.counter("coll.reroots").add(res.reroots);
+  reg.counter("coll.missing_blocks").add(res.missing_blocks.size());
   reg.histogram("coll.op_duration_us", {{"op", op.name()}})
       .observe(to_microseconds(res.duration()));
   return res;

@@ -24,6 +24,7 @@
 
 #include "src/coll/cluster.hpp"
 #include "src/coll/ctrl.hpp"
+#include "src/coll/failure_detector.hpp"
 #include "src/exec/cost_model.hpp"
 
 namespace mccl::coll {
@@ -79,6 +80,16 @@ struct CommConfig {
   double watchdog_multiplier = 50.0;
   Time watchdog_timeout = 0;  // explicit override; 0 = multiplier-based
 
+  // --- crash tolerance -------------------------------------------------------
+  /// Lease-based failure detector (heartbeats on the RC control mesh while
+  /// ops are in flight). Confirmed-dead peers are spliced out of the
+  /// multicast collective's rings: barrier rounds are credited, fetch
+  /// chains walk around them, the final handshake re-closes over survivors,
+  /// and a dead block root is replaced by a surviving full holder or the
+  /// block is abandoned (OpResult::kPartial). Disable to get the PR-1
+  /// behavior: a crash mid-op ends in a watchdog failure.
+  DetectorConfig detector;
+
   std::optional<exec::DatapathCosts> costs_override;  // else by engine kind
 };
 
@@ -90,6 +101,23 @@ struct Phases {
   Time handshake = 0;    // final ring handshake
   Time total() const { return barrier + transfer + reliability + handshake; }
 };
+
+/// Completion verdict of a collective on a faulty cluster.
+enum class OpStatus : std::uint8_t {
+  kOk,       // every surviving rank holds every block
+  kPartial,  // survivors completed, but some blocks are unrecoverable
+             // (their root crashed before any survivor held them in full)
+  kFailed,   // watchdog-terminated; buffers are garbage
+};
+
+inline const char* to_string(OpStatus s) {
+  switch (s) {
+    case OpStatus::kOk: return "ok";
+    case OpStatus::kPartial: return "partial";
+    case OpStatus::kFailed: return "failed";
+  }
+  return "?";
+}
 
 /// Result of a completed (blocking) collective.
 struct OpResult {
@@ -109,6 +137,15 @@ struct OpResult {
   /// `error` carries the structured reason and `data_verified` is false.
   bool failed = false;
   std::string error;
+  // --- crash tolerance -------------------------------------------------------
+  OpStatus status = OpStatus::kOk;
+  /// kPartial: exactly the blocks no survivor could recover (sorted).
+  std::vector<std::size_t> missing_blocks;
+  /// Ranks that physically crashed before or during the op (sorted). Their
+  /// buffers are exempt from verification; survivors still complete.
+  std::vector<std::size_t> crashed_ranks;
+  /// Dead block roots successfully replaced by a surviving full holder.
+  std::uint64_t reroots = 0;
 };
 
 enum class BcastAlgo : std::uint8_t {
@@ -264,11 +301,36 @@ class OpBase {
   bool watchdog_fired() const { return watchdog_fired_; }
   bool failed() const { return failed_; }
   const std::string& error() const { return error_; }
+  OpStatus status() const {
+    if (failed_) return OpStatus::kFailed;
+    return missing_blocks_.empty() ? OpStatus::kOk : OpStatus::kPartial;
+  }
+  const std::vector<std::size_t>& missing_blocks() const {
+    return missing_blocks_;
+  }
+  std::uint64_t reroots() const { return reroots_; }
+  bool rank_crashed(std::size_t r) const { return crashed_[r] != 0; }
+  std::vector<std::size_t> crashed_ranks() const;
 
   /// Launches the op (records the start time, posts initial tasks).
   virtual void start() = 0;
   /// Byte-for-byte output validation (true in synthetic mode).
   virtual bool verify() const = 0;
+
+  /// Physical-crash channel (from the cluster's fault plane): settle the
+  /// dead rank's completion accounting so survivors alone gate done().
+  /// Protocol repair is NOT triggered here — survivors act only on what
+  /// their failure detector confirms (on_peer_confirmed_dead).
+  void note_rank_crashed(std::size_t r);
+  /// Detector channel: `observer` has confirmed `peer` dead. Crash-tolerant
+  /// ops override this to repair their rings; the default ignores it (P2P
+  /// baselines are not crash-tolerant — their watchdog-free variants rely
+  /// on a healthy fabric).
+  virtual void on_peer_confirmed_dead(std::size_t observer,
+                                      std::size_t peer) {
+    (void)observer;
+    (void)peer;
+  }
 
  protected:
   void mark_started();
@@ -293,6 +355,15 @@ class OpBase {
   bool watchdog_fired_ = false;
   bool failed_ = false;
   std::string error_;
+  std::vector<char> crashed_;  // physically crashed ranks
+  std::vector<std::size_t> missing_blocks_;  // abandoned (sorted at finish)
+  std::uint64_t reroots_ = 0;
+
+ private:
+  /// Notifies the communicator exactly once when the op transitions to
+  /// done() (detector deactivation is refcounted on in-flight ops).
+  void maybe_note_done();
+  bool done_noted_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -318,6 +389,27 @@ class Communicator {
   /// Cutoff slack currently in effect: equal to `config().cutoff_alpha`
   /// until an op observes loss, then adaptively tightened (see CommConfig).
   Time effective_cutoff_alpha() const { return adaptive_alpha_; }
+
+  // --- crash tolerance -------------------------------------------------------
+  /// The lease-based failure detector; null when disabled in the config.
+  FailureDetector* detector() { return detector_.get(); }
+  /// Physical truth from the fault plane: has this rank's host crashed?
+  /// Used for op accounting and result reporting only — the protocol's own
+  /// membership decisions go through the detector.
+  bool rank_host_crashed(std::size_t rank) const {
+    return host_crashed_[rank] != 0;
+  }
+  /// Membership view for new ops: a rank is presumed dead once its host
+  /// crashed or any survivor's detector confirmed it. start_allgather on a
+  /// shrunk communicator sources blocks from the presumed-alive ranks only.
+  bool rank_presumed_dead(std::size_t rank) const {
+    return rank_host_crashed(rank) ||
+           (detector_ && detector_->confirmed_by_any(rank));
+  }
+  std::size_t presumed_alive() const;
+  /// Op-lifecycle hooks (detector activation refcount).
+  void note_op_started();
+  void note_op_finished();
 
   // --- non-blocking API ------------------------------------------------------
   OpBase& start_broadcast(std::size_t root, std::uint64_t bytes,
@@ -352,6 +444,7 @@ class Communicator {
   friend class OpBase;
   OpResult run_blocking(OpBase& op);
   void note_op_loss(bool lossy);
+  void on_host_crash(fabric::NodeId host, bool crashed);
 
   Cluster& cluster_;
   CommConfig config_;
@@ -360,6 +453,9 @@ class Communicator {
   std::unordered_map<fabric::NodeId, std::size_t> rank_of_;
   std::vector<fabric::McastGroupId> groups_;  // one per subgroup
   std::vector<std::unique_ptr<OpBase>> ops_;
+  std::unique_ptr<FailureDetector> detector_;
+  std::vector<char> host_crashed_;
+  std::uint64_t crash_listener_id_ = 0;
   std::uint8_t next_tag_ = 1;
 
  public:

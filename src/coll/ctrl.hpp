@@ -29,6 +29,19 @@ enum class CtrlType : std::uint8_t {
   kFetchAck = 5,    // sender holds the whole block; fetch via RDMA Read
 
   kStep = 6,        // generic step token for P2P baselines (arg = step)
+
+  // Crash tolerance. Heartbeats ride the same RC control mesh as everything
+  // else (piggybacked liveness: progress on the connection renews leases).
+  // They are addressed to the reserved op id 0, which no collective ever
+  // uses — the communicator's failure detector registers that handler.
+  kHeartbeat = 7,    // lease renewal (arg unused)
+  // Root-repair protocol, run when a block's root is confirmed dead. Every
+  // survivor reports to the block's coordinator (first alive rank right of
+  // the dead root) whether it holds the full block; the coordinator either
+  // re-roots fetches at a surviving full holder or declares the block dead.
+  kBlockReport = 8,  // arg = | block:15 | holds_full:1 |
+  kReRoot = 9,       // arg = | block:8 | new_root:8 |
+  kBlockDead = 10,   // no survivor holds the block (arg = block)
 };
 
 struct CtrlMsg {

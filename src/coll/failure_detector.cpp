@@ -1,0 +1,138 @@
+#include "src/coll/failure_detector.hpp"
+
+#include "src/coll/communicator.hpp"
+#include "src/common/rng.hpp"
+
+namespace mccl::coll {
+
+FailureDetector::FailureDetector(Communicator& comm, DetectorConfig cfg)
+    : comm_(comm), cfg_(cfg) {
+  const std::size_t P = comm_.size();
+  views_.resize(P);
+  for (View& v : views_) {
+    v.lease.assign(P, 0);
+    v.suspect.assign(P, 0);
+    v.dead.assign(P, 0);
+  }
+  any_dead_.assign(P, 0);
+  // Per-rank tick phase: decorrelates the sweep timers so P ranks do not
+  // all fire on the same picosecond. Drawn once, from a seed independent
+  // of the fabric's fault RNG.
+  phase_.resize(P);
+  for (std::size_t r = 0; r < P; ++r) {
+    Rng rng(cfg_.seed ^ (0x5dee7ec7ull + r));
+    phase_[r] = static_cast<Time>(
+        rng.below(static_cast<std::uint64_t>(cfg_.heartbeat_interval)));
+  }
+  telemetry::MetricsRegistry& reg = comm_.cluster().telemetry().metrics;
+  ctr_heartbeats_ = &reg.counter("detector.heartbeats_sent");
+  ctr_suspicions_ = &reg.counter("detector.suspicions");
+  ctr_confirmed_ = &reg.counter("detector.confirmed_dead");
+  ctr_posthumous_ = &reg.counter("detector.posthumous_heartbeats");
+}
+
+void FailureDetector::note_op_started() {
+  if (++active_ops_ == 1) activate();
+}
+
+void FailureDetector::note_op_finished() {
+  MCCL_CHECK(active_ops_ > 0);
+  if (--active_ops_ == 0) deactivate();
+}
+
+void FailureDetector::activate() {
+  sim::Engine& eng = comm_.cluster().engine();
+  activated_at_ = eng.now();
+  ++generation_;
+  const std::uint64_t gen = generation_;
+  for (std::size_t r = 0; r < comm_.size(); ++r) {
+    View& v = views_[r];
+    // Fresh leases for everyone not already confirmed dead; stale suspicion
+    // from a previous activation window must not carry over.
+    for (std::size_t p = 0; p < comm_.size(); ++p) {
+      if (v.dead[p]) continue;
+      v.lease[p] = eng.now() + cfg_.lease_timeout;
+      v.suspect[p] = 0;
+    }
+    eng.schedule(cfg_.heartbeat_interval + phase_[r],
+                 [this, r, gen] { tick(r, gen); });
+  }
+}
+
+void FailureDetector::deactivate() {
+  // Pending ticks see a stale generation and fall through without
+  // rescheduling, so the event queue drains between ops.
+  ++generation_;
+}
+
+void FailureDetector::tick(std::size_t rank, std::uint64_t gen) {
+  if (gen != generation_ || active_ops_ == 0) return;
+  sim::Engine& eng = comm_.cluster().engine();
+  const Time now = eng.now();
+  if (now - activated_at_ > cfg_.max_active) return;  // wedged-run bound
+  Endpoint& ep = comm_.ep(rank);
+  // A crashed host's software is gone: it neither emits heartbeats nor
+  // sweeps leases. (Its NIC would drop the sends anyway; stopping the tick
+  // also stops the event churn.)
+  if (ep.nic().crashed()) return;
+
+  View& v = views_[rank];
+  telemetry::Telemetry& te = comm_.cluster().telemetry();
+  for (std::size_t p = 0; p < comm_.size(); ++p) {
+    if (p == rank || v.dead[p]) continue;
+    ep.ctrl_send(p, {CtrlType::kHeartbeat, 0, 0});
+    ++heartbeats_sent_;
+    ctr_heartbeats_->add(1);
+    if (now < v.lease[p]) continue;
+    // Lease expired with no heartbeat from p since the last sweep.
+    ++v.suspect[p];
+    ++suspicions_total_;
+    ctr_suspicions_->add(1);
+    v.lease[p] = now + cfg_.heartbeat_interval;  // re-check next sweep
+    te.recorder.record(now, static_cast<std::int32_t>(ep.host()),
+                       telemetry::EventCat::kDetector, "peer_suspected", p,
+                       v.suspect[p]);
+    if (v.suspect[p] >= cfg_.suspect_threshold) confirm(rank, p);
+  }
+  eng.schedule(cfg_.heartbeat_interval, [this, rank, gen] { tick(rank, gen); });
+}
+
+void FailureDetector::confirm(std::size_t observer, std::size_t peer) {
+  View& v = views_[observer];
+  if (v.dead[peer]) return;
+  v.dead[peer] = 1;
+  any_dead_[peer] = 1;
+  ++confirmed_total_;
+  ctr_confirmed_->add(1);
+  telemetry::Telemetry& te = comm_.cluster().telemetry();
+  const Time now = comm_.cluster().engine().now();
+  Endpoint& ep = comm_.ep(observer);
+  te.recorder.record(now, static_cast<std::int32_t>(ep.host()),
+                     telemetry::EventCat::kDetector, "peer_dead", peer, 0);
+  if (te.tracer.enabled())
+    te.tracer.instant(ep.trace_track(), "peer_dead", now, "detector");
+  for (const DeathListener& fn : listeners_) fn(observer, peer);
+}
+
+void FailureDetector::on_heartbeat(std::size_t observer, std::size_t src) {
+  View& v = views_[observer];
+  if (v.dead[src]) {
+    // Crash-stop: confirmations are final. A heartbeat that raced the
+    // confirmation through the fabric is counted and dropped.
+    ++posthumous_;
+    ctr_posthumous_->add(1);
+    return;
+  }
+  v.lease[src] = comm_.cluster().engine().now() + cfg_.lease_timeout;
+  v.suspect[src] = 0;
+}
+
+std::size_t FailureDetector::alive_count(std::size_t observer) const {
+  const View& v = views_[observer];
+  std::size_t n = 0;
+  for (std::size_t p = 0; p < comm_.size(); ++p)
+    if (!v.dead[p]) ++n;
+  return n;
+}
+
+}  // namespace mccl::coll

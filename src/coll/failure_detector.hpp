@@ -1,0 +1,126 @@
+// Lease-based failure detection for crash-tolerant collectives.
+//
+// Liveness is tracked per observer rank: every rank grants each peer a
+// lease and renews it when a heartbeat from that peer arrives over the RC
+// control mesh (CtrlType::kHeartbeat on the reserved op id 0 — the same
+// connections that carry barrier tokens and fetch coordination, so a
+// heartbeat that gets through also proves the control plane usable).
+// Heartbeats are emitted only while at least one collective is in flight;
+// an idle communicator schedules nothing and the event queue drains.
+//
+// An expired lease raises a suspicion; `suspect_threshold` consecutive
+// expiries with no intervening heartbeat confirm the peer dead. The model
+// is crash-stop: confirmation latches permanently and posthumous
+// heartbeats are counted but ignored. Confirmed deaths are delivered to
+// listeners (the communicator fans them out to in-flight ops, which repair
+// their rings around the dead rank).
+//
+// Determinism: per-rank tick phases come from Rng(seed ^ rank) and all
+// timers from the simulation clock, so identical seeds and fault timelines
+// replay bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/units.hpp"
+
+namespace mccl::telemetry {
+class Counter;
+}  // namespace mccl::telemetry
+
+namespace mccl::coll {
+
+class Communicator;
+
+struct DetectorConfig {
+  bool enabled = true;
+  /// Heartbeat emission and lease-sweep period per rank.
+  Time heartbeat_interval = 100 * kMicrosecond;
+  /// Lease granted on every received heartbeat (and at activation).
+  Time lease_timeout = 400 * kMicrosecond;
+  /// Consecutive lease expiries before a peer is confirmed dead. With the
+  /// defaults a silent peer is confirmed after ~lease_timeout plus
+  /// (threshold - 1) sweep periods — well before the op watchdog.
+  std::uint32_t suspect_threshold = 3;
+  /// Seeds the per-rank tick phase jitter (decorrelates rank timers).
+  std::uint64_t seed = 1;
+  /// Hard bound on one activation window: if an op keeps the detector
+  /// alive longer than this, ticking stops so a wedged simulation drains
+  /// (and trips the usual incomplete-run check) instead of spinning
+  /// forever. The collective watchdog fires far earlier.
+  Time max_active = 500000 * kMicrosecond;
+};
+
+class FailureDetector {
+ public:
+  /// Called once per (observer, peer) confirmation, in confirmation order.
+  using DeathListener =
+      std::function<void(std::size_t observer, std::size_t peer)>;
+
+  FailureDetector(Communicator& comm, DetectorConfig cfg);
+
+  const DetectorConfig& config() const { return cfg_; }
+  void add_listener(DeathListener fn) { listeners_.push_back(std::move(fn)); }
+
+  /// Op lifecycle: the detector ticks only while ops are in flight.
+  void note_op_started();
+  void note_op_finished();
+  bool active() const { return active_ops_ > 0; }
+
+  /// Heartbeat receipt at `observer` from `src` (wired by the communicator
+  /// into the op-0 control handler).
+  void on_heartbeat(std::size_t observer, std::size_t src);
+
+  /// True once `observer` has confirmed `peer` dead (latched).
+  bool dead(std::size_t observer, std::size_t peer) const {
+    return views_[observer].dead[peer] != 0;
+  }
+  /// True once any observer has confirmed `peer` dead — the communicator's
+  /// membership view for ops started later.
+  bool confirmed_by_any(std::size_t peer) const {
+    return any_dead_[peer] != 0;
+  }
+  /// Peers (including self) `observer` still considers alive.
+  std::size_t alive_count(std::size_t observer) const;
+
+  std::uint64_t heartbeats_sent() const { return heartbeats_sent_; }
+  std::uint64_t suspicions() const { return suspicions_total_; }
+  std::uint64_t confirmed_dead() const { return confirmed_total_; }
+  std::uint64_t posthumous_heartbeats() const { return posthumous_; }
+
+ private:
+  struct View {
+    std::vector<Time> lease;              // per peer, absolute expiry
+    std::vector<std::uint32_t> suspect;   // consecutive expiries
+    std::vector<char> dead;               // latched confirmations
+  };
+
+  void activate();
+  void deactivate();
+  void tick(std::size_t rank, std::uint64_t gen);
+  void confirm(std::size_t observer, std::size_t peer);
+
+  Communicator& comm_;
+  DetectorConfig cfg_;
+  std::vector<View> views_;
+  std::vector<Time> phase_;      // deterministic per-rank first-tick offset
+  std::vector<char> any_dead_;
+  std::vector<DeathListener> listeners_;
+  std::size_t active_ops_ = 0;
+  std::uint64_t generation_ = 0;  // invalidates ticks across idle windows
+  Time activated_at_ = 0;
+
+  std::uint64_t heartbeats_sent_ = 0;
+  std::uint64_t suspicions_total_ = 0;
+  std::uint64_t confirmed_total_ = 0;
+  std::uint64_t posthumous_ = 0;
+  // Registry references resolved once at wiring time (hot-path friendly).
+  telemetry::Counter* ctr_heartbeats_ = nullptr;
+  telemetry::Counter* ctr_suspicions_ = nullptr;
+  telemetry::Counter* ctr_confirmed_ = nullptr;
+  telemetry::Counter* ctr_posthumous_ = nullptr;
+};
+
+}  // namespace mccl::coll

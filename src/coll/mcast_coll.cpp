@@ -64,9 +64,25 @@ McastCollective::McastCollective(Communicator& comm, std::string name,
     if (fill) fill_pattern(mem, s.sendbuf, p_.block_bytes, id(), r);
 
     s.barrier_seen.assign(barrier_rounds_ == 0 ? 1 : barrier_rounds_, 0);
+    s.barrier_credited.assign(barrier_rounds_ == 0 ? 1 : barrier_rounds_, 0);
     s.block_received.assign(p_.roots.size(), 0);
     s.fetch_waiters.assign(p_.roots.size(), {});
     s.fetch.assign(p_.roots.size(), BlockFetch{});
+    s.finals_from.assign(P, 0);
+    s.peer_dead.assign(P, 0);
+    s.block_root = p_.roots;
+    s.block_abandoned.assign(p_.roots.size(), 0);
+    s.block_reports.assign(p_.roots.size(),
+                           std::vector<std::uint8_t>(P, 0));
+    s.block_decision.assign(p_.roots.size(), 0);
+    s.block_new_root.assign(p_.roots.size(), 0);
+    // Seed the membership view from this rank's detector: peers confirmed
+    // dead in earlier ops stay dead (crash-stop), so a new op never waits
+    // on them.
+    if (FailureDetector* det = comm.detector()) {
+      for (std::size_t p = 0; p < P; ++p)
+        if (p != r && det->dead(r, p)) s.peer_dead[p] = 1;
+    }
     s.bitmaps.reserve(map_.subgroups);
     for (std::size_t sg = 0; sg < map_.subgroups; ++sg)
       s.bitmaps.emplace_back(map_.total_chunks());
@@ -101,8 +117,10 @@ McastCollective::~McastCollective() {
 
 void McastCollective::start() {
   mark_started();
+  if (done()) return;  // every rank was already crashed
   arm_watchdog();
   for (std::size_t r = 0; r < comm_.size(); ++r) {
+    if (rank_crashed(r)) continue;  // dead hosts run nothing
     st_[r].t_start = start_time_;
     barrier_kick(r);
     if (is_root(r)) {
@@ -113,7 +131,7 @@ void McastCollective::start() {
       const std::uint64_t dst =
           s.recvbuf + static_cast<std::size_t>(s.root_index) * p_.block_bytes;
       ep.nic().post_local_copy(s.sendbuf, dst, p_.block_bytes, [this, r] {
-        if (failed_) return;
+        if (failed_ || rank_crashed(r)) return;
         RankState& s2 = st_[r];
         s2.local_copy_done = true;
         const auto own = static_cast<std::size_t>(s2.root_index);
@@ -123,6 +141,19 @@ void McastCollective::start() {
       });
     }
   }
+}
+
+std::size_t McastCollective::left_alive_of(std::size_t r,
+                                           std::size_t from) const {
+  std::size_t x = left_of(from);
+  while (x != r && st_[r].peer_dead[x]) x = left_of(x);
+  return x;  // r itself when no other survivor exists
+}
+
+std::size_t McastCollective::right_alive_of(std::size_t r) const {
+  std::size_t x = right_of(r);
+  while (x != r && st_[r].peer_dead[x]) x = right_of(x);
+  return x;
 }
 
 // --------------------------------------------------------------------------
@@ -135,6 +166,7 @@ void McastCollective::barrier_kick(std::size_t r) {
     on_barrier_done(r);
     return;
   }
+  credit_barrier(r);  // peers already dead at op start never send tokens
   barrier_send_round(r);
 }
 
@@ -142,10 +174,27 @@ void McastCollective::barrier_send_round(std::size_t r) {
   RankState& s = st_[r];
   const std::size_t P = comm_.size();
   const std::size_t dist = std::size_t{1} << s.barrier_round;
-  comm_.ep(r).ctrl_send((r + dist) % P,
-                        {CtrlType::kBarrier, id(),
-                         static_cast<std::uint16_t>(s.barrier_round)});
+  const std::size_t dst = (r + dist) % P;
+  if (!s.peer_dead[dst])
+    comm_.ep(r).ctrl_send(dst, {CtrlType::kBarrier, id(),
+                                static_cast<std::uint16_t>(s.barrier_round)});
   barrier_advance(r);
+}
+
+void McastCollective::credit_barrier(std::size_t r) {
+  RankState& s = st_[r];
+  const std::size_t P = comm_.size();
+  for (std::size_t k = 0; k < barrier_rounds_; ++k) {
+    if (s.barrier_credited[k]) continue;
+    const std::size_t dist = std::size_t{1} << k;
+    const std::size_t sender = (r + P - dist) % P;
+    if (!s.peer_dead[sender]) continue;
+    // The round-k token sender is dead: grant the token it can no longer
+    // send. Credited at most once per round; a token that did get out
+    // before the crash leaves a harmless surplus in barrier_seen.
+    s.barrier_credited[k] = 1;
+    ++s.barrier_seen[k];
+  }
 }
 
 void McastCollective::barrier_advance(std::size_t r) {
@@ -168,9 +217,13 @@ void McastCollective::on_barrier_done(std::size_t r) {
   s.barrier_done = true;
   s.t_barrier = comm_.cluster().engine().now();
   arm_cutoff(r);
-  if (is_root(r) &&
-      schedule_.is_chain_head(static_cast<std::size_t>(s.root_index)))
-    activate_send(r);
+  if (is_root(r)) {
+    const auto my = static_cast<std::size_t>(s.root_index);
+    // Chain heads start immediately; a root whose chain predecessor died
+    // will never see its activation token and self-activates.
+    if (schedule_.is_chain_head(my) || s.peer_dead[p_.roots[my - 1]])
+      activate_send(r);
+  }
   // Degenerate case: nothing to receive (single-root broadcast at the root).
   check_data_complete(r);
 }
@@ -181,7 +234,10 @@ void McastCollective::on_barrier_done(std::size_t r) {
 
 void McastCollective::activate_send(std::size_t r) {
   RankState& s = st_[r];
-  MCCL_CHECK(is_root(r) && !s.send_active);
+  MCCL_CHECK(is_root(r));
+  // Idempotent: after ring repair a root can be activated both by a late
+  // chain token and by its predecessor's death confirmation.
+  if (s.send_active) return;
   s.send_active = true;
   for (std::size_t sg = 0; sg < map_.subgroups; ++sg) send_batch(r, sg, 0);
 }
@@ -201,6 +257,7 @@ void McastCollective::send_batch(std::size_t r, std::size_t sg,
                  ep.send_costs().send_post.stall * batch} +
       ep.send_costs().doorbell;
   ep.send_worker(sg).post(cost, [this, r, sg, pos, batch] {
+    if (failed_ || rank_crashed(r)) return;
     Endpoint& ep = comm_.ep(r);
     RankState& s = st_[r];
     const auto& indices = sg_indices_[sg];
@@ -235,7 +292,13 @@ void McastCollective::on_subgroup_sent(std::size_t r, std::size_t sg) {
   if (++s.subgroups_done < map_.subgroups) return;
   s.send_done = true;
   s.t_send_done = comm_.cluster().engine().now();
-  const int next = schedule_.successor(static_cast<std::size_t>(s.root_index));
+  // Pass the activation token to the next root in the chain that is still
+  // alive. The root after a skipped (dead) one may also self-activate once
+  // it confirms the death itself — token and repair are deliberately
+  // redundant, and activation is idempotent.
+  int next = schedule_.successor(static_cast<std::size_t>(s.root_index));
+  while (next >= 0 && s.peer_dead[p_.roots[static_cast<std::size_t>(next)]])
+    next = schedule_.successor(static_cast<std::size_t>(next));
   if (next >= 0)
     comm_.ep(r).ctrl_send(p_.roots[static_cast<std::size_t>(next)],
                           {CtrlType::kChainToken, id(), 0});
@@ -248,7 +311,7 @@ void McastCollective::on_subgroup_sent(std::size_t r, std::size_t sg) {
 
 void McastCollective::on_chunk(std::size_t r, std::uint32_t chunk,
                                std::size_t sg, const rdma::Cqe& cqe) {
-  if (failed_) return;
+  if (failed_ || rank_crashed(r)) return;
   if (cqe.opcode == rdma::CqeOpcode::kSend) {
     on_subgroup_sent(r, sg);
     return;
@@ -289,17 +352,38 @@ bool McastCollective::set_chunk(std::size_t r, std::uint32_t id) {
 
 void McastCollective::check_data_complete(std::size_t r) {
   RankState& s = st_[r];
-  if (failed_ || s.data_complete || !s.barrier_done) return;
-  if (s.received < s.expected || s.pending_copies > 0 || !s.local_copy_done)
+  if (failed_ || rank_crashed(r) || s.data_complete || !s.barrier_done)
+    return;
+  if (s.pending_copies > 0 || !s.local_copy_done || !all_blocks_satisfied(r))
     return;
   s.data_complete = true;
   s.t_data = comm_.cluster().engine().now();
   if (s.recovering) s.t_recovery = s.t_data - s.t_recovery_begin;
   ++s.timer_gen;  // cancel the cutoff timer
-  // Final handshake: tell the left neighbor we are complete.
-  s.final_sent = true;
-  comm_.ep(r).ctrl_send(left_of(r), {CtrlType::kFinal, id(), 0});
+  send_final(r);
   check_op_done(r);
+}
+
+bool McastCollective::all_blocks_satisfied(std::size_t r) const {
+  const RankState& s = st_[r];
+  for (std::size_t b = 0; b < p_.roots.size(); ++b) {
+    if (static_cast<int>(b) == s.root_index) continue;
+    if (s.block_received[b] < map_.chunks_per_block() &&
+        !s.block_abandoned[b])
+      return false;
+  }
+  return true;
+}
+
+void McastCollective::send_final(std::size_t r) {
+  // Final handshake: tell the left-alive neighbor we are complete (the
+  // static left neighbor pre-repair). A sole survivor has nobody to tell.
+  RankState& s = st_[r];
+  const std::size_t dst = left_alive_of(r, r);
+  s.final_sent = true;
+  if (dst == r) return;
+  s.final_sent_to = dst;
+  comm_.ep(r).ctrl_send(dst, {CtrlType::kFinal, id(), 0});
 }
 
 // --------------------------------------------------------------------------
@@ -325,7 +409,8 @@ void McastCollective::arm_cutoff(std::size_t r) {
 
 void McastCollective::on_cutoff(std::size_t r, std::uint64_t gen) {
   RankState& s = st_[r];
-  if (failed_ || gen != s.timer_gen || s.data_complete) return;
+  if (failed_ || rank_crashed(r) || gen != s.timer_gen || s.data_complete)
+    return;
   // Without the reliability layer there is no slow path; the watchdog is
   // the only thing standing between a lossy fabric and a hang.
   if (!comm_.config().reliability) return;
@@ -340,11 +425,15 @@ void McastCollective::on_cutoff(std::size_t r, std::uint64_t gen) {
     te.tracer.instant(comm_.ep(r).trace_track(), "cutoff",
                       s.t_recovery_begin, "coll");
   // One fetch request per incomplete block: the target acks each block as
-  // soon as it holds it in full. The first target is the left neighbor.
+  // soon as it holds it in full. The first target is the left-alive
+  // neighbor (the static left neighbor unless it already died).
+  const std::size_t tgt = left_alive_of(r, r);
+  if (tgt == r) return;  // sole survivor: nothing to fetch from
   for (std::size_t b = 0; b < p_.roots.size(); ++b) {
     if (static_cast<int>(b) == s.root_index) continue;
-    if (s.block_received[b] < map_.chunks_per_block())
-      start_fetch(r, b, left_of(r));
+    if (s.block_received[b] < map_.chunks_per_block() &&
+        !s.block_abandoned[b])
+      start_fetch(r, b, tgt);
   }
 }
 
@@ -374,6 +463,7 @@ void McastCollective::start_fetch(std::size_t r, std::size_t block,
   f.acked = false;
   f.target = target;
   f.attempts = 1;
+  f.reads_outstanding = 0;
   ++f.gen;
   telem().recorder.record(comm_.cluster().engine().now(),
                           static_cast<std::int32_t>(r),
@@ -399,8 +489,10 @@ void McastCollective::on_fetch_retry(std::size_t r, std::size_t block,
                                      std::uint64_t gen) {
   RankState& s = st_[r];
   BlockFetch& f = s.fetch[block];
-  if (failed_ || !f.active || f.acked || gen != f.gen) return;
+  if (failed_ || rank_crashed(r) || !f.active || f.acked || gen != f.gen)
+    return;
   if (s.block_received[block] == map_.chunks_per_block()) return;
+  if (s.block_abandoned[block]) return;
   if (f.attempts < comm_.config().fetch_retry_cap) {
     // Same target, another request: the original (or its ACK) may have
     // been lost on a degraded link.
@@ -420,12 +512,14 @@ void McastCollective::on_fetch_retry(std::size_t r, std::size_t block,
     return;
   }
   // Retries exhausted: the target is unreachable or stuck. Fail over one
-  // step further left. The chain still terminates at the block root (which
-  // completes its block through the local copy); if even the root is
-  // unreachable the watchdog ends the op.
+  // step further left, skipping ranks this rank knows are dead. The chain
+  // still terminates at the block root (which completes its block through
+  // the local copy); if even the root is unreachable the watchdog ends the
+  // op.
   std::size_t next = left_of(f.target);
-  if (next == r) next = left_of(next);  // never fetch from ourselves
-  if (next == f.target) return;         // two-rank comm: nowhere to go
+  while ((next == r || s.peer_dead[next]) && next != f.target)
+    next = left_of(next);  // never fetch from ourselves or a dead rank
+  if (next == f.target || next == r) return;  // nowhere else to go
   ++fetch_failovers_;
   f.target = next;
   f.attempts = 1;
@@ -446,7 +540,8 @@ void McastCollective::on_fetch_retry(std::size_t r, std::size_t block,
 void McastCollective::on_fetch_ack(std::size_t r, std::size_t block,
                                    std::size_t src) {
   RankState& s = st_[r];
-  if (failed_ || s.data_complete) return;
+  if (failed_ || rank_crashed(r) || s.data_complete) return;
+  if (s.block_abandoned[block]) return;  // decided dead while the ACK flew
   BlockFetch& f = s.fetch[block];
   if (f.acked) return;  // duplicate ACK (retry raced the original)
   f.acked = true;
@@ -472,8 +567,10 @@ void McastCollective::on_fetch_ack(std::size_t r, std::size_t block,
   fetched_chunks_ += missing.size();
   Endpoint& ep = comm_.ep(r);
   s.pending_fetches += missing.size();
+  f.reads_outstanding = missing.size();
   for (const std::uint32_t id32 : missing) {
     ep.recv_worker(0).post(ep.costs().fetch_post, [this, r, src, id32] {
+      if (failed_ || rank_crashed(r)) return;
       RankState& s2 = st_[r];
       Endpoint& ep2 = comm_.ep(r);
       rdma::SendFlags flags;
@@ -492,12 +589,273 @@ void McastCollective::on_fetch_ack(std::size_t r, std::size_t block,
 
 void McastCollective::on_read_done(std::size_t r, const rdma::Cqe& cqe) {
   RankState& s = st_[r];
-  if (failed_) return;
+  if (failed_ || rank_crashed(r)) return;
   MCCL_CHECK(cqe.opcode == rdma::CqeOpcode::kRead);
   const std::uint32_t id32 = static_cast<std::uint32_t>(cqe.wr_id);
   set_chunk(r, id32);  // may be a duplicate if multicast raced the fetch
+  BlockFetch& f = s.fetch[map_.block_of(id32)];
+  if (f.reads_outstanding > 0) --f.reads_outstanding;
   MCCL_CHECK(s.pending_fetches > 0);
   if (--s.pending_fetches == 0) check_data_complete(r);
+}
+
+// --------------------------------------------------------------------------
+// Crash repair. Driven purely by the failure detector's *confirmations*
+// (the survivors' protocol view) — never by physical crash truth, which
+// only the op-accounting layer (note_rank_crashed) may consult.
+// --------------------------------------------------------------------------
+
+void McastCollective::on_peer_confirmed_dead(std::size_t observer,
+                                             std::size_t peer) {
+  const std::size_t r = observer;
+  RankState& s = st_[r];
+  if (failed_ || rank_crashed(r) || s.peer_dead[peer]) return;
+  s.peer_dead[peer] = 1;
+  note_repair(r);
+  // (1) Barrier: credit rounds whose token sender just died.
+  if (!s.barrier_done) {
+    credit_barrier(r);
+    barrier_advance(r);
+  }
+  // (2) Chain: self-activate if the chain predecessor died before passing
+  // the token (the predecessor's predecessor also routes around, so this
+  // is redundant — and activate_send is idempotent).
+  if (is_root(r) && !s.send_active && s.barrier_done) {
+    const auto my = static_cast<std::size_t>(s.root_index);
+    if (!schedule_.is_chain_head(my) && s.peer_dead[p_.roots[my - 1]])
+      activate_send(r);
+  }
+  // (3) Fetches aimed at the dead rank fail over immediately.
+  repair_fetches(r, peer);
+  // (4) Root repair: a block whose current root is now dead needs a
+  // survivor census. Re-report also when the previous *coordinator* died
+  // (coordinator_of shifts right, and the new coordinator needs our
+  // report).
+  for (std::size_t b = 0; b < p_.roots.size(); ++b) {
+    if (s.peer_dead[s.block_root[b]] && !s.block_abandoned[b] &&
+        s.block_decision[b] == 0)
+      send_block_report(r, b);
+  }
+  // (5) Handshake ring re-closure: if our Final went to a rank that died,
+  // resend it to the new left-alive neighbor.
+  if (s.data_complete && s.final_sent) {
+    const std::size_t dst = left_alive_of(r, r);
+    if (dst != r && dst != s.final_sent_to) {
+      s.final_sent_to = dst;
+      comm_.ep(r).ctrl_send(dst, {CtrlType::kFinal, id(), 0});
+      telem().recorder.record(comm_.cluster().engine().now(),
+                              static_cast<std::int32_t>(r),
+                              telemetry::EventCat::kColl, "final_resend",
+                              dst, peer);
+    }
+  }
+  // (6) A dead rank no longer owes the coordinator a report: decisions
+  // that were waiting on it can now fall.
+  for (std::size_t b = 0; b < p_.roots.size(); ++b) maybe_decide_block(r, b);
+  // (7) Completion re-check: the dead rank may have been the only thing
+  // this rank was waiting on (its Final, or its block now abandoned).
+  check_data_complete(r);
+  check_op_done(r);
+}
+
+void McastCollective::note_repair(std::size_t r) {
+  RankState& s = st_[r];
+  if (s.repairing) return;
+  s.repairing = true;
+  s.t_repair_begin = comm_.cluster().engine().now();
+  telem().recorder.record(s.t_repair_begin, static_cast<std::int32_t>(r),
+                          telemetry::EventCat::kColl, "repair_begin", id(),
+                          0);
+}
+
+void McastCollective::repair_fetches(std::size_t r, std::size_t dead) {
+  RankState& s = st_[r];
+  for (std::size_t b = 0; b < p_.roots.size(); ++b) {
+    BlockFetch& f = s.fetch[b];
+    if (!f.active || f.target != dead) continue;
+    if (s.block_received[b] == map_.chunks_per_block() ||
+        s.block_abandoned[b]) {
+      f.active = false;
+      ++f.gen;
+      continue;
+    }
+    // RDMA Reads posted to the dead target never complete; discount them
+    // so pending_fetches can reach zero again.
+    if (f.acked && f.reads_outstanding > 0) {
+      MCCL_CHECK(s.pending_fetches >= f.reads_outstanding);
+      s.pending_fetches -= f.reads_outstanding;
+      f.reads_outstanding = 0;
+    }
+    ++fetch_failovers_;
+    telem().recorder.record(comm_.cluster().engine().now(),
+                            static_cast<std::int32_t>(r),
+                            telemetry::EventCat::kColl, "fetch_dead_target",
+                            b, dead);
+    const std::size_t next = left_alive_of(r, f.target);
+    if (next == r) {  // no surviving target; root repair decides the block
+      f.active = false;
+      ++f.gen;
+      continue;
+    }
+    start_fetch(r, b, next);
+  }
+}
+
+std::size_t McastCollective::coordinator_of(std::size_t r,
+                                            std::size_t block) const {
+  // First rank right of the dead root that this rank considers alive; may
+  // be r itself. Views can transiently disagree across ranks — the
+  // re-report rule in on_peer_confirmed_dead reconciles them.
+  const RankState& s = st_[r];
+  const std::size_t d = s.block_root[block];
+  std::size_t x = right_of(d);
+  while (x != d && s.peer_dead[x]) x = right_of(x);
+  return x;
+}
+
+void McastCollective::send_block_report(std::size_t r, std::size_t block) {
+  RankState& s = st_[r];
+  const std::size_t c = coordinator_of(r, block);
+  const bool full = s.block_received[block] == map_.chunks_per_block();
+  telem().recorder.record(comm_.cluster().engine().now(),
+                          static_cast<std::int32_t>(r),
+                          telemetry::EventCat::kColl, "block_report", block,
+                          c);
+  if (c == r) {
+    on_block_report(r, block, r, full);
+    return;
+  }
+  MCCL_CHECK(block < (std::size_t{1} << 15));
+  comm_.ep(r).ctrl_send(
+      c, {CtrlType::kBlockReport, id(),
+          static_cast<std::uint16_t>((block << 1) | (full ? 1u : 0u))});
+}
+
+void McastCollective::on_block_report(std::size_t r, std::size_t block,
+                                      std::size_t src, bool holds_full) {
+  RankState& s = st_[r];
+  if (s.block_decision[block] != 0) {
+    // Decision already made; a late reporter (its own confirmation lagged)
+    // just gets the verdict replayed.
+    if (src != r) send_decision_to(r, block, src);
+    return;
+  }
+  s.block_reports[block][src] = holds_full ? 2 : 1;
+  maybe_decide_block(r, block);
+}
+
+void McastCollective::maybe_decide_block(std::size_t r, std::size_t block) {
+  RankState& s = st_[r];
+  if (s.block_decision[block] != 0) return;
+  if (!s.peer_dead[s.block_root[block]]) return;  // root (still) alive
+  if (coordinator_of(r, block) != r) return;      // not our call
+  const std::size_t P = comm_.size();
+  for (std::size_t x = 0; x < P; ++x) {
+    if (s.peer_dead[x] || x == r) continue;
+    if (s.block_reports[block][x] == 0) return;  // census incomplete
+  }
+  // Our own report may arrive via send_block_report(c == r) or not at all
+  // (we confirmed the root dead only after becoming coordinator); count
+  // ourselves directly.
+  s.block_reports[block][r] =
+      s.block_received[block] == map_.chunks_per_block() ? 2 : 1;
+  std::size_t holder = P;
+  for (std::size_t x = 0; x < P; ++x) {
+    if (s.peer_dead[x]) continue;
+    if (s.block_reports[block][x] == 2) {
+      holder = x;
+      break;  // lowest-rank surviving full holder
+    }
+  }
+  const Time now = comm_.cluster().engine().now();
+  telemetry::Telemetry& te = telem();
+  if (holder < P) {
+    s.block_decision[block] = 1;
+    s.block_new_root[block] = holder;
+    ++reroots_;
+    te.recorder.record(now, static_cast<std::int32_t>(r),
+                       telemetry::EventCat::kColl, "block_reroot", block,
+                       holder);
+    if (te.tracer.enabled())
+      te.tracer.instant(comm_.ep(r).trace_track(), "block_reroot", now,
+                        "coll");
+  } else {
+    s.block_decision[block] = 2;
+    // Degraded completion: record the block as unrecoverable at op level
+    // (once — several coordinators can reach the same verdict for
+    // different blocks, not the same one, but be safe).
+    if (std::find(missing_blocks_.begin(), missing_blocks_.end(), block) ==
+        missing_blocks_.end())
+      missing_blocks_.push_back(block);
+    te.recorder.record(now, static_cast<std::int32_t>(r),
+                       telemetry::EventCat::kColl, "block_dead", block,
+                       s.block_root[block]);
+    if (te.tracer.enabled())
+      te.tracer.instant(comm_.ep(r).trace_track(), "block_dead", now,
+                        "coll");
+  }
+  for (std::size_t x = 0; x < P; ++x) {
+    if (x == r || s.peer_dead[x]) continue;
+    send_decision_to(r, block, x);
+  }
+  if (s.block_decision[block] == 1)
+    apply_reroot(r, block, s.block_new_root[block]);
+  else
+    apply_block_dead(r, block);
+}
+
+void McastCollective::send_decision_to(std::size_t r, std::size_t block,
+                                       std::size_t peer) {
+  const RankState& s = st_[r];
+  if (s.block_decision[block] == 1) {
+    const std::size_t h = s.block_new_root[block];
+    MCCL_CHECK(block < 256 && h < 256);
+    comm_.ep(r).ctrl_send(
+        peer, {CtrlType::kReRoot, id(),
+               static_cast<std::uint16_t>((block << 8) | h)});
+  } else {
+    comm_.ep(r).ctrl_send(peer, {CtrlType::kBlockDead, id(),
+                                 static_cast<std::uint16_t>(block)});
+  }
+}
+
+void McastCollective::apply_reroot(std::size_t r, std::size_t block,
+                                   std::size_t new_root) {
+  RankState& s = st_[r];
+  s.block_root[block] = new_root;  // future root-deaths census against this
+  if (s.block_abandoned[block] || rank_crashed(r) || s.data_complete) return;
+  if (s.block_received[block] == map_.chunks_per_block()) return;
+  BlockFetch& f = s.fetch[block];
+  // Reads already in flight from a live holder will complete; leave them.
+  if (f.active && f.acked) return;
+  if (!s.recovering) {
+    s.recovering = true;
+    s.t_recovery_begin = comm_.cluster().engine().now();
+  }
+  if (new_root != r) start_fetch(r, block, new_root);
+}
+
+void McastCollective::apply_block_dead(std::size_t r, std::size_t block) {
+  RankState& s = st_[r];
+  if (s.block_abandoned[block]) return;
+  if (s.block_received[block] == map_.chunks_per_block()) return;  // we hold it
+  s.block_abandoned[block] = 1;
+  BlockFetch& f = s.fetch[block];
+  if (f.active) {
+    if (f.acked && f.reads_outstanding > 0) {
+      MCCL_CHECK(s.pending_fetches >= f.reads_outstanding);
+      s.pending_fetches -= f.reads_outstanding;
+      f.reads_outstanding = 0;
+    }
+    f.active = false;
+    ++f.gen;
+  }
+  s.fetch_waiters[block].clear();  // nobody can be served a dead block
+  telem().recorder.record(comm_.cluster().engine().now(),
+                          static_cast<std::int32_t>(r),
+                          telemetry::EventCat::kColl, "block_abandoned",
+                          block, 0);
+  check_data_complete(r);
 }
 
 // --------------------------------------------------------------------------
@@ -555,7 +913,7 @@ void McastCollective::on_watchdog() {
 void McastCollective::on_ctrl(std::size_t r, const CtrlMsg& msg,
                               std::size_t src, const rdma::Cqe& cqe) {
   (void)cqe;
-  if (failed_) return;
+  if (failed_ || rank_crashed(r)) return;
   RankState& s = st_[r];
   switch (msg.type) {
     case CtrlType::kBarrier: {
@@ -568,13 +926,16 @@ void McastCollective::on_ctrl(std::size_t r, const CtrlMsg& msg,
       activate_send(r);
       break;
     case CtrlType::kFinal:
-      MCCL_CHECK(src == right_of(r));
-      s.final_from_right = true;
+      // After ring repair the Final may come from any survivor whose
+      // left-alive neighbor we are, not just the static right neighbor.
+      s.finals_from[src] = 1;
       check_op_done(r);
       break;
     case CtrlType::kFetchReq: {
       // Any rank may ask (failover walks past the immediate neighbor);
-      // retries make duplicates normal.
+      // retries make duplicates normal. A request from a rank we have
+      // confirmed dead is a posthumous straggler — ignore it.
+      if (s.peer_dead[src]) break;
       const std::size_t block = msg.arg;
       if (s.block_received[block] == map_.chunks_per_block()) {
         comm_.ep(r).ctrl_send(src, {CtrlType::kFetchAck, id(), msg.arg});
@@ -588,6 +949,15 @@ void McastCollective::on_ctrl(std::size_t r, const CtrlMsg& msg,
     case CtrlType::kFetchAck:
       on_fetch_ack(r, msg.arg, src);
       break;
+    case CtrlType::kBlockReport:
+      on_block_report(r, msg.arg >> 1, src, (msg.arg & 1u) != 0);
+      break;
+    case CtrlType::kReRoot:
+      apply_reroot(r, msg.arg >> 8, msg.arg & 0xffu);
+      break;
+    case CtrlType::kBlockDead:
+      apply_block_dead(r, msg.arg);
+      break;
     default:
       MCCL_CHECK_MSG(false, "unexpected control message");
   }
@@ -595,7 +965,11 @@ void McastCollective::on_ctrl(std::size_t r, const CtrlMsg& msg,
 
 void McastCollective::check_op_done(std::size_t r) {
   RankState& s = st_[r];
-  if (failed_ || s.op_done || !s.data_complete || !s.final_from_right) return;
+  if (failed_ || rank_crashed(r) || s.op_done || !s.data_complete) return;
+  // Wait for the Final of whoever currently counts us as *their* left-alive
+  // neighbor: our right-alive neighbor. A sole survivor waits on nobody.
+  const std::size_t ra = right_alive_of(r);
+  if (ra != r && !s.finals_from[ra]) return;
   if (is_root(r) && !s.send_done) return;
   s.op_done = true;
   const Time now = comm_.cluster().engine().now();
@@ -617,6 +991,8 @@ void McastCollective::check_op_done(std::size_t r) {
     if (s.recovering)
       tracer.complete(track, "recovery", s.t_recovery_begin,
                       s.t_recovery_begin + s.t_recovery, "coll");
+    if (s.repairing)
+      tracer.complete(track, "repair", s.t_repair_begin, now, "coll");
     tracer.complete(track, "handshake", data_ready, now, "coll");
   }
   rank_done(r);
@@ -625,21 +1001,26 @@ void McastCollective::check_op_done(std::size_t r) {
 void McastCollective::debug_dump() const {
   for (std::size_t r = 0; r < comm_.size(); ++r) {
     const RankState& s = st_[r];
+    std::size_t dead_peers = 0;
+    for (const char d : s.peer_dead) dead_peers += d != 0;
+    const std::size_t ra = right_alive_of(r);
     std::fprintf(stderr,
                  "rank %zu: barrier(round=%zu done=%d) recv=%zu/%zu "
                  "copies=%zu local=%d data=%d send(active=%d done=%d "
-                 "sgs=%zu) recovering=%d fetches=%zu final(sent=%d "
-                 "from_right=%d) done=%d\n",
+                 "sgs=%zu) recovering=%d repairing=%d dead_peers=%zu "
+                 "fetches=%zu final(sent=%d from_right_alive=%d) done=%d\n",
                  r, s.barrier_round, s.barrier_done, s.received, s.expected,
                  s.pending_copies, s.local_copy_done, s.data_complete,
                  s.send_active, s.send_done, s.subgroups_done, s.recovering,
-                 s.pending_fetches, s.final_sent, s.final_from_right,
+                 s.repairing, dead_peers, s.pending_fetches, s.final_sent,
+                 ra == r ? 1 : static_cast<int>(s.finals_from[ra]),
                  s.op_done);
     std::fprintf(stderr, "  blocks:");
     for (std::size_t b = 0; b < p_.roots.size(); ++b) {
       const BlockFetch& f = s.fetch[b];
       std::fprintf(stderr, " %zu/%zu", s.block_received[b],
                    map_.chunks_per_block());
+      if (s.block_abandoned[b]) std::fprintf(stderr, "(dead)");
       if (!s.fetch_waiters[b].empty())
         std::fprintf(stderr, "(w=%zu)", s.fetch_waiters[b].size());
       if (f.active)
@@ -653,9 +1034,11 @@ void McastCollective::debug_dump() const {
 bool McastCollective::verify() const {
   if (!comm_.data_mode()) return true;
   for (std::size_t r = 0; r < comm_.size(); ++r) {
+    if (rank_crashed(r)) continue;  // dead ranks owe nothing
     const RankState& s = st_[r];
     const auto& mem = comm_.ep(r).nic().memory();
     for (std::size_t b = 0; b < p_.roots.size(); ++b) {
+      if (s.block_abandoned[b]) continue;  // degraded completion: kPartial
       if (!check_pattern(mem, s.recvbuf + b * p_.block_bytes, p_.block_bytes,
                          id(), p_.roots[b]))
         return false;

@@ -28,6 +28,25 @@
 // the cutoff deadline) dumps protocol state and fails the op with a
 // structured OpResult error when no recovery path exists (e.g. a partitioned
 // fabric), instead of hanging the simulation.
+//
+// Crash tolerance (this layer's second hardening pass): each rank keeps its
+// own membership view, seeded from the communicator's failure detector and
+// extended by confirmations mid-op. On confirming a peer dead, a rank
+//  - credits the barrier rounds whose token sender died,
+//  - self-activates its multicast if the chain predecessor died (and chain
+//    tokens route around dead successors),
+//  - fails its fetches over past the dead target, discounting RDMA Reads
+//    that can no longer complete,
+//  - re-closes the final-handshake ring over survivors (resending its Final
+//    when its left-alive neighbor changes),
+//  - and, when a *block root* died, runs the root-repair protocol: every
+//    survivor reports to the block's coordinator (first alive rank right of
+//    the dead root) whether it holds the block in full; the coordinator
+//    re-roots fetches at the lowest-rank surviving full holder, or declares
+//    the block dead — survivors then complete degraded (OpResult::kPartial
+//    with the exact missing-block set) instead of hanging or failing whole.
+// Ranks that physically crashed are settled by OpBase::note_rank_crashed;
+// the watchdog remains the backstop for the undetectable cases.
 #pragma once
 
 #include <vector>
@@ -51,6 +70,8 @@ class McastCollective : public OpBase {
 
   void start() override;
   bool verify() const override;
+  void on_peer_confirmed_dead(std::size_t observer,
+                              std::size_t peer) override;
 
   std::uint64_t recvbuf_addr(std::size_t rank) const {
     return st_[rank].recvbuf;
@@ -68,6 +89,10 @@ class McastCollective : public OpBase {
     std::size_t target = 0;    // rank currently being asked
     std::size_t attempts = 0;  // requests sent to the current target
     std::uint64_t gen = 0;     // invalidates in-flight retry timers
+    // RDMA Reads posted to the ACKing target and not yet completed. If the
+    // target crashes, these never complete; the repair path discounts them
+    // from pending_fetches and restarts the walk.
+    std::size_t reads_outstanding = 0;
   };
 
   struct RankState {
@@ -107,10 +132,27 @@ class McastCollective : public OpBase {
     std::vector<std::vector<std::size_t>> fetch_waiters;
     std::vector<BlockFetch> fetch;  // our own per-block fetch progress
 
-    // Handshake.
+    // Handshake. Finals are latched per source: after ring repair the
+    // final may arrive from any survivor, not just the static right
+    // neighbor, and completion waits on the *right-alive* neighbor.
     bool final_sent = false;
-    bool final_from_right = false;
+    std::vector<char> finals_from;
+    std::size_t final_sent_to = static_cast<std::size_t>(-1);
     bool op_done = false;
+
+    // Crash repair: this rank's membership view (detector-seeded at op
+    // start, extended by confirmations mid-op — never by physical truth).
+    std::vector<char> peer_dead;
+    std::vector<char> barrier_credited;  // per round: dead-sender credit
+    std::vector<std::size_t> block_root;  // current root per block (re-root)
+    std::vector<char> block_abandoned;    // kBlockDead received
+    // Coordinator state (this rank may be a block's coordinator): per
+    // block, per rank: 0 = no report, 1 = reported not-full, 2 = full.
+    std::vector<std::vector<std::uint8_t>> block_reports;
+    std::vector<std::uint8_t> block_decision;  // 0 pending, 1 reroot, 2 dead
+    std::vector<std::size_t> block_new_root;
+    bool repairing = false;
+    Time t_repair_begin = 0;
 
     // Timestamps for the Fig 10 phase breakdown.
     Time t_start = 0, t_barrier = 0, t_data = 0, t_send_done = 0;
@@ -124,12 +166,20 @@ class McastCollective : public OpBase {
   std::size_t right_of(std::size_t r) const {
     return (r + 1) % comm_.size();
   }
+  /// First rank left of `from` that `r` considers alive (skipping `r`'s
+  /// dead set and never returning a rank other than `r` twice around);
+  /// returns `r` itself when no other survivor exists.
+  std::size_t left_alive_of(std::size_t r, std::size_t from) const;
+  /// First rank right of `r` that `r` considers alive; `r` if sole survivor.
+  std::size_t right_alive_of(std::size_t r) const;
 
   // Barrier.
   void barrier_kick(std::size_t r);
   void barrier_send_round(std::size_t r);
   void barrier_advance(std::size_t r);
   void on_barrier_done(std::size_t r);
+  /// Credits barrier rounds whose token sender this rank considers dead.
+  void credit_barrier(std::size_t r);
 
   // Send path.
   void activate_send(std::size_t r);
@@ -141,6 +191,11 @@ class McastCollective : public OpBase {
                 const rdma::Cqe& cqe);
   bool set_chunk(std::size_t r, std::uint32_t id);
   void check_data_complete(std::size_t r);
+  /// Every foreign block either fully received or abandoned.
+  bool all_blocks_satisfied(std::size_t r) const;
+  /// Sends (or re-sends, after ring repair) this rank's Final to its
+  /// current left-alive neighbor.
+  void send_final(std::size_t r);
 
   // Reliability.
   void arm_cutoff(std::size_t r);
@@ -151,6 +206,18 @@ class McastCollective : public OpBase {
   void on_fetch_retry(std::size_t r, std::size_t block, std::uint64_t gen);
   void on_fetch_ack(std::size_t r, std::size_t block, std::size_t src);
   void on_read_done(std::size_t r, const rdma::Cqe& cqe);
+
+  // Crash repair.
+  void note_repair(std::size_t r);
+  void repair_fetches(std::size_t r, std::size_t dead);
+  std::size_t coordinator_of(std::size_t r, std::size_t block) const;
+  void send_block_report(std::size_t r, std::size_t block);
+  void on_block_report(std::size_t r, std::size_t block, std::size_t src,
+                       bool holds_full);
+  void maybe_decide_block(std::size_t r, std::size_t block);
+  void send_decision_to(std::size_t r, std::size_t block, std::size_t peer);
+  void apply_reroot(std::size_t r, std::size_t block, std::size_t new_root);
+  void apply_block_dead(std::size_t r, std::size_t block);
 
   // Watchdog (op-level hard deadline).
   Time cutoff_deadline(std::size_t r) const;

@@ -1,0 +1,44 @@
+// Software CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78).
+//
+// The receive staging path uses this to validate chunk payloads against the
+// checksum the sender stamped into the transport header — the simulated
+// equivalent of the RoCE ICRC. A table-driven byte-at-a-time implementation
+// is plenty: integrity checking is off the simulator's hot path unless a
+// corruption window is armed.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mccl {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k)
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// CRC32C of `len` bytes at `data`. crc32c("123456789") == 0xE3069283.
+inline std::uint32_t crc32c(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const auto& table = detail::crc32c_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    crc = (crc >> 8) ^ table[(crc ^ p[i]) & 0xFFu];
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace mccl

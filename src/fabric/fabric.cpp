@@ -157,6 +157,33 @@ void Fabric::put_on_wire(NodeId node, int port_idx, const PacketPtr& packet) {
     return;
   }
 
+  // Link-layer corruption window: the packet is delivered, but with one
+  // payload bit flipped (and the `corrupted` flag set for synthetic mode).
+  // The shared payload snapshot is immutable — other replicas of a multicast
+  // packet must stay clean — so corruption clones packet and bytes.
+  PacketPtr delivered = packet;
+  if (faults_.corrupt_hit(port.dir_index)) {
+    auto dup = std::make_shared<Packet>(*packet);
+    dup->corrupted = true;
+    if (!dup->payload.empty()) {
+      const std::uint8_t* src_bytes = dup->payload.data();
+      const std::size_t len = dup->payload.size();
+      auto buf = std::make_shared<std::vector<std::uint8_t>>(src_bytes,
+                                                             src_bytes + len);
+      const std::uint64_t byte = faults_.corrupt_pick(len);
+      (*buf)[byte] ^=
+          static_cast<std::uint8_t>(1u << faults_.corrupt_pick(8));
+      dup->payload = Payload(std::move(buf), 0, len);
+    }
+    if (telem_ != nullptr)
+      telem_->recorder.record(engine_.now(),
+                              static_cast<std::int32_t>(packet->dst_host),
+                              telemetry::EventCat::kPacket, "corrupt",
+                              static_cast<std::uint64_t>(node),
+                              static_cast<std::uint64_t>(port.peer));
+    delivered = std::move(dup);
+  }
+
   Time arrival =
       wire_done + port.params.latency + faults_.extra_latency(port.dir_index);
   if (config_.latency_jitter > 0)
@@ -165,13 +192,16 @@ void Fabric::put_on_wire(NodeId node, int port_idx, const PacketPtr& packet) {
 
   const NodeId peer = port.peer;
   const int peer_port = port.peer_port;
-  engine_.schedule_at(arrival, [this, peer, peer_port, packet] {
+  engine_.schedule_at(arrival, [this, peer, peer_port,
+                                packet = std::move(delivered)] {
     arrive(peer, peer_port, packet);
   });
 }
 
 void Fabric::arrive(NodeId node, int in_port, const PacketPtr& packet) {
-  if (faults_.node_down(node)) {  // switch died while the packet flew
+  // Switch died or host crashed while the packet flew: in-flight traffic
+  // addressed at (or through) a silent node is dropped on arrival.
+  if (faults_.node_silent(node)) {
     faults_.count_black_hole();
     return;
   }
@@ -232,7 +262,7 @@ void Fabric::recompute_viability() {
     for (const auto& [dist, node] : order) {
       char v = 0;
       if (node == dst) {
-        v = faults_.node_down(node) ? 0 : 1;
+        v = faults_.node_silent(node) ? 0 : 1;
       } else {
         for (int c : topo_.next_hops(node, dst)) {
           const Port& p = topo_.ports(node)[static_cast<size_t>(c)];
@@ -420,6 +450,7 @@ void Fabric::publish_metrics(telemetry::MetricsRegistry& reg) const {
   reg.counter("fabric.drops", {{"lane", "ctrl"}}).set(s.ctrl_drops);
   reg.counter("fabric.drops", {{"lane", "bulk"}}).set(s.bulk_drops);
   reg.counter("fabric.black_holed").set(s.black_holed);
+  reg.counter("integrity.corrupt_packets").set(faults_.corrupted());
   reg.counter("fabric.switch_port_bytes").set(s.switch_port_bytes);
   reg.counter("fabric.host_egress_bytes").set(s.host_egress_bytes);
   // Per-link-direction counters, Fig 12 style. Only directions that saw

@@ -24,6 +24,14 @@ const char* kind_name(FaultEvent::Kind k) {
       return "straggler_begin";
     case FaultEvent::Kind::kStragglerEnd:
       return "straggler_end";
+    case FaultEvent::Kind::kNodeCrash:
+      return "node_crash";
+    case FaultEvent::Kind::kNodeRecover:
+      return "node_recover";
+    case FaultEvent::Kind::kCorruptBegin:
+      return "corrupt_begin";
+    case FaultEvent::Kind::kCorruptEnd:
+      return "corrupt_end";
   }
   return "?";
 }
@@ -39,6 +47,7 @@ FaultPlane::FaultPlane(sim::Engine& engine, const Topology& topo,
     state_[i].to = topo.dirs()[i].to;
   }
   node_down_.assign(topo.num_nodes(), false);
+  host_crashed_.assign(topo.num_nodes(), false);
 }
 
 void FaultPlane::arm() {
@@ -76,6 +85,15 @@ void FaultPlane::set_straggler_handler(StragglerHandler fn) {
     for (const auto& [host, factor] : pending_straggles_)
       straggler_(host, factor);
     pending_straggles_.clear();
+  }
+}
+
+void FaultPlane::set_crash_handler(CrashHandler fn) {
+  crash_ = std::move(fn);
+  if (crash_) {
+    for (const auto& [host, crashed] : pending_crashes_)
+      crash_(host, crashed);
+    pending_crashes_.clear();
   }
 }
 
@@ -137,6 +155,26 @@ void FaultPlane::apply(const FaultEvent& ev) {
       else
         pending_straggles_.emplace_back(ev.a, 1.0);
       break;
+    case FaultEvent::Kind::kNodeCrash:
+    case FaultEvent::Kind::kNodeRecover: {
+      const bool crashed = ev.kind == FaultEvent::Kind::kNodeCrash;
+      host_crashed_[static_cast<std::size_t>(ev.a)] = crashed;
+      ++topo_version_;
+      if (crash_)
+        crash_(ev.a, crashed);
+      else
+        pending_crashes_.emplace_back(ev.a, crashed);
+      break;
+    }
+    case FaultEvent::Kind::kCorruptBegin:
+      MCCL_CHECK_MSG(ev.factor > 0.0 && ev.factor <= 1.0,
+                     "corruption probability must be in (0, 1]");
+      for_link_dirs(ev.a, ev.b,
+                    [&ev](DirState& d) { d.corrupt_prob = ev.factor; });
+      break;
+    case FaultEvent::Kind::kCorruptEnd:
+      for_link_dirs(ev.a, ev.b, [](DirState& d) { d.corrupt_prob = 0.0; });
+      break;
   }
 }
 
@@ -160,6 +198,14 @@ bool FaultPlane::burst_drop(std::size_t dir) {
     return true;
   }
   return false;
+}
+
+bool FaultPlane::corrupt_hit(std::size_t dir) {
+  const double p = state_[dir].corrupt_prob;
+  if (p <= 0.0) return false;
+  if (!rng_.chance(p)) return false;
+  ++corrupted_;
+  return true;
 }
 
 }  // namespace mccl::fabric

@@ -24,6 +24,19 @@
 //                             node). The fabric owns the timeline; the
 //                             Cluster registers a handler that applies the
 //                             scale to the host's compute complexes.
+//  - node_crash / node_recover: a *host* dies outright. Unlike switch_down,
+//                             this silences an endpoint: its NIC drops
+//                             everything in both directions (no CQEs, no
+//                             retransmissions, multicast sends cease) and
+//                             in-flight packets addressed to it black-hole.
+//                             The Cluster registers a crash handler that
+//                             propagates the verdict to the host's NIC and
+//                             compute complexes; collectives learn about it
+//                             only through the failure detector.
+//  - corrupt_begin / _end:    a per-direction payload bit-flip probability
+//                             window (marginal cable / bad optics). Corrupted
+//                             packets are delivered — detection is the
+//                             receiver's job (CRC32C on the staging path).
 //
 // All state transitions are driven by engine events at fixed simulated times
 // with a dedicated seeded RNG, so identical configurations replay
@@ -67,6 +80,10 @@ struct FaultEvent {
     kRestore,
     kStragglerBegin,
     kStragglerEnd,
+    kNodeCrash,
+    kNodeRecover,
+    kCorruptBegin,
+    kCorruptEnd,
   };
 
   Kind kind = Kind::kLinkDown;
@@ -102,6 +119,20 @@ struct FaultEvent {
   static FaultEvent straggler_end(Time at, NodeId host) {
     return {Kind::kStragglerEnd, at, host, kInvalidNode, 1.0, 0};
   }
+  static FaultEvent node_crash(Time at, NodeId host) {
+    return {Kind::kNodeCrash, at, host, kInvalidNode, 1.0, 0};
+  }
+  static FaultEvent node_recover(Time at, NodeId host) {
+    return {Kind::kNodeRecover, at, host, kInvalidNode, 1.0, 0};
+  }
+  /// `prob` is the per-packet probability that a payload-carrying packet on
+  /// the (a, b) link gets one bit flipped (stored in `factor`).
+  static FaultEvent corrupt_begin(Time at, NodeId a, NodeId b, double prob) {
+    return {Kind::kCorruptBegin, at, a, b, prob, 0};
+  }
+  static FaultEvent corrupt_end(Time at, NodeId a, NodeId b) {
+    return {Kind::kCorruptEnd, at, a, b, 0.0, 0};
+  }
 };
 
 struct FaultConfig {
@@ -116,6 +147,9 @@ class FaultPlane {
   /// The fault plane applies host-datapath slowdowns through this hook
   /// (registered by the Cluster, which owns the compute complexes).
   using StragglerHandler = std::function<void(NodeId host, double factor)>;
+  /// Host crash/recover transitions are propagated through this hook
+  /// (registered by the Cluster, which owns the NICs and complexes).
+  using CrashHandler = std::function<void(NodeId host, bool crashed)>;
 
   FaultPlane(sim::Engine& engine, const Topology& topo, FaultConfig config);
 
@@ -124,6 +158,7 @@ class FaultPlane {
   void arm();
 
   void set_straggler_handler(StragglerHandler fn);
+  void set_crash_handler(CrashHandler fn);
 
   /// Fault-timeline transitions become trace instant events (on the sim
   /// "faults" row) and flight-recorder entries.
@@ -131,14 +166,22 @@ class FaultPlane {
 
   // --- per-packet queries (Fabric hot path) --------------------------------
   /// A direction is usable iff the link is up and neither endpoint is a
-  /// downed switch.
+  /// downed switch or a crashed host.
   bool dir_usable(std::size_t dir) const {
     const DirState& d = state_[dir];
-    return !d.down && !node_down_[static_cast<std::size_t>(d.to)] &&
-           !node_down_[static_cast<std::size_t>(d.from)];
+    return !d.down && !node_silent(d.to) && !node_silent(d.from);
   }
   bool node_down(NodeId n) const {
     return node_down_[static_cast<std::size_t>(n)];
+  }
+  bool host_crashed(NodeId n) const {
+    return host_crashed_[static_cast<std::size_t>(n)];
+  }
+  /// True if the node generates/accepts no traffic: downed switch or
+  /// crashed host.
+  bool node_silent(NodeId n) const {
+    const auto i = static_cast<std::size_t>(n);
+    return node_down_[i] || host_crashed_[i];
   }
   /// Incremented on every link/switch up/down transition. Consumers caching
   /// reachability (the Fabric's ECMP viability table) recompute when this
@@ -147,6 +190,13 @@ class FaultPlane {
   /// Advances the direction's Gilbert-Elliott chain by one packet and
   /// returns true if that packet is lost to a burst.
   bool burst_drop(std::size_t dir);
+  /// Samples the direction's corruption window: true if this packet gets a
+  /// bit flipped. Draws from the fault-plane RNG only while a window is
+  /// active, keeping seeded replays bit-identical.
+  bool corrupt_hit(std::size_t dir);
+  /// Uniform draw in [0, n) from the fault-plane RNG — used by the Fabric to
+  /// pick which payload byte/bit a corruption hit flips.
+  std::uint64_t corrupt_pick(std::uint64_t n) { return rng_.below(n); }
   double bw_factor(std::size_t dir) const { return state_[dir].bw_factor; }
   Time extra_latency(std::size_t dir) const {
     return state_[dir].extra_latency;
@@ -161,6 +211,8 @@ class FaultPlane {
   void count_black_hole() { ++black_holed_; }
   std::uint64_t burst_drops() const { return burst_drops_; }
   std::uint64_t bursts_entered() const { return bursts_entered_; }
+  /// Packets whose payload was bit-flipped by a corruption window.
+  std::uint64_t corrupted() const { return corrupted_; }
 
  private:
   struct DirState {
@@ -170,6 +222,7 @@ class FaultPlane {
     bool bad = false;  // Gilbert-Elliott state
     double bw_factor = 1.0;
     Time extra_latency = 0;
+    double corrupt_prob = 0.0;  // per-packet bit-flip probability
   };
 
   void apply(const FaultEvent& ev);
@@ -185,17 +238,22 @@ class FaultPlane {
   Rng rng_;
   telemetry::Telemetry* telem_ = nullptr;
   std::uint32_t trace_track_ = 0;
-  std::vector<DirState> state_;  // per link direction
-  std::vector<bool> node_down_;  // per node
+  std::vector<DirState> state_;     // per link direction
+  std::vector<bool> node_down_;     // per node (downed switches)
+  std::vector<bool> host_crashed_;  // per node (crashed hosts)
   StragglerHandler straggler_;
-  // Straggler events that fired before the Cluster registered its handler
-  // (both happen at t=0 during construction; replay on registration).
+  CrashHandler crash_;
+  // Straggler/crash events that fired before the Cluster registered its
+  // handlers (both happen at t=0 during construction; replay on
+  // registration).
   std::vector<std::pair<NodeId, double>> pending_straggles_;
+  std::vector<std::pair<NodeId, bool>> pending_crashes_;
   bool armed_ = false;
   std::uint64_t topo_version_ = 0;
   std::uint64_t black_holed_ = 0;
   std::uint64_t burst_drops_ = 0;
   std::uint64_t bursts_entered_ = 0;
+  std::uint64_t corrupted_ = 0;
 };
 
 }  // namespace mccl::fabric

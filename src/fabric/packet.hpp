@@ -52,6 +52,8 @@ struct TransportHeader {
   std::uint64_t raddr = 0;    // one-sided target address (UC/RC Write, Read)
   std::uint32_t rkey = 0;
   bool nak = false;           // kRcAck only: negative acknowledgement
+  std::uint32_t crc = 0;      // CRC32C over this segment's payload bytes,
+  bool has_crc = false;       // stamped by the sender (simulated ICRC)
 };
 
 /// A shared, immutable slice of bytes.
@@ -101,6 +103,9 @@ struct Packet {
   std::uint32_t wire_size = 0;  // bytes serialized on each link
   std::uint64_t flow_id = 0;    // ECMP hash input
   std::uint8_t vl = kBulkLane;  // virtual lane (switch egress priority)
+  bool corrupted = false;  // a corruption window flipped a payload bit; in
+                           // synthetic mode (no payload bytes carried) the
+                           // receiver's CRC check consults this flag instead
   TransportHeader th;
   Payload payload;
 

@@ -56,8 +56,17 @@ void Nic::join_mcast(fabric::McastGroupId group) {
   fabric_.mcast_attach(group, host_);
 }
 
+void Nic::set_crashed(bool crashed) {
+  crashed_ = crashed;
+  if (crashed_) {
+    // Discard everything queued for egress: a dead host transmits nothing.
+    for (auto& q : tx_queues_) q.clear();
+  }
+}
+
 void Nic::transmit(std::uint32_t queue, const fabric::PacketPtr& packet,
                    TxCallback done) {
+  if (crashed_) return;  // the send evaporates; no departure callback
   auto [it, inserted] = tx_queue_index_.try_emplace(queue, tx_queues_.size());
   if (inserted) tx_queues_.emplace_back();
   tx_queues_[it->second].push_back(TxItem{packet, std::move(done)});
@@ -97,6 +106,7 @@ void Nic::post_local_copy(std::uint64_t src, std::uint64_t dst,
   const Time queued_done = dma_.acquire(engine_.now(), xfer);
   engine_.schedule_at(queued_done + config_.dma_latency,
                       [this, src, dst, len, done = std::move(done)] {
+                        if (crashed_) return;  // completion dies with the host
                         if (config_.carry_payload)
                           memory_.write(dst, memory_.at(src), len);
                         if (done) done();
@@ -141,6 +151,7 @@ std::uint64_t Nic::rc_retransmissions() const {
 }
 
 void Nic::on_packet(const fabric::PacketPtr& packet) {
+  if (crashed_) return;  // dead host: arriving packets vanish
   if (packet->th.op == fabric::TransportOp::kIncContribution) {
     MCCL_CHECK_MSG(static_cast<bool>(inc_handler_),
                    "INC packet at host without INC handler");

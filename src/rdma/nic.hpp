@@ -36,6 +36,11 @@ struct NicConfig {
   std::uint32_t rc_ack_interval = 16;   // coalesced ACK frequency
   Time rc_rto = 100 * kMicrosecond;     // retransmission timeout
   Time rc_nak_backoff = 5 * kMicrosecond;  // min gap between go-back-N bursts
+  // Consecutive RTO-driven retransmission rounds without cumulative-ACK
+  // progress before the QP gives up and goes silent (a real HCA would raise
+  // IBV_WC_RETRY_EXC_ERR). Bounds the event load of talking to a crashed
+  // peer: without a limit, go-back-N retransmits into the void forever.
+  std::uint32_t rc_retry_limit = 64;
 
   // On-NIC DMA engine (staging copies / loopback writes).
   double dma_gbps = 400.0;
@@ -106,6 +111,18 @@ class Nic {
   std::uint64_t rc_retransmissions() const;
   std::uint64_t dma_ops() const { return dma_ops_; }
   std::uint64_t dma_bytes() const { return dma_bytes_; }
+  /// Packets whose payload failed the receive-side CRC32C check (dropped
+  /// before consuming a WR, like a real NIC's bad-ICRC path).
+  std::uint64_t crc_drops() const { return crc_drops_; }
+  void count_crc_drop() { ++crc_drops_; }
+
+  /// Host crash: the NIC goes permanently silent. Arriving packets are
+  /// dropped, transmit becomes a no-op (queued packets are discarded, so
+  /// multicast sends cease), DMA completions are suppressed, and QPs stop
+  /// generating CQEs (Qp::complete_* consult this flag at fire time — a CQE
+  /// already scheduled when the crash hits never reaches its consumer).
+  void set_crashed(bool crashed);
+  bool crashed() const { return crashed_; }
 
   /// Telemetry sink shared by this NIC's QPs (flight-recorder entries for
   /// RNR drops / retransmits / broken messages). May stay null.
@@ -139,8 +156,10 @@ class Nic {
   std::size_t tx_rr_ = 0;
   bool tx_active_ = false;
   telemetry::Telemetry* telem_ = nullptr;
+  bool crashed_ = false;
   std::uint64_t dma_ops_ = 0;
   std::uint64_t dma_bytes_ = 0;
+  std::uint64_t crc_drops_ = 0;
 };
 
 }  // namespace mccl::rdma

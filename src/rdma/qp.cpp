@@ -30,16 +30,24 @@ void Qp::complete_send(const SendFlags& flags, std::uint32_t byte_len,
   cqe.opcode = CqeOpcode::kSend;
   cqe.qpn = qpn_;
   cqe.byte_len = byte_len;
+  // A crashed host's QPs stop generating CQEs — including completions that
+  // were already scheduled when the crash hit (checked at fire time).
+  if (nic_.crashed()) return;
   Cq* cq = send_cq_;
   if (when <= nic_.engine().now()) {
     cq->push(cqe);
   } else {
-    nic_.engine().schedule_at(when, [cq, cqe] { cq->push(cqe); });
+    Nic* nic = &nic_;
+    nic_.engine().schedule_at(when, [nic, cq, cqe] {
+      if (nic->crashed()) return;
+      cq->push(cqe);
+    });
   }
 }
 
 void Qp::complete_recv(const Cqe& cqe) {
   MCCL_CHECK(recv_cq_ != nullptr);
+  if (nic_.crashed()) return;
   recv_cq_->push(cqe);
 }
 
@@ -65,8 +73,11 @@ void UdQp::post_send(const UdDest& dest, std::uint64_t laddr,
   pkt->th.imm = flags.imm;
   pkt->th.has_imm = flags.has_imm;
   pkt->th.seg_len = len;
-  if (len > 0 && nic_.config().carry_payload)
+  if (len > 0 && nic_.config().carry_payload) {
     pkt->payload = fabric::Payload::copy_of(nic_.memory().at(laddr), len);
+    pkt->th.crc = crc32c(pkt->payload.data(), pkt->payload.size());
+    pkt->th.has_crc = true;
+  }
   if (flags.signaled) {
     nic_.transmit(qpn_, pkt, [this, flags, len](Time departed) {
       complete_send(flags, len, departed);
@@ -78,6 +89,17 @@ void UdQp::post_send(const UdDest& dest, std::uint64_t laddr,
 
 void UdQp::on_packet(const fabric::PacketPtr& packet) {
   MCCL_CHECK(packet->th.op == fabric::TransportOp::kUdSend);
+  if (payload_corrupt(*packet)) {
+    // Bad ICRC: the NIC drops the datagram before it can consume a WR. The
+    // chunk is never bitmap-set, so the fetch slow path recovers it.
+    nic_.count_crc_drop();
+    if (auto* t = nic_.telemetry())
+      t->recorder.record(nic_.engine().now(),
+                         static_cast<std::int32_t>(nic_.host()),
+                         telemetry::EventCat::kQp, "ud_crc_drop", qpn_,
+                         static_cast<std::uint64_t>(packet->src_host));
+    return;
+  }
   if (rq_empty()) {
     // Receiver-not-ready: the datagram is dropped by the NIC (paper
     // Section III-C scenario 1).
@@ -164,7 +186,11 @@ void UcQp::post_write(std::uint64_t laddr, std::uint64_t len,
       pkt->th.imm = flags.imm;
       pkt->th.has_imm = flags.has_imm;
     }
-    if (seg > 0 && !whole.empty()) pkt->payload = whole.slice(offset, seg);
+    if (seg > 0 && !whole.empty()) {
+      pkt->payload = whole.slice(offset, seg);
+      pkt->th.crc = crc32c(pkt->payload.data(), pkt->payload.size());
+      pkt->th.has_crc = true;
+    }
     if (last && flags.signaled) {
       nic_.transmit(qpn_, pkt, [this, flags, len](Time departed) {
         complete_send(flags, static_cast<std::uint32_t>(len), departed);
@@ -187,6 +213,18 @@ void UcQp::on_packet(const fabric::PacketPtr& packet) {
     r = Reassembly{th.msg_id, 0, false};
   }
   if (r.broken) return;
+  if (payload_corrupt(*packet)) {
+    // A corrupted segment poisons the whole UC message, exactly like a lost
+    // one — nothing of it may land in the target buffer.
+    r.broken = true;
+    nic_.count_crc_drop();
+    if (auto* t = nic_.telemetry())
+      t->recorder.record(nic_.engine().now(),
+                         static_cast<std::int32_t>(nic_.host()),
+                         telemetry::EventCat::kQp, "uc_crc_drop", qpn_,
+                         th.msg_id);
+    return;
+  }
   if (th.seg_offset != r.next_offset) {
     // A segment was lost or reordered: UC drops the whole message.
     r.broken = true;

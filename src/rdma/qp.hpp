@@ -20,6 +20,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "src/common/crc32c.hpp"
 #include "src/common/units.hpp"
 #include "src/fabric/packet.hpp"
 #include "src/rdma/cq.hpp"
@@ -28,6 +29,17 @@
 namespace mccl::rdma {
 
 class Nic;
+
+/// Receive-side integrity check (the simulated ICRC): true if this packet's
+/// payload was corrupted in flight. With carried payload bytes the sender's
+/// CRC32C stamp is re-verified; in synthetic mode (timing-only packets) the
+/// fabric's `corrupted` flag stands in for the checksum.
+inline bool payload_corrupt(const fabric::Packet& p) {
+  if (p.corrupted) return true;
+  if (p.th.has_crc && !p.payload.empty())
+    return crc32c(p.payload.data(), p.payload.size()) != p.th.crc;
+  return false;
+}
 
 struct RecvWr {
   std::uint64_t wr_id = 0;
@@ -167,6 +179,9 @@ class RcQp : public Qp {
 
   fabric::NodeId remote_host() const { return remote_host_; }
   std::uint64_t retransmissions() const { return retransmissions_; }
+  /// True once the retry limit was exhausted: the QP is in a silent error
+  /// state and transmits nothing further (peer presumed dead).
+  bool dead() const { return dead_; }
 
  private:
   enum class OpKind : std::uint8_t { kSend, kWrite, kReadReq, kReadResp };
@@ -222,6 +237,8 @@ class RcQp : public Qp {
   bool rto_armed_ = false;
   Time retrans_backoff_until_ = 0;
   std::uint64_t retransmissions_ = 0;
+  std::uint32_t rto_rounds_ = 0;  // consecutive RTOs with no ACK progress
+  bool dead_ = false;             // retry limit exhausted
 
   // --- receive direction ---
   std::uint32_t expected_psn_ = 0;

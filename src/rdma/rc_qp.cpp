@@ -107,9 +107,12 @@ fabric::PacketPtr RcQp::make_packet(const TxOp& op, std::uint64_t offset,
     pkt->wire_size = nic_.config().control_wire_size;
   } else {
     pkt->wire_size = seg_len + nic_.config().wire_overhead;
-    if (seg_len > 0 && nic_.config().carry_payload)
+    if (seg_len > 0 && nic_.config().carry_payload) {
       pkt->payload = fabric::Payload::copy_of(
           nic_.memory().at(op.laddr + offset), seg_len);
+      th.crc = crc32c(pkt->payload.data(), pkt->payload.size());
+      th.has_crc = true;
+    }
   }
   return pkt;
 }
@@ -147,12 +150,13 @@ void RcQp::pump() {
 }
 
 void RcQp::transmit(const InflightPacket& pkt) {
+  if (dead_) return;
   nic_.transmit(qpn_, pkt.packet);
   arm_rto();
 }
 
 void RcQp::arm_rto() {
-  if (rto_armed_) return;
+  if (rto_armed_ || dead_) return;
   rto_armed_ = true;
   const std::uint64_t gen = ++rto_generation_;
   nic_.engine().schedule(nic_.config().rc_rto,
@@ -162,13 +166,27 @@ void RcQp::arm_rto() {
 void RcQp::on_rto(std::uint64_t generation) {
   if (generation != rto_generation_) return;  // superseded
   rto_armed_ = false;
+  if (nic_.crashed()) return;  // a dead host retransmits nothing
   if (inflight_.empty()) return;
+  if (++rto_rounds_ > nic_.config().rc_retry_limit) {
+    // Retry limit exhausted: the peer is presumed dead. The QP enters a
+    // silent error state — no more retransmissions, no more RTOs — so the
+    // event queue stays bounded. The collective layer learns about the
+    // peer through the failure detector, not through this QP.
+    dead_ = true;
+    if (auto* t = nic_.telemetry())
+      t->recorder.record(nic_.engine().now(),
+                         static_cast<std::int32_t>(nic_.host()),
+                         telemetry::EventCat::kQp, "rc_retry_exhausted", qpn_,
+                         static_cast<std::uint64_t>(remote_host_));
+    return;
+  }
   retransmit_from(acked_psn_, 0);
   arm_rto();
 }
 
 void RcQp::retransmit_from(std::uint32_t psn, Time delay) {
-  if (inflight_.empty()) return;
+  if (inflight_.empty() || dead_) return;
   const Time now = nic_.engine().now();
   Time when = std::max(now + delay, retrans_backoff_until_);
   retrans_backoff_until_ = when + nic_.config().rc_nak_backoff;
@@ -178,7 +196,7 @@ void RcQp::retransmit_from(std::uint32_t psn, Time delay) {
   // Capture the packets to resend; by the time the event fires some may be
   // acked, so re-check against acked_psn_ then.
   nic_.engine().schedule_at(when, [this, psn] {
-    if (psn < acked_psn_ || inflight_.empty()) return;
+    if (psn < acked_psn_ || inflight_.empty() || dead_) return;
     const std::size_t start = psn - acked_psn_;
     for (std::size_t i = start; i < inflight_.size(); ++i) {
       nic_.transmit(qpn_, inflight_[i].packet);
@@ -204,9 +222,11 @@ void RcQp::handle_ack(std::uint32_t cum_psn, bool nak) {
       inflight_.pop_front();
     }
     acked_psn_ = cum_psn;
-    // Progress: invalidate the pending RTO and re-arm if needed.
+    // Progress: invalidate the pending RTO, reset the retry budget, and
+    // re-arm if needed.
     ++rto_generation_;
     rto_armed_ = false;
+    rto_rounds_ = 0;
     if (!inflight_.empty()) arm_rto();
     pump();
   }
@@ -232,6 +252,17 @@ void RcQp::send_ack(bool nak) {
 
 void RcQp::on_packet(const fabric::PacketPtr& packet) {
   const fabric::TransportHeader& th = packet->th;
+  if (payload_corrupt(*packet)) {
+    // Bad ICRC: the NIC discards the packet as if it were lost; go-back-N
+    // (NAK on the resulting gap, or the sender's RTO) retransmits it.
+    nic_.count_crc_drop();
+    if (auto* t = nic_.telemetry())
+      t->recorder.record(nic_.engine().now(),
+                         static_cast<std::int32_t>(nic_.host()),
+                         telemetry::EventCat::kQp, "rc_crc_drop", qpn_,
+                         th.psn);
+    return;
+  }
   if (th.op == fabric::TransportOp::kRcAck) {
     handle_ack(th.psn, th.nak);
     return;

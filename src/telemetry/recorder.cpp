@@ -16,6 +16,8 @@ const char* to_string(EventCat cat) {
       return "fault";
     case EventCat::kWatchdog:
       return "watchdog";
+    case EventCat::kDetector:
+      return "detector";
   }
   return "?";
 }

@@ -25,6 +25,7 @@ enum class EventCat : std::uint8_t {
   kColl,      // protocol: cutoff, fetch lifecycle
   kFault,     // fault-plane timeline transitions
   kWatchdog,  // watchdog verdicts
+  kDetector,  // failure-detector suspicions / confirmations
 };
 
 const char* to_string(EventCat cat);

@@ -244,5 +244,85 @@ TEST(Reliability, BaselinesSurviveLossViaRc) {
       w.comm->broadcast(0, 32 * 1024, BcastAlgo::kBinomial).data_verified);
 }
 
+TEST(Reliability, FetchTargetCrashWhileAwaitingAckFailsOver) {
+  // Engineered worst case for the repair path: all multicast to ranks 1 and
+  // 2 is dropped, so at cutoff rank 2 fetches from rank 1 — whose ACK is
+  // deferred (it lacks the data too) while it recursively fetches from the
+  // root. Rank 1 then crashes mid-chain: whatever state rank 2's fetch was
+  // in (awaiting the ACK, or with RDMA Reads already in flight toward the
+  // dead NIC), it must discount and fail over to the root directly.
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::node_crash(180 * kMicrosecond, 1)};
+  World w(4, quick_recovery(), kcfg);
+  w.cluster->fabric().set_drop_filter(
+      [](fabric::NodeId, fabric::NodeId to, const fabric::Packet& p) {
+        return p.th.op == fabric::TransportOp::kUdSend &&
+               (to == 1 || to == 2);
+      });
+  const OpResult res =
+      w.comm->broadcast(0, 1024 * 1024, BcastAlgo::kMcast);
+  EXPECT_FALSE(res.failed);
+  EXPECT_FALSE(res.watchdog_fired);
+  EXPECT_EQ(res.status, OpStatus::kOk);
+  EXPECT_TRUE(res.data_verified);
+  EXPECT_EQ(res.crashed_ranks, (std::vector<std::size_t>{1}));
+  EXPECT_GE(res.fetched_chunks, 1u);
+}
+
+TEST(Reliability, MassCrashLeavesSoleSurvivorDegradedButDone) {
+  // Three of four ranks die mid-allgather. The survivor's census (against
+  // itself) re-roots blocks it already holds in full and abandons the rest:
+  // the op ends structurally — kOk or kPartial naming a subset of the dead
+  // roots' blocks — with the survivor's buffers verified, and the verdict
+  // cross-checked against the metrics registry.
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::node_crash(20 * kMicrosecond, 0),
+      fabric::FaultEvent::node_crash(22 * kMicrosecond, 1),
+      fabric::FaultEvent::node_crash(24 * kMicrosecond, 2)};
+  World w(4, quick_recovery(), kcfg);
+  const OpResult res = w.comm->allgather(512 * 1024, AllgatherAlgo::kMcast);
+  EXPECT_FALSE(res.failed);
+  EXPECT_FALSE(res.watchdog_fired);
+  EXPECT_TRUE(res.data_verified);
+  EXPECT_EQ(res.crashed_ranks, (std::vector<std::size_t>{0, 1, 2}));
+  for (const std::size_t b : res.missing_blocks) EXPECT_LT(b, 3u);
+  auto& metrics = w.cluster->telemetry().metrics;
+  EXPECT_EQ(metrics.counter("coll.missing_blocks").value(),
+            res.missing_blocks.size());
+  EXPECT_EQ(metrics.counter("coll.reroots").value(), res.reroots);
+  EXPECT_EQ(metrics
+                .counter("coll.ops",
+                         {{"result", to_string(res.status)}})
+                .value(),
+            1u);
+}
+
+TEST(Reliability, DetectorConfirmationsAreExactAndPosthumousIgnored) {
+  // Every survivor must confirm exactly the crashed peers — no false
+  // positives on live-but-busy ranks — and heartbeats already on the wire
+  // at crash time (or confirmed-late stragglers) count as posthumous.
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::node_crash(30 * kMicrosecond, 2)};
+  World w(4, quick_recovery(), kcfg);
+  const OpResult res = w.comm->broadcast(0, 512 * 1024, BcastAlgo::kMcast);
+  EXPECT_FALSE(res.failed);
+  EXPECT_TRUE(res.data_verified);
+  const FailureDetector* det = w.comm->detector();
+  ASSERT_NE(det, nullptr);
+  for (std::size_t obs = 0; obs < 4; ++obs) {
+    if (obs == 2) continue;
+    for (std::size_t peer = 0; peer < 4; ++peer) {
+      if (peer == obs) continue;
+      EXPECT_EQ(det->dead(obs, peer), peer == 2)
+          << "observer " << obs << " peer " << peer;
+    }
+  }
+  // 3 survivors x 1 dead peer.
+  EXPECT_EQ(det->confirmed_dead(), 3u);
+}
+
 }  // namespace
 }  // namespace mccl::coll

@@ -72,10 +72,12 @@ TEST(Faults, LinkUpRestoresTheFastPath) {
   EXPECT_EQ(second.fetched_chunks, 0u);
 }
 
-TEST(Faults, SwitchDownWithNoAlternateFailsCleanlyViaWatchdog) {
-  // A star's single switch dies mid-broadcast: no alternate path exists for
-  // anything. The op must terminate with a structured watchdog error —
-  // not hang the simulation (RC would retransmit into the void forever).
+TEST(Faults, SwitchDownWithNoAlternateCompletesDegradedViaDetector) {
+  // A star's single switch dies mid-broadcast: a full partition. Every
+  // rank's failure detector confirms every peer dead, each partition-of-one
+  // runs the root-repair census against itself, and the leaves that never
+  // received block 0 declare it unrecoverable: degraded completion
+  // (kPartial naming exactly that block), never a watchdog abort or hang.
   CommConfig cfg = quick_recovery();
   ClusterConfig kcfg;
   // Star topology: hosts 0-3, switch 4.
@@ -83,11 +85,33 @@ TEST(Faults, SwitchDownWithNoAlternateFailsCleanlyViaWatchdog) {
       fabric::FaultEvent::switch_down(15 * kMicrosecond, 4)};
   World w(4, cfg, kcfg);
   const OpResult res = w.comm->broadcast(0, 512 * 1024, BcastAlgo::kMcast);
+  EXPECT_FALSE(res.failed);
+  EXPECT_FALSE(res.watchdog_fired);
+  EXPECT_EQ(res.status, OpStatus::kPartial);
+  EXPECT_EQ(res.missing_blocks, (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(res.data_verified);  // non-abandoned blocks only
+  EXPECT_GT(w.cluster->fabric().traffic().black_holed, 0u);
+  EXPECT_GT(w.cluster->telemetry()
+                .metrics.counter("detector.confirmed_dead")
+                .value(),
+            0u);
+}
+
+TEST(Faults, SwitchDownWithDetectorDisabledFailsViaWatchdog) {
+  // Same partition with the failure detector off: the pre-crash-tolerance
+  // contract — a structured watchdog failure, not a hang — is preserved.
+  CommConfig cfg = quick_recovery();
+  cfg.detector.enabled = false;
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::switch_down(15 * kMicrosecond, 4)};
+  World w(4, cfg, kcfg);
+  const OpResult res = w.comm->broadcast(0, 512 * 1024, BcastAlgo::kMcast);
   EXPECT_TRUE(res.failed);
   EXPECT_TRUE(res.watchdog_fired);
   EXPECT_FALSE(res.data_verified);
+  EXPECT_EQ(res.status, OpStatus::kFailed);
   EXPECT_NE(res.error.find("watchdog"), std::string::npos);
-  EXPECT_GT(w.cluster->fabric().traffic().black_holed, 0u);
 }
 
 TEST(Faults, RecoveryDisabledLinkCutDiesByWatchdogNotHang) {
@@ -213,6 +237,222 @@ TEST(Faults, PerLaneDropCountersSplitControlFromBulk) {
   EXPECT_GT(t.drops, 0u);
   EXPECT_EQ(t.drops, t.ctrl_drops + t.bulk_drops);
   EXPECT_GT(t.bulk_drops, 0u);  // data dominates the packet mix
+}
+
+// --------------------------------------------------------------------------
+// Node-crash matrix: a host dies outright mid-op (NIC silenced, nothing
+// transmitted or delivered ever again). Survivors must detect, repair the
+// rings, and finish — clean when the data is recoverable, degraded when it
+// is not, never a watchdog abort or a hang.
+// --------------------------------------------------------------------------
+
+TEST(Faults, LeafCrashMidBroadcastSurvivorsCompleteClean) {
+  // A non-root leaf crashes while the broadcast is in flight. The root (and
+  // its block) survive, so every survivor must end kOk with verified
+  // buffers; the dead rank is reported, exempt from verification, and the
+  // fetch/handshake rings are re-closed around it.
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::node_crash(15 * kMicrosecond, 5)};
+  FtWorld w(quick_recovery(), kcfg);
+  const OpResult res = w.comm->broadcast(0, 512 * 1024, BcastAlgo::kMcast);
+  EXPECT_FALSE(res.failed);
+  EXPECT_FALSE(res.watchdog_fired);
+  EXPECT_EQ(res.status, OpStatus::kOk);
+  EXPECT_TRUE(res.data_verified);
+  EXPECT_TRUE(res.missing_blocks.empty());
+  EXPECT_EQ(res.crashed_ranks, (std::vector<std::size_t>{5}));
+}
+
+TEST(Faults, RootCrashMidBroadcastReRootsOrCompletesDegraded) {
+  // The (only) block root crashes mid-op. If any survivor already holds the
+  // block in full, the repair census re-roots the fetch chain there and
+  // everyone finishes clean; if the crash came too early for that, the
+  // coordinator declares the block dead and survivors complete degraded.
+  // Either way: no watchdog, no hang, and the verdict names the situation.
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::node_crash(40 * kMicrosecond, 0)};
+  FtWorld w(quick_recovery(), kcfg);
+  const OpResult res = w.comm->broadcast(0, 512 * 1024, BcastAlgo::kMcast);
+  EXPECT_FALSE(res.failed);
+  EXPECT_FALSE(res.watchdog_fired);
+  EXPECT_TRUE(res.data_verified);
+  EXPECT_EQ(res.crashed_ranks, (std::vector<std::size_t>{0}));
+  if (res.status == OpStatus::kOk) {
+    // Data outran the crash (or a holder was re-rooted): nothing missing.
+    // The handshake ring still had to re-close around the dead root.
+    EXPECT_TRUE(res.missing_blocks.empty());
+  } else {
+    EXPECT_EQ(res.status, OpStatus::kPartial);
+    EXPECT_EQ(res.missing_blocks, (std::vector<std::size_t>{0}));
+  }
+}
+
+TEST(Faults, DeadRootCensusReRootsAtSurvivingHolder) {
+  // Force the re-root path to be decisive: the cutoff fetch is disabled, so
+  // a rank that lost its multicast data has exactly one way to the block —
+  // the census re-rooting it at a surviving full holder. Star of 4: all
+  // multicast to rank 1 is dropped, then the root crashes.
+  CommConfig cfg = quick_recovery();
+  cfg.reliability = false;
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::node_crash(60 * kMicrosecond, 0)};
+  World w(4, cfg, kcfg);
+  w.cluster->fabric().set_drop_filter(
+      [](fabric::NodeId, fabric::NodeId to, const fabric::Packet& p) {
+        return p.th.op == fabric::TransportOp::kUdSend && to == 1;
+      });
+  const OpResult res = w.comm->broadcast(0, 128 * 1024, BcastAlgo::kMcast);
+  EXPECT_FALSE(res.failed);
+  EXPECT_FALSE(res.watchdog_fired);
+  EXPECT_EQ(res.status, OpStatus::kOk);
+  EXPECT_TRUE(res.data_verified);
+  EXPECT_EQ(res.crashed_ranks, (std::vector<std::size_t>{0}));
+  EXPECT_GE(res.reroots, 1u);
+  EXPECT_GE(res.fetched_chunks, 1u);
+}
+
+TEST(Faults, EarlyRootCrashIsDegradedNotHung) {
+  // Crash the root before its multicast can deliver a full block anywhere:
+  // the census finds no surviving full holder and the block is declared
+  // dead. Survivors still complete (degraded), promptly and structurally.
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::node_crash(2 * kMicrosecond, 0)};
+  FtWorld w(quick_recovery(), kcfg);
+  const OpResult res = w.comm->broadcast(0, 4 * 1024 * 1024, BcastAlgo::kMcast);
+  EXPECT_FALSE(res.failed);
+  EXPECT_FALSE(res.watchdog_fired);
+  EXPECT_EQ(res.status, OpStatus::kPartial);
+  EXPECT_EQ(res.missing_blocks, (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(res.data_verified);
+}
+
+TEST(Faults, CrashDuringRecoveryFailsFetchesOver) {
+  // A trunk outage forces the slow path; then a rank inside the lossy half
+  // crashes while fetch traffic is in flight (including mid-ACK-wait: any
+  // RDMA Reads posted toward it can never complete). Fetchers must discount
+  // the dead target and fail over to the next survivor.
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::link_down(15 * kMicrosecond, 8, 10),
+      fabric::FaultEvent::node_crash(80 * kMicrosecond, 1)};
+  FtWorld w(quick_recovery(), kcfg);
+  const OpResult res = w.comm->broadcast(0, 512 * 1024, BcastAlgo::kMcast);
+  EXPECT_FALSE(res.failed);
+  EXPECT_FALSE(res.watchdog_fired);
+  EXPECT_EQ(res.status, OpStatus::kOk);
+  EXPECT_TRUE(res.data_verified);
+  EXPECT_EQ(res.crashed_ranks, (std::vector<std::size_t>{1}));
+  EXPECT_GE(res.fetched_chunks, 1u);
+}
+
+TEST(Faults, BlockRootCrashDuringAllgatherReRootsOrDegrades) {
+  // Allgather: every rank roots a block. Killing one root mid-op exercises
+  // chain-token routing around the dead root plus the per-block census.
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::node_crash(30 * kMicrosecond, 3)};
+  FtWorld w(quick_recovery(), kcfg);
+  const OpResult res = w.comm->allgather(256 * 1024, AllgatherAlgo::kMcast);
+  EXPECT_FALSE(res.failed);
+  EXPECT_FALSE(res.watchdog_fired);
+  EXPECT_TRUE(res.data_verified);
+  EXPECT_EQ(res.crashed_ranks, (std::vector<std::size_t>{3}));
+  // Only the dead rank's block can be at risk.
+  if (!res.missing_blocks.empty())
+    EXPECT_EQ(res.missing_blocks, (std::vector<std::size_t>{3}));
+  else
+    EXPECT_GE(res.reroots, 1u);
+}
+
+TEST(Faults, NextOpAfterCrashRunsOnSurvivors) {
+  // Crash-stop: once confirmed dead, a rank stays dead. The next allgather
+  // must enroll only survivors as roots and run clean (kOk, no repair).
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::node_crash(15 * kMicrosecond, 5)};
+  FtWorld w(quick_recovery(), kcfg);
+  const OpResult first = w.comm->broadcast(0, 512 * 1024, BcastAlgo::kMcast);
+  EXPECT_FALSE(first.failed);
+  const OpResult second =
+      w.comm->allgather(128 * 1024, AllgatherAlgo::kMcast);
+  EXPECT_FALSE(second.failed);
+  EXPECT_FALSE(second.watchdog_fired);
+  EXPECT_EQ(second.status, OpStatus::kOk);
+  EXPECT_TRUE(second.data_verified);
+  EXPECT_TRUE(second.missing_blocks.empty());
+}
+
+TEST(Faults, CrashTimelineIsDeterministicAcrossReplays) {
+  // Identical seeds + identical crash timelines must replay bit-identically:
+  // same finish times, same verdicts, same repair counters. Checked across
+  // several detector seeds.
+  for (const std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    auto run = [seed] {
+      CommConfig cfg = quick_recovery();
+      cfg.detector.seed = seed;
+      ClusterConfig kcfg;
+      kcfg.fabric.faults.events = {
+          fabric::FaultEvent::link_down(15 * kMicrosecond, 8, 10),
+          fabric::FaultEvent::node_crash(60 * kMicrosecond, 2)};
+      FtWorld w(cfg, kcfg);
+      return w.comm->broadcast(0, 512 * 1024, BcastAlgo::kMcast);
+    };
+    const OpResult a = run();
+    const OpResult b = run();
+    EXPECT_EQ(a.finish, b.finish) << "seed " << seed;
+    EXPECT_EQ(a.rank_finish, b.rank_finish) << "seed " << seed;
+    EXPECT_EQ(a.fetched_chunks, b.fetched_chunks) << "seed " << seed;
+    EXPECT_EQ(a.fetch_failovers, b.fetch_failovers) << "seed " << seed;
+    EXPECT_EQ(a.reroots, b.reroots) << "seed " << seed;
+    EXPECT_EQ(static_cast<int>(a.status), static_cast<int>(b.status))
+        << "seed " << seed;
+    EXPECT_EQ(a.missing_blocks, b.missing_blocks) << "seed " << seed;
+    EXPECT_EQ(a.crashed_ranks, b.crashed_ranks) << "seed " << seed;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Payload corruption: a link flips bits; the simulated ICRC catches them at
+// the receiving NIC, the chunk is dropped (never bitmap-set), and the slow
+// path re-fetches it. Verified bytes, accounted drops.
+// --------------------------------------------------------------------------
+
+TEST(Faults, CorruptedChunksAreDroppedAndRefetched) {
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.seed = 3;
+  // Corrupt the root's uplink hard during the transfer window.
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::corrupt_begin(10 * kMicrosecond, 0, 8, 0.2),
+      fabric::FaultEvent::corrupt_end(300 * kMicrosecond, 0, 8)};
+  FtWorld w(quick_recovery(), kcfg);
+  const OpResult res = w.comm->broadcast(0, 512 * 1024, BcastAlgo::kMcast);
+  EXPECT_FALSE(res.failed);
+  EXPECT_EQ(res.status, OpStatus::kOk);
+  EXPECT_TRUE(res.data_verified);
+  EXPECT_GE(res.fetched_chunks, 1u);
+  EXPECT_GT(w.cluster->fabric().faults().corrupted(), 0u);
+  auto& metrics = w.cluster->telemetry().metrics;
+  metrics.snapshot();
+  EXPECT_GT(metrics.counter("integrity.crc_drops").value(), 0u);
+  EXPECT_GT(metrics.counter("integrity.corrupt_packets").value(), 0u);
+}
+
+TEST(Faults, CorruptionWindowCloseRestoresCleanRuns) {
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.seed = 3;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::corrupt_begin(10 * kMicrosecond, 0, 8, 0.2),
+      fabric::FaultEvent::corrupt_end(200 * kMicrosecond, 0, 8)};
+  FtWorld w(quick_recovery(), kcfg);
+  const OpResult dirty = w.comm->broadcast(0, 256 * 1024, BcastAlgo::kMcast);
+  EXPECT_TRUE(dirty.data_verified);
+  const OpResult clean = w.comm->broadcast(0, 256 * 1024, BcastAlgo::kMcast);
+  EXPECT_TRUE(clean.data_verified);
+  EXPECT_EQ(clean.fetched_chunks, 0u);
 }
 
 }  // namespace
