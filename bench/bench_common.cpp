@@ -85,6 +85,11 @@ void set_gibps(benchmark::State& state, const char* name,
       benchmark::Counter(gibps(bytes, duration), benchmark::Counter::kAvgIterations);
 }
 
+void set_sim_events(benchmark::State& state, std::uint64_t events) {
+  state.counters["sim_events"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kAvgIterations);
+}
+
 DatapathResult run_datapath(World& w, std::uint64_t bytes) {
   coll::Endpoint& leaf = w.comm->ep(1);
   for (std::size_t i = 0; i < leaf.num_recv_workers(); ++i)
@@ -136,6 +141,9 @@ struct RunRecord {
   std::string name;
   std::uint64_t iterations = 0;
   double real_time_us = 0;  // simulated (manual-time) per-iteration time
+  double wall_ms = 0;       // host wall-clock per iteration
+  double events_per_sec = 0;  // engine dispatch rate over wall time (0 if
+                              // the bench did not report event counts)
   std::map<std::string, double> counters;
 };
 
@@ -155,8 +163,22 @@ class CollectingReporter : public benchmark::ConsoleReporter {
       const double iters =
           run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
       rec.real_time_us = run.real_accumulated_time / iters * 1e6;
+      // In manual-time mode real_accumulated_time is *simulated* time; the
+      // host cost of the iteration is the CPU time (single-threaded sim, so
+      // CPU ~ wall). Non-manual benches report wall time directly.
+      const bool manual = rec.name.find("manual_time") != std::string::npos;
+      rec.wall_ms =
+          (manual ? run.cpu_accumulated_time : run.real_accumulated_time) /
+          iters * 1e3;
       for (const auto& [key, counter] : run.counters)
         rec.counters[key] = counter.value;
+      if (const auto it = rec.counters.find("events_per_sec");
+          it != rec.counters.end()) {
+        rec.events_per_sec = it->second;
+      } else if (const auto ev = rec.counters.find("sim_events");
+                 ev != rec.counters.end() && rec.wall_ms > 0) {
+        rec.events_per_sec = ev->second / (rec.wall_ms / 1e3);
+      }
       runs.push_back(std::move(rec));
     }
     ConsoleReporter::ReportRuns(reports);
@@ -224,6 +246,10 @@ std::string report_json(const char* argv0,
     out += "\",\"iterations\":" + std::to_string(r.iterations);
     out += ",\"real_time_us\":";
     append_number(out, r.real_time_us);
+    out += ",\"wall_ms\":";
+    append_number(out, r.wall_ms);
+    out += ",\"events_per_sec\":";
+    append_number(out, r.events_per_sec);
     out += ",\"counters\":{";
     bool cf = true;
     for (const auto& [key, value] : r.counters) {

@@ -61,6 +61,12 @@ void set_gbps(benchmark::State& state, const char* name,
 void set_gibps(benchmark::State& state, const char* name,
                std::uint64_t bytes, Time duration);
 
+/// Reports the total engine events dispatched across this run's iterations.
+/// The --mccl_json report derives a wall-clock `events_per_sec` for the row
+/// from it (manual-time benches cannot use kIsRate counters for wall rates:
+/// rate counters there divide by *simulated* time).
+void set_sim_events(benchmark::State& state, std::uint64_t events);
+
 /// Prints a figure banner: what the paper shows, what to look for here.
 void banner(const char* figure, const char* expectation);
 

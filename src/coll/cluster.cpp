@@ -103,10 +103,4 @@ bool Cluster::write_metrics(const std::string& path) {
   return telemetry_.metrics.write_json(path);
 }
 
-Time Cluster::run_until_done(const std::function<bool()>& done) {
-  const bool ok = engine_.run_while_pending(done);
-  MCCL_CHECK_MSG(ok, "simulation drained without reaching completion");
-  return engine_.now();
-}
-
 }  // namespace mccl::coll

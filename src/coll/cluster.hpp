@@ -54,7 +54,14 @@ class Cluster {
   std::uint32_t next_shared_rkey() { return next_rkey_++; }
 
   /// Runs the simulation until `done` returns true; returns the time.
-  Time run_until_done(const std::function<bool()>& done);
+  /// Templated on the predicate so the per-event check is a direct call
+  /// (no std::function type erasure on the dispatch loop).
+  template <typename Pred>
+  Time run_until_done(Pred&& done) {
+    const bool ok = engine_.run_while_pending(std::forward<Pred>(done));
+    MCCL_CHECK_MSG(ok, "simulation drained without reaching completion");
+    return engine_.now();
+  }
 
   /// Physical-crash notifications (fault-plane kNodeCrash/kNodeRecover).
   /// The Cluster silences the host's NIC itself; communicators subscribe

@@ -269,8 +269,10 @@ class Endpoint {
   rdma::Cq* ctrl_rcq_ = nullptr;
   rdma::Cq* data_rcq_ = nullptr;
   rdma::Cq* data_scq_ = nullptr;
-  std::unordered_map<std::size_t, rdma::RcQp*> ctrl_qps_;  // peer -> qp
-  std::unordered_map<std::size_t, rdma::RcQp*> data_qps_;
+  // Indexed by peer rank (sized lazily to the communicator); ctrl_qp() runs
+  // once per control message, so the lookup is a plain vector load.
+  std::vector<rdma::RcQp*> ctrl_qps_;
+  std::vector<rdma::RcQp*> data_qps_;
   std::unordered_map<std::uint16_t, CtrlHandler> ctrl_handlers_;
   std::unordered_map<std::uint16_t, std::function<void(const rdma::Cqe&)>>
       read_handlers_;

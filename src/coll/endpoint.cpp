@@ -244,9 +244,10 @@ void Endpoint::on_chunk_cqe(std::size_t subgroup, const rdma::Cqe& cqe) {
 
 rdma::RcQp& Communicator::ctrl_qp(std::size_t from, std::size_t to) {
   Endpoint& a = ep(from);
-  auto it = a.ctrl_qps_.find(to);
-  if (it != a.ctrl_qps_.end()) return *it->second;
+  if (a.ctrl_qps_.empty()) a.ctrl_qps_.assign(eps_.size(), nullptr);
+  if (rdma::RcQp* qp = a.ctrl_qps_[to]) return *qp;
   Endpoint& b = ep(to);
+  if (b.ctrl_qps_.empty()) b.ctrl_qps_.assign(eps_.size(), nullptr);
   rdma::RcQp& qa = a.nic().create_rc_qp(nullptr, a.ctrl_rcq_);
   rdma::RcQp& qb = b.nic().create_rc_qp(nullptr, b.ctrl_rcq_);
   qa.connect(b.host(), qb.qpn());
@@ -273,9 +274,10 @@ std::pair<rdma::RcQp*, rdma::RcQp*> Communicator::create_qp_pair(
 
 rdma::RcQp& Communicator::data_qp(std::size_t from, std::size_t to) {
   Endpoint& a = ep(from);
-  auto it = a.data_qps_.find(to);
-  if (it != a.data_qps_.end()) return *it->second;
+  if (a.data_qps_.empty()) a.data_qps_.assign(eps_.size(), nullptr);
+  if (rdma::RcQp* qp = a.data_qps_[to]) return *qp;
   Endpoint& b = ep(to);
+  if (b.data_qps_.empty()) b.data_qps_.assign(eps_.size(), nullptr);
   rdma::RcQp& qa = a.nic().create_rc_qp(a.data_scq_, a.data_rcq_);
   rdma::RcQp& qb = b.nic().create_rc_qp(b.data_scq_, b.data_rcq_);
   qa.connect(b.host(), qb.qpn());

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/sim/callback.hpp"
+
 #include "src/coll/pattern.hpp"
 
 namespace mccl::coll {
@@ -40,10 +42,18 @@ McastCollective::McastCollective(Communicator& comm, std::string name,
                  "send buffer too large for the PSN immediate bits");
 
   // Block-local chunk index -> subgroup partition (identical for every
-  // block; precomputed once).
-  sg_indices_.resize(map_.subgroups);
+  // block; precomputed once). Counting sort into CSR: ascending i within
+  // each subgroup, exactly the order the old per-subgroup push_backs gave.
+  sg_off_.assign(map_.subgroups + 1, 0);
   for (std::size_t i = 0; i < map_.chunks_per_block(); ++i)
-    sg_indices_[map_.subgroup_of(map_.id_of(0, i))].push_back(i);
+    ++sg_off_[map_.subgroup_of(map_.id_of(0, i)) + 1];
+  for (std::size_t sg = 0; sg < map_.subgroups; ++sg)
+    sg_off_[sg + 1] += sg_off_[sg];
+  sg_indices_flat_.resize(map_.chunks_per_block());
+  std::vector<std::uint32_t> cursor(sg_off_.begin(), sg_off_.end() - 1);
+  for (std::size_t i = 0; i < map_.chunks_per_block(); ++i)
+    sg_indices_flat_[cursor[map_.subgroup_of(map_.id_of(0, i))]++] =
+        static_cast<std::uint32_t>(i);
 
   st_.resize(P);
   const bool fill = comm_.data_mode();
@@ -72,8 +82,7 @@ McastCollective::McastCollective(Communicator& comm, std::string name,
     s.peer_dead.assign(P, 0);
     s.block_root = p_.roots;
     s.block_abandoned.assign(p_.roots.size(), 0);
-    s.block_reports.assign(p_.roots.size(),
-                           std::vector<std::uint8_t>(P, 0));
+    s.block_reports.assign(p_.roots.size() * P, 0);
     s.block_decision.assign(p_.roots.size(), 0);
     s.block_new_root.assign(p_.roots.size(), 0);
     // Seed the membership view from this rank's detector: peers confirmed
@@ -245,7 +254,7 @@ void McastCollective::activate_send(std::size_t r) {
 void McastCollective::send_batch(std::size_t r, std::size_t sg,
                                  std::size_t pos) {
   Endpoint& ep = comm_.ep(r);
-  const auto& indices = sg_indices_[sg];
+  const IdxSpan indices = sg_indices(sg);
   if (indices.empty()) {
     on_subgroup_sent(r, sg);
     return;
@@ -256,11 +265,11 @@ void McastCollective::send_batch(std::size_t r, std::size_t sg,
       exec::Cost{ep.send_costs().send_post.instr * batch,
                  ep.send_costs().send_post.stall * batch} +
       ep.send_costs().doorbell;
-  ep.send_worker(sg).post(cost, [this, r, sg, pos, batch] {
+  auto task = [this, r, sg, pos, batch] {
     if (failed_ || rank_crashed(r)) return;
     Endpoint& ep = comm_.ep(r);
     RankState& s = st_[r];
-    const auto& indices = sg_indices_[sg];
+    const IdxSpan indices = sg_indices(sg);
     Endpoint::Subgroup& g = ep.subgroup(sg);
     const std::size_t block = static_cast<std::size_t>(s.root_index);
     for (std::size_t k = 0; k < batch; ++k) {
@@ -283,7 +292,11 @@ void McastCollective::send_batch(std::size_t r, std::size_t sg,
       }
     }
     if (pos + batch < indices.size()) send_batch(r, sg, pos + batch);
-  });
+  };
+  // Runs once per chunk batch: the capture must stay within the worker
+  // queue's inline budget or every batch pays an allocation.
+  static_assert(sizeof(task) <= sim::InlineCallback::kInlineBytes);
+  ep.send_worker(sg).post(cost, std::move(task));
 }
 
 void McastCollective::on_subgroup_sent(std::size_t r, std::size_t sg) {
@@ -323,7 +336,11 @@ void McastCollective::on_chunk(std::size_t r, std::uint32_t chunk,
 
   if (comm_.config().transport == Transport::kUd) {
     // Staging -> user buffer copy through the NIC DMA engine; the staging
-    // slot is reposted only once its bytes have drained.
+    // slot is reposted only once its bytes have drained. Capture audit:
+    // 32 bytes here; the NIC's completion wrapper (this + src/dst/len +
+    // the owned callback) lands exactly on the engine's 64-byte inline
+    // budget — see the kInlineBytes comment in sim/callback.hpp before
+    // adding captures.
     Endpoint& ep = comm_.ep(r);
     const std::uint64_t slot = cqe.wr_id;
     const std::uint64_t dst = s.recvbuf + map_.offset_of(chunk);
@@ -553,6 +570,7 @@ void McastCollective::on_fetch_ack(std::size_t r, std::size_t block,
   // Collect this block's chunks still missing at ACK time (some may have
   // raced in through the multicast path).
   std::vector<std::uint32_t> missing;
+  missing.reserve(map_.chunks_per_block());
   const std::uint32_t begin = map_.id_of(block, 0);
   const std::uint32_t end =
       begin + static_cast<std::uint32_t>(map_.chunks_per_block());
@@ -569,7 +587,7 @@ void McastCollective::on_fetch_ack(std::size_t r, std::size_t block,
   s.pending_fetches += missing.size();
   f.reads_outstanding = missing.size();
   for (const std::uint32_t id32 : missing) {
-    ep.recv_worker(0).post(ep.costs().fetch_post, [this, r, src, id32] {
+    auto task = [this, r, src, id32] {
       if (failed_ || rank_crashed(r)) return;
       RankState& s2 = st_[r];
       Endpoint& ep2 = comm_.ep(r);
@@ -583,7 +601,10 @@ void McastCollective::on_fetch_ack(std::size_t r, std::size_t block,
                                  map_.len_of(id32),
                                  s2.recvbuf + map_.offset_of(id32), rkey_,
                                  flags);
-    });
+    };
+    // Per missing chunk: must stay inline in the worker queue.
+    static_assert(sizeof(task) <= sim::InlineCallback::kInlineBytes);
+    ep.recv_worker(0).post(ep.costs().fetch_post, std::move(task));
   }
 }
 
@@ -740,7 +761,7 @@ void McastCollective::on_block_report(std::size_t r, std::size_t block,
     if (src != r) send_decision_to(r, block, src);
     return;
   }
-  s.block_reports[block][src] = holds_full ? 2 : 1;
+  s.block_reports[block * comm_.size() + src] = holds_full ? 2 : 1;
   maybe_decide_block(r, block);
 }
 
@@ -750,19 +771,20 @@ void McastCollective::maybe_decide_block(std::size_t r, std::size_t block) {
   if (!s.peer_dead[s.block_root[block]]) return;  // root (still) alive
   if (coordinator_of(r, block) != r) return;      // not our call
   const std::size_t P = comm_.size();
+  const std::uint8_t* reports = &s.block_reports[block * P];
   for (std::size_t x = 0; x < P; ++x) {
     if (s.peer_dead[x] || x == r) continue;
-    if (s.block_reports[block][x] == 0) return;  // census incomplete
+    if (reports[x] == 0) return;  // census incomplete
   }
   // Our own report may arrive via send_block_report(c == r) or not at all
   // (we confirmed the root dead only after becoming coordinator); count
   // ourselves directly.
-  s.block_reports[block][r] =
+  s.block_reports[block * P + r] =
       s.block_received[block] == map_.chunks_per_block() ? 2 : 1;
   std::size_t holder = P;
   for (std::size_t x = 0; x < P; ++x) {
     if (s.peer_dead[x]) continue;
-    if (s.block_reports[block][x] == 2) {
+    if (reports[x] == 2) {
       holder = x;
       break;  // lowest-rank surviving full holder
     }

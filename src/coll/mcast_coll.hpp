@@ -146,9 +146,11 @@ class McastCollective : public OpBase {
     std::vector<char> barrier_credited;  // per round: dead-sender credit
     std::vector<std::size_t> block_root;  // current root per block (re-root)
     std::vector<char> block_abandoned;    // kBlockDead received
-    // Coordinator state (this rank may be a block's coordinator): per
-    // block, per rank: 0 = no report, 1 = reported not-full, 2 = full.
-    std::vector<std::vector<std::uint8_t>> block_reports;
+    // Coordinator state (this rank may be a block's coordinator): flat
+    // roots x P matrix, entry [block * P + rank]: 0 = no report,
+    // 1 = reported not-full, 2 = full. Flat (one allocation, linear scans)
+    // rather than a vector-of-vectors.
+    std::vector<std::uint8_t> block_reports;
     std::vector<std::uint8_t> block_decision;  // 0 pending, 1 reroot, 2 dead
     std::vector<std::size_t> block_new_root;
     bool repairing = false;
@@ -229,6 +231,19 @@ class McastCollective : public OpBase {
                const rdma::Cqe& cqe);
   void check_op_done(std::size_t r);
 
+  /// Non-owning view of one subgroup's block-local chunk indices (CSR row).
+  struct IdxSpan {
+    const std::uint32_t* ptr;
+    std::size_t count;
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    std::uint32_t operator[](std::size_t i) const { return ptr[i]; }
+  };
+  IdxSpan sg_indices(std::size_t sg) const {
+    return IdxSpan{sg_indices_flat_.data() + sg_off_[sg],
+                   sg_off_[sg + 1] - sg_off_[sg]};
+  }
+
   Params p_;
   ChunkMap map_;
   ChainSchedule schedule_;
@@ -236,8 +251,11 @@ class McastCollective : public OpBase {
   std::uint32_t rkey_;
   std::size_t barrier_rounds_;
   std::vector<RankState> st_;
-  // Block-local chunk indices per subgroup (shared by all blocks).
-  std::vector<std::vector<std::size_t>> sg_indices_;
+  // Block-local chunk indices per subgroup (shared by all blocks), CSR:
+  // subgroup sg spans sg_indices_flat_[sg_off_[sg] .. sg_off_[sg + 1]).
+  // The send path walks one row per batch — contiguous, no outer vector.
+  std::vector<std::uint32_t> sg_indices_flat_;
+  std::vector<std::uint32_t> sg_off_;
 };
 
 }  // namespace mccl::coll

@@ -124,8 +124,14 @@ class Worker : public rdma::Cq::Consumer {
   void flush_trace();
 
   /// Enqueues a task: `fn` runs after the cost has been charged (FIFO per
-  /// worker). Zero-cost tasks are allowed (control decisions).
-  void post(Cost cost, std::function<void()> fn);
+  /// worker). Zero-cost tasks are allowed (control decisions). Tasks are
+  /// stored as InlineCallback cells — captures up to the inline budget never
+  /// touch the allocator (this path runs once per CQE).
+  template <typename F>
+  void post(Cost cost, F&& fn) {
+    queue_.push_back(Task{cost, sim::InlineCallback(std::forward<F>(fn))});
+    pump();
+  }
 
   /// Subscribes to a CQ: every CQE is drained into this worker's task queue
   /// with `cost_of(cqe)` charged before `handler(cqe)` runs. A worker may
@@ -150,7 +156,7 @@ class Worker : public rdma::Cq::Consumer {
  private:
   struct Task {
     Cost cost;
-    std::function<void()> fn;
+    sim::InlineCallback fn;
   };
 
   struct Subscription {
@@ -159,6 +165,7 @@ class Worker : public rdma::Cq::Consumer {
   };
 
   void pump();
+  void run_front();
 
   Complex& complex_;
   std::size_t core_;

@@ -21,6 +21,7 @@ Fabric::Fabric(sim::Engine& engine, Topology topology, Config config)
   counters_.resize(topo_.num_dirs());
   lanes_.resize(topo_.num_dirs());
   faults_.arm();
+  quiet_ = faults_.passthrough();
 }
 
 void Fabric::set_delivery(NodeId host, DeliveryFn fn) {
@@ -71,12 +72,12 @@ void Fabric::black_hole(NodeId node, const PacketPtr& packet) {
 }
 
 void Fabric::send_out(NodeId node, int port_idx, const PacketPtr& packet) {
+  const Port& port = topo_.ports(node)[static_cast<size_t>(port_idx)];
   // Dead egress (downed link, or a downed switch on either end): the packet
   // is black-holed here. Multicast-tree edges land on this path — the tree
   // is not rebuilt around faults, so every subtree behind a dead edge goes
   // dark and the collective's slow path must recover.
-  if (!faults_.dir_usable(
-          topo_.ports(node)[static_cast<size_t>(port_idx)].dir_index)) {
+  if (!quiet_ && !faults_.dir_usable(port.dir_index)) {
     black_hole(node, packet);
     return;
   }
@@ -84,18 +85,16 @@ void Fabric::send_out(NodeId node, int port_idx, const PacketPtr& packet) {
   // priority queues; host egress (already paced one-packet-at-a-time by the
   // NIC arbiter) and VL-less fabrics serialize directly.
   if (config_.virtual_lanes && !topo_.is_host(node)) {
-    const Port& port = topo_.ports(node)[static_cast<size_t>(port_idx)];
     LaneState& lane = lanes_[port.dir_index];
     MCCL_CHECK(packet->vl < kNumLanes);
     lane.queues[packet->vl].push_back(packet);
-    pump_lanes(node, port_idx);
+    pump_lanes(node, port_idx, port);
     return;
   }
-  put_on_wire(node, port_idx, packet);
+  put_on_wire(node, port_idx, port, packet);
 }
 
-void Fabric::pump_lanes(NodeId node, int port_idx) {
-  const Port& port = topo_.ports(node)[static_cast<size_t>(port_idx)];
+void Fabric::pump_lanes(NodeId node, int port_idx, const Port& port) {
   LaneState& lane = lanes_[port.dir_index];
   if (lane.busy) return;
   PacketPtr next;
@@ -108,29 +107,34 @@ void Fabric::pump_lanes(NodeId node, int port_idx) {
   }
   if (!next) return;
   lane.busy = true;
-  put_on_wire(node, port_idx, next);
+  put_on_wire(node, port_idx, port, next);
   // Clamp to now: a packet black-holed inside put_on_wire (link died while
   // queued) leaves the serializer's free_at in the past.
   engine_.schedule_at(std::max(engine_.now(),
                                serializers_[port.dir_index].free_at()),
                       [this, node, port_idx] {
-                        lanes_[topo_.ports(node)[static_cast<size_t>(
-                                    port_idx)].dir_index].busy = false;
-                        pump_lanes(node, port_idx);
+                        const Port& p =
+                            topo_.ports(node)[static_cast<size_t>(port_idx)];
+                        lanes_[p.dir_index].busy = false;
+                        pump_lanes(node, port_idx, p);
                       });
 }
 
-void Fabric::put_on_wire(NodeId node, int port_idx, const PacketPtr& packet) {
-  const Port& port = topo_.ports(node)[static_cast<size_t>(port_idx)];
-  if (!faults_.dir_usable(port.dir_index)) {  // link died while lane-queued
-    black_hole(node, packet);
+void Fabric::put_on_wire(NodeId node, int port_idx, const Port& port,
+                         const PacketPtr& packet) {
+  if (!quiet_ && !faults_.dir_usable(port.dir_index)) {
+    black_hole(node, packet);  // link died while lane-queued
     return;
   }
   sim::Resource& ser = serializers_[port.dir_index];
   DirCounters& ctr = counters_[port.dir_index];
 
   // A degraded link serializes at a fraction of its nominal bandwidth.
-  const double gbps_eff = port.params.gbps * faults_.bw_factor(port.dir_index);
+  // (bw_factor is exactly 1.0 when undegraded, so the quiet split cannot
+  // change rounding.)
+  const double gbps_eff =
+      quiet_ ? port.params.gbps
+             : port.params.gbps * faults_.bw_factor(port.dir_index);
   const Time ser_time = serialization_time(packet->wire_size, gbps_eff);
   const Time wire_done = ser.acquire(engine_.now(), ser_time);
   ctr.packets += 1;
@@ -141,7 +145,7 @@ void Fabric::put_on_wire(NodeId node, int port_idx, const PacketPtr& packet) {
   // burst model is consulted per packet even when uniform BER already
   // condemned it, so the Gilbert-Elliott chain advances identically
   // regardless of the other loss sources (determinism across configs).
-  bool drop = faults_.burst_drop(port.dir_index);
+  bool drop = quiet_ ? false : faults_.burst_drop(port.dir_index);
   if (config_.drop_prob > 0.0 && rng_.chance(config_.drop_prob)) drop = true;
   if (!drop && drop_filter_ && drop_filter_(node, port.peer, *packet))
     drop = true;
@@ -162,9 +166,13 @@ void Fabric::put_on_wire(NodeId node, int port_idx, const PacketPtr& packet) {
   // The shared payload snapshot is immutable — other replicas of a multicast
   // packet must stay clean — so corruption clones packet and bytes.
   PacketPtr delivered = packet;
-  if (faults_.corrupt_hit(port.dir_index)) {
-    auto dup = std::make_shared<Packet>(*packet);
-    dup->corrupted = true;
+  if (!quiet_ && faults_.corrupt_hit(port.dir_index)) {
+    // COW: clean replicas of a multicast packet keep sharing the original
+    // bytes; only the corrupted copy gets its own buffer (with one bit
+    // flipped).
+    PacketPtr dup = pool_.acquire();
+    dup.mut() = *packet;  // wire fields only; refcount/home are preserved
+    dup.mut().corrupted = true;
     if (!dup->payload.empty()) {
       const std::uint8_t* src_bytes = dup->payload.data();
       const std::size_t len = dup->payload.size();
@@ -173,7 +181,7 @@ void Fabric::put_on_wire(NodeId node, int port_idx, const PacketPtr& packet) {
       const std::uint64_t byte = faults_.corrupt_pick(len);
       (*buf)[byte] ^=
           static_cast<std::uint8_t>(1u << faults_.corrupt_pick(8));
-      dup->payload = Payload(std::move(buf), 0, len);
+      dup.mut().payload = Payload(std::move(buf), 0, len);
     }
     if (telem_ != nullptr)
       telem_->recorder.record(engine_.now(),
@@ -184,8 +192,8 @@ void Fabric::put_on_wire(NodeId node, int port_idx, const PacketPtr& packet) {
     delivered = std::move(dup);
   }
 
-  Time arrival =
-      wire_done + port.params.latency + faults_.extra_latency(port.dir_index);
+  Time arrival = wire_done + port.params.latency;
+  if (!quiet_) arrival += faults_.extra_latency(port.dir_index);
   if (config_.latency_jitter > 0)
     arrival += static_cast<Time>(
         rng_.below(static_cast<std::uint64_t>(config_.latency_jitter) + 1));
@@ -201,7 +209,7 @@ void Fabric::put_on_wire(NodeId node, int port_idx, const PacketPtr& packet) {
 void Fabric::arrive(NodeId node, int in_port, const PacketPtr& packet) {
   // Switch died or host crashed while the packet flew: in-flight traffic
   // addressed at (or through) a silent node is dropped on arrival.
-  if (faults_.node_silent(node)) {
+  if (!quiet_ && faults_.node_silent(node)) {
     faults_.count_black_hole();
     return;
   }
@@ -223,7 +231,9 @@ void Fabric::arrive(NodeId node, int in_port, const PacketPtr& packet) {
 }
 
 void Fabric::forward(NodeId sw, int in_port, const PacketPtr& packet) {
-  if (interceptor_ && interceptor_(sw, in_port, packet)) return;
+  if (packet->th.op == interceptor_op_ && interceptor_ &&
+      interceptor_(sw, in_port, packet))
+    return;
   if (packet->is_mcast()) {
     auto& group = groups_[static_cast<size_t>(packet->mcast_group)];
     MCCL_CHECK(group.tree_ready);
@@ -279,7 +289,7 @@ void Fabric::recompute_viability() {
 }
 
 int Fabric::pick_next_hop(NodeId node, const Packet& packet) {
-  const auto& all = topo_.next_hops(node, packet.dst_host);
+  const Topology::HopSet all = topo_.next_hops(node, packet.dst_host);
   // ECMP re-routes around faulted candidates; a flow whose hashed path died
   // deterministically lands on the same surviving alternate. A candidate is
   // usable only if its own direction is up AND the peer can still reach the
@@ -309,7 +319,10 @@ int Fabric::pick_next_hop(NodeId node, const Packet& packet) {
       if (alive.empty()) return -1;
     }
   }
-  const std::vector<int>& cand = any_dead ? alive : all;
+  const Topology::HopSet cand =
+      any_dead ? Topology::HopSet{alive.data(),
+                                  static_cast<std::uint32_t>(alive.size())}
+               : all;
   if (cand.size() == 1) return cand.front();
   if (config_.routing == RoutingMode::kAdaptive)
     return cand[rng_.below(cand.size())];
@@ -320,7 +333,10 @@ int Fabric::pick_next_hop(NodeId node, const Packet& packet) {
        static_cast<std::uint64_t>(packet.dst_host);
   h *= 0xbf58476d1ce4e5b9ULL;
   h ^= h >> 29;
-  return cand[h % cand.size()];
+  // Fat-tree uplink counts are powers of two in practice; mask instead of a
+  // 64-bit divide when possible (identical result).
+  const std::size_t n = cand.size();
+  return cand[(n & (n - 1)) == 0 ? (h & (n - 1)) : (h % n)];
 }
 
 McastGroupId Fabric::create_mcast_group() {

@@ -93,6 +93,11 @@ class Fabric {
   sim::Engine& engine() { return engine_; }
   const Topology& topology() const { return topo_; }
 
+  /// Recycling allocator for every packet injected into this fabric.
+  /// Outstanding packets may outlive the Fabric (events still queued in the
+  /// engine at teardown); the pool's backing store handles that itself.
+  PacketPool& pool() { return pool_; }
+
   /// Registers the packet-arrival callback for `host` (its NIC).
   void set_delivery(NodeId host, DeliveryFn fn);
 
@@ -111,8 +116,12 @@ class Fabric {
   const FaultPlane& faults() const { return faults_; }
 
   // --- In-switch services ----------------------------------------------------
-  void set_switch_interceptor(SwitchInterceptor f) {
+  /// `only_op`: the fabric pre-filters on the transport op with a plain
+  /// integer compare, so non-matching traffic (the vast majority) never pays
+  /// the std::function call — forward() runs once per packet per switch hop.
+  void set_switch_interceptor(SwitchInterceptor f, TransportOp only_op) {
     interceptor_ = std::move(f);
+    interceptor_op_ = only_op;
   }
   /// Emits a (service-generated) packet out a specific switch port.
   void send_from_switch(NodeId sw, int port, const PacketPtr& packet) {
@@ -152,10 +161,13 @@ class Fabric {
     bool busy = false;
   };
 
+  // The per-hop chain resolves the egress Port once in send_out and threads
+  // it through (each topo_.ports(node)[port] lookup is two dependent loads).
   void send_out(NodeId node, int port, const PacketPtr& packet);
   void black_hole(NodeId node, const PacketPtr& packet);
-  void put_on_wire(NodeId node, int port, const PacketPtr& packet);
-  void pump_lanes(NodeId node, int port);
+  void put_on_wire(NodeId node, int port, const Port& p,
+                   const PacketPtr& packet);
+  void pump_lanes(NodeId node, int port, const Port& p);
   void arrive(NodeId node, int in_port, const PacketPtr& packet);
   void forward(NodeId sw, int in_port, const PacketPtr& packet);
   int pick_next_hop(NodeId node, const Packet& packet);
@@ -165,6 +177,7 @@ class Fabric {
   void build_mcast_tree(McastGroup& group);
 
   sim::Engine& engine_;
+  PacketPool pool_;
   Topology topo_;
   Config config_;
   Rng rng_;
@@ -177,11 +190,16 @@ class Fabric {
   std::vector<McastGroup> groups_;
   DropFilter drop_filter_;
   SwitchInterceptor interceptor_;
+  TransportOp interceptor_op_ = TransportOp::kUdSend;  // meaningless w/o fn
   // ECMP viability under faults: viable_[host_index * num_nodes + node] is
   // nonzero iff `node` can still reach the host over usable directions.
   // Rebuilt lazily whenever the fault plane's topo_version moves.
   std::vector<char> viable_;
   std::uint64_t viable_version_ = 0;
+  /// Cached FaultPlane::passthrough(): when set, every per-packet fault
+  /// query is skipped (each would return its neutral value and draw no RNG,
+  /// so the skip is bit-identical to asking).
+  bool quiet_ = false;
 };
 
 }  // namespace mccl::fabric

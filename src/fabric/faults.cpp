@@ -48,6 +48,8 @@ FaultPlane::FaultPlane(sim::Engine& engine, const Topology& topo,
   }
   node_down_.assign(topo.num_nodes(), false);
   host_crashed_.assign(topo.num_nodes(), false);
+  corruption_possible_ = config_.corruption_possible();
+  passthrough_ = !config_.any();
 }
 
 void FaultPlane::arm() {

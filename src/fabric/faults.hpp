@@ -140,6 +140,14 @@ struct FaultConfig {
   GilbertElliott burst;     // applied to every link direction independently
   std::uint64_t seed = 1;   // burst-model RNG (separate from Fabric's)
   bool any() const { return !events.empty() || burst.enabled(); }
+  /// True if the timeline contains any corruption window. NICs consult this
+  /// once to decide whether CRC32C stamping/verification is worth paying
+  /// for (when no window exists, no packet can ever fail the check).
+  bool corruption_possible() const {
+    for (const FaultEvent& ev : events)
+      if (ev.kind == FaultEvent::Kind::kCorruptBegin) return true;
+    return false;
+  }
 };
 
 class FaultPlane {
@@ -165,6 +173,11 @@ class FaultPlane {
   void set_telemetry(telemetry::Telemetry* telem);
 
   // --- per-packet queries (Fabric hot path) --------------------------------
+  /// True iff this plane can never perturb traffic: no timeline events and
+  /// no burst model. Constant after construction — the Fabric caches it and
+  /// skips every per-packet fault query (all of which would return their
+  /// neutral value and draw no RNG, so skipping is bit-identical).
+  bool passthrough() const { return passthrough_; }
   /// A direction is usable iff the link is up and neither endpoint is a
   /// downed switch or a crashed host.
   bool dir_usable(std::size_t dir) const {
@@ -213,6 +226,8 @@ class FaultPlane {
   std::uint64_t bursts_entered() const { return bursts_entered_; }
   /// Packets whose payload was bit-flipped by a corruption window.
   std::uint64_t corrupted() const { return corrupted_; }
+  /// Timeline-level query (precomputed): can any packet ever be corrupted?
+  bool corruption_possible() const { return corruption_possible_; }
 
  private:
   struct DirState {
@@ -249,6 +264,8 @@ class FaultPlane {
   std::vector<std::pair<NodeId, double>> pending_straggles_;
   std::vector<std::pair<NodeId, bool>> pending_crashes_;
   bool armed_ = false;
+  bool corruption_possible_ = false;
+  bool passthrough_ = false;
   std::uint64_t topo_version_ = 0;
   std::uint64_t black_holed_ = 0;
   std::uint64_t burst_drops_ = 0;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -96,7 +97,30 @@ inline constexpr std::uint8_t kCtrlLane = 0;
 inline constexpr std::uint8_t kBulkLane = 1;
 inline constexpr std::size_t kNumLanes = 2;
 
-struct Packet {
+namespace detail {
+struct PacketPoolCore;
+}
+
+/// Intrusive-refcount header for pooled packets. Copy/move are deliberately
+/// no-ops: `*dup = *original` (the corruption-clone path) must copy the wire
+/// fields but never the refcount or pool-home of the destination cell.
+class PacketCtl {
+ public:
+  PacketCtl() = default;
+  PacketCtl(const PacketCtl&) {}
+  PacketCtl(PacketCtl&&) noexcept {}
+  PacketCtl& operator=(const PacketCtl&) { return *this; }
+  PacketCtl& operator=(PacketCtl&&) noexcept { return *this; }
+
+ private:
+  friend class PacketRef;
+  friend class PacketPool;
+  friend struct detail::PacketPoolCore;
+  mutable std::uint32_t refs_ = 0;
+  detail::PacketPoolCore* home_ = nullptr;  // null: heap-allocated one-off
+};
+
+struct Packet : PacketCtl {
   NodeId src_host = kInvalidNode;
   NodeId dst_host = kInvalidNode;            // unicast destination, or
   McastGroupId mcast_group = kNoMcastGroup;  // multicast group (if >= 0)
@@ -112,6 +136,150 @@ struct Packet {
   bool is_mcast() const { return mcast_group != kNoMcastGroup; }
 };
 
-using PacketPtr = std::shared_ptr<const Packet>;
+namespace detail {
+/// Storage shared by a PacketPool and the packets it handed out. Kept off
+/// to the side (heap) so outstanding PacketRefs may outlive the pool object
+/// itself — e.g. events still queued in the engine when a Cluster tears
+/// down its Fabric. The core self-deletes once the owning pool is gone AND
+/// the last outstanding packet returned.
+struct PacketPoolCore {
+  std::deque<Packet> slab;          // stable addresses; grows, never shrinks
+  std::vector<Packet*> free_list;
+  std::uint64_t outstanding = 0;    // packets handed out, not yet returned
+  std::uint64_t acquired_total = 0;
+  bool owner_alive = true;
+
+  void maybe_die() {
+    if (!owner_alive && outstanding == 0) delete this;
+  }
+};
+}  // namespace detail
+
+/// Shared handle to an immutable in-flight packet (non-atomic refcount: the
+/// simulator is single-threaded by construction). Pool-backed packets are
+/// recycled on last release; one-off packets (tests) are deleted.
+class PacketRef {
+ public:
+  PacketRef() = default;
+  /// Adopts a reference to `p` (bumps the refcount).
+  explicit PacketRef(const Packet* p) : p_(p) {
+    if (p_ != nullptr) ++p_->refs_;
+  }
+  // Copies are noexcept: lambdas holding a *const* PacketRef member (by-copy
+  // capture of a `const PacketPtr&` parameter) fall back to the copy ctor
+  // when "moved", and InlineFn keeps such callables inline only if that
+  // operation cannot throw.
+  PacketRef(const PacketRef& o) noexcept : p_(o.p_) {
+    if (p_ != nullptr) ++p_->refs_;
+  }
+  PacketRef(PacketRef&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+  PacketRef& operator=(const PacketRef& o) noexcept {
+    if (p_ != o.p_) {
+      release();
+      p_ = o.p_;
+      if (p_ != nullptr) ++p_->refs_;
+    }
+    return *this;
+  }
+  PacketRef& operator=(PacketRef&& o) noexcept {
+    if (this != &o) {
+      release();
+      p_ = o.p_;
+      o.p_ = nullptr;
+    }
+    return *this;
+  }
+  ~PacketRef() { release(); }
+
+  void reset() {
+    release();
+    p_ = nullptr;
+  }
+
+  const Packet* get() const { return p_; }
+  const Packet& operator*() const { return *p_; }
+  const Packet* operator->() const { return p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+  friend bool operator==(const PacketRef& a, const PacketRef& b) {
+    return a.p_ == b.p_;
+  }
+  friend bool operator!=(const PacketRef& a, const PacketRef& b) {
+    return a.p_ != b.p_;
+  }
+
+  /// Mutable access for the packet *builder* (QP filling in headers, RC
+  /// stamping the PSN at pump time). Only legal while the sender still owns
+  /// the sole reference — once replicated by the fabric the bytes are
+  /// frozen.
+  Packet& mut() const {
+    MCCL_CHECK(p_ != nullptr);
+    return *const_cast<Packet*>(p_);
+  }
+
+ private:
+  void release() {
+    if (p_ == nullptr || --p_->refs_ != 0) return;
+    Packet* p = const_cast<Packet*>(p_);
+    detail::PacketPoolCore* core = p->home_;
+    if (core == nullptr) {
+      delete p;
+      return;
+    }
+    // Reset wire fields (drops the payload buffer ref); PacketCtl's neutral
+    // assignment keeps refs_/home_ intact.
+    *p = Packet{};
+    core->free_list.push_back(p);
+    --core->outstanding;
+    core->maybe_die();
+  }
+
+  const Packet* p_ = nullptr;
+};
+
+using PacketPtr = PacketRef;
+
+/// Recycling allocator for Packets, one per Fabric. Steady-state traffic
+/// allocates nothing: a released packet's cell is reused by the next send.
+class PacketPool {
+ public:
+  PacketPool() : core_(new detail::PacketPoolCore) {}
+  ~PacketPool() {
+    core_->owner_alive = false;
+    core_->maybe_die();
+  }
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  /// Returns a fresh (default-initialized) packet; fill it through
+  /// PacketRef::mut() before handing it to the NIC/fabric.
+  PacketRef acquire() {
+    Packet* p;
+    if (core_->free_list.empty()) {
+      core_->slab.emplace_back();
+      p = &core_->slab.back();
+      p->home_ = core_;
+    } else {
+      p = core_->free_list.back();
+      core_->free_list.pop_back();
+    }
+    ++core_->outstanding;
+    ++core_->acquired_total;
+    return PacketRef(p);
+  }
+
+  /// Cells ever created; plateaus at the in-flight high-water mark.
+  std::size_t capacity() const { return core_->slab.size(); }
+  /// Cells currently free for reuse.
+  std::size_t idle() const { return core_->free_list.size(); }
+  /// Total acquire() calls (diagnostic).
+  std::uint64_t acquired_total() const { return core_->acquired_total; }
+
+ private:
+  detail::PacketPoolCore* core_;
+};
+
+/// One-off heap packet for tests and tools that have no Fabric (and thus no
+/// pool) at hand.
+inline PacketRef make_unpooled_packet() { return PacketRef(new Packet); }
 
 }  // namespace mccl::fabric

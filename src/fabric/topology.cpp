@@ -8,7 +8,6 @@
 namespace mccl::fabric {
 
 namespace {
-constexpr std::size_t kNoHost = std::numeric_limits<std::size_t>::max();
 constexpr int kUnreachable = std::numeric_limits<int>::max();
 }  // namespace
 
@@ -56,19 +55,15 @@ void Topology::connect(NodeId a, NodeId b, LinkParams params) {
   routes_ready_ = false;
 }
 
-std::size_t Topology::host_index(NodeId host) const {
-  const std::size_t idx = host_index_[static_cast<size_t>(host)];
-  MCCL_CHECK_MSG(idx != kNoHost, "node is not a host");
-  return idx;
-}
-
 void Topology::compute_routes() {
   const std::size_t n = num_nodes();
   const std::size_t h = num_hosts();
   dist_.assign(h * n, kUnreachable);
-  hops_.assign(h * n, {});
+  hops_flat_.clear();
+  hops_off_.assign(h * n + 1, 0);
 
-  // BFS from each host over the undirected graph.
+  // BFS from each host over the undirected graph. Rows are built in
+  // ascending (hi * n + node) order, so the CSR offsets fill in one pass.
   for (std::size_t hi = 0; hi < h; ++hi) {
     int* dist = &dist_[hi * n];
     std::deque<NodeId> frontier;
@@ -86,26 +81,19 @@ void Topology::compute_routes() {
     }
     // Candidate next hops: ports whose peer is strictly closer to the host.
     for (std::size_t node = 0; node < n; ++node) {
-      if (dist[node] == kUnreachable || dist[node] == 0) continue;
-      auto& cand = hops_[hi * n + node];
-      const auto& nports = ports_[node];
-      for (std::size_t pi = 0; pi < nports.size(); ++pi) {
-        if (dist[nports[pi].peer] == dist[node] - 1)
-          cand.push_back(static_cast<int>(pi));
+      if (dist[node] != kUnreachable && dist[node] != 0) {
+        const auto& nports = ports_[node];
+        for (std::size_t pi = 0; pi < nports.size(); ++pi) {
+          if (dist[nports[pi].peer] == dist[node] - 1)
+            hops_flat_.push_back(static_cast<int>(pi));
+        }
+        MCCL_CHECK(hops_flat_.size() > hops_off_[hi * n + node]);
       }
-      MCCL_CHECK(!cand.empty());
+      hops_off_[hi * n + node + 1] =
+          static_cast<std::uint32_t>(hops_flat_.size());
     }
   }
   routes_ready_ = true;
-}
-
-const std::vector<int>& Topology::next_hops(NodeId node,
-                                            NodeId dst_host) const {
-  MCCL_CHECK_MSG(routes_ready_, "compute_routes() not called");
-  const std::size_t hi = host_index(dst_host);
-  const auto& cand = hops_[hi * num_nodes() + static_cast<size_t>(node)];
-  MCCL_CHECK_MSG(!cand.empty(), "no route to host");
-  return cand;
 }
 
 int Topology::distance(NodeId node, NodeId dst_host) const {

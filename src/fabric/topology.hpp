@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
+#include "src/common/check.hpp"
 #include "src/common/units.hpp"
 #include "src/fabric/packet.hpp"
 
@@ -60,20 +62,47 @@ class Topology {
   std::size_t num_dirs() const { return dirs_.size(); }
 
   /// Index of `host` within hosts() — routing tables are host-indexed.
-  std::size_t host_index(NodeId host) const;
+  std::size_t host_index(NodeId host) const {
+    const std::size_t idx = host_index_[static_cast<size_t>(host)];
+    MCCL_CHECK_MSG(idx != kNoHost, "node is not a host");
+    return idx;
+  }
 
   /// (Re)computes shortest-path routing tables. Must be called after the
   /// last connect() and before next_hops().
   void compute_routes();
   bool routes_ready() const { return routes_ready_; }
 
+  /// Non-owning view of an equal-cost candidate set (CSR row).
+  struct HopSet {
+    const int* ptr = nullptr;
+    std::uint32_t count = 0;
+    const int* begin() const { return ptr; }
+    const int* end() const { return ptr + count; }
+    int operator[](std::size_t i) const { return ptr[i]; }
+    int front() const { return ptr[0]; }
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+  };
+
   /// Candidate egress ports at `node` toward `dst_host` (equal-cost set).
-  const std::vector<int>& next_hops(NodeId node, NodeId dst_host) const;
+  /// Inline and CSR-flat: called once per unicast packet per hop.
+  HopSet next_hops(NodeId node, NodeId dst_host) const {
+    const std::size_t hi = host_index(dst_host);
+    const std::size_t k = hi * kinds_.size() + static_cast<size_t>(node);
+    const std::uint32_t b = hops_off_[k];
+    const std::uint32_t e = hops_off_[k + 1];
+    MCCL_CHECK_MSG(e > b, "no route to host");
+    return HopSet{hops_flat_.data() + b, e - b};
+  }
 
   /// Hop distance from `node` to `dst_host` (for multicast tree building).
   int distance(NodeId node, NodeId dst_host) const;
 
  private:
+  static constexpr std::size_t kNoHost =
+      std::numeric_limits<std::size_t>::max();
+
   NodeId add_node(NodeKind kind);
 
   std::vector<NodeKind> kinds_;
@@ -85,8 +114,10 @@ class Topology {
   bool routes_ready_ = false;
   // dist_[h * num_nodes + n] = hops from node n to host h.
   std::vector<int> dist_;
-  // hops_[h * num_nodes + n] = candidate egress ports.
-  std::vector<std::vector<int>> hops_;
+  // Candidate egress ports in CSR form: row h * num_nodes + n spans
+  // hops_flat_[hops_off_[row] .. hops_off_[row + 1]).
+  std::vector<int> hops_flat_;
+  std::vector<std::uint32_t> hops_off_;
 };
 
 /// Two hosts connected back to back (the paper's DPA testbed).

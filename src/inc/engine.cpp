@@ -19,9 +19,9 @@ std::uint64_t acc_key(fabric::NodeId owner, fabric::NodeId sw,
 Engine::Engine(fabric::Fabric& fabric) : fabric_(fabric) {
   fabric_.set_switch_interceptor(
       [this](fabric::NodeId sw, int in_port, const fabric::PacketPtr& p) {
-        if (p->th.op != fabric::TransportOp::kIncContribution) return false;
         return intercept(sw, in_port, p);
-      });
+      },
+      fabric::TransportOp::kIncContribution);
 }
 
 SessionId Engine::create_session(SessionConfig config) {
@@ -99,7 +99,8 @@ fabric::PacketPtr Engine::make_merged(SessionId id, fabric::NodeId from,
                                       fabric::NodeId owner,
                                       std::uint32_t chunk,
                                       const ChunkAcc& acc) const {
-  auto pkt = std::make_shared<fabric::Packet>();
+  fabric::PacketRef pref = fabric_.pool().acquire();
+  fabric::Packet* pkt = &pref.mut();
   pkt->src_host = from;  // nominal source: the merging switch
   pkt->dst_host = owner;
   pkt->wire_size = acc.len;
@@ -116,7 +117,7 @@ fabric::PacketPtr Engine::make_merged(SessionId id, fabric::NodeId from,
             acc.sum.size() * sizeof(float));
     pkt->payload = fabric::Payload(bytes, 0, bytes->size());
   }
-  return pkt;
+  return pref;
 }
 
 void Engine::contribute(SessionId session, fabric::NodeId src,
@@ -125,7 +126,8 @@ void Engine::contribute(SessionId session, fabric::NodeId src,
                         const Injector& inject) {
   Session& s = *sessions_[session];
   tree_for(s, owner);  // ensure the tree exists before packets fly
-  auto pkt = std::make_shared<fabric::Packet>();
+  fabric::PacketRef pref = fabric_.pool().acquire();
+  fabric::Packet* pkt = &pref.mut();
   pkt->src_host = src;
   pkt->dst_host = owner;
   pkt->wire_size = len;
@@ -137,9 +139,9 @@ void Engine::contribute(SessionId session, fabric::NodeId src,
   pkt->th.seg_len = len;
   pkt->payload = std::move(payload);
   if (inject)
-    inject(pkt);
+    inject(pref);
   else
-    fabric_.inject(pkt);
+    fabric_.inject(pref);
 }
 
 void Engine::set_result_sink(SessionId session, fabric::NodeId host,

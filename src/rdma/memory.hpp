@@ -9,11 +9,14 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/check.hpp"
+#include "src/fabric/packet.hpp"
 
 namespace mccl::rdma {
 
@@ -49,9 +52,12 @@ class HostMemory {
     return base;
   }
 
+  /// Mutable access. Hands out a raw pointer the caller may scribble
+  /// through, so every cached send snapshot is conservatively invalidated.
   std::uint8_t* at(std::uint64_t addr) {
     MCCL_CHECK_MSG(backed_, "access to an unbacked (timing-only) arena");
     MCCL_CHECK(addr <= bytes_.size());
+    for (Snapshot& s : snaps_) s.data = nullptr;
     return bytes_.data() + addr;
   }
   const std::uint8_t* at(std::uint64_t addr) const {
@@ -62,6 +68,14 @@ class HostMemory {
 
   void write(std::uint64_t addr, const std::uint8_t* src, std::uint64_t len) {
     MCCL_CHECK(addr + len <= bytes_.size());
+    // Drop cached snapshots overlapping the written range; in-flight
+    // packets holding slices keep the pre-write bytes (by design — they
+    // were "serialized" when the send was pumped).
+    for (Snapshot& s : snaps_) {
+      if (s.data != nullptr && addr < s.base + s.data->size() &&
+          addr + len > s.base)
+        s.data = nullptr;
+    }
     std::copy(src, src + len, bytes_.data() + addr);
   }
 
@@ -70,11 +84,56 @@ class HostMemory {
     std::copy(bytes_.data() + addr, bytes_.data() + addr + len, dst);
   }
 
+  /// Zero-copy send path: an immutable shared slice of this arena's bytes
+  /// as of now. Slices are cut from a small LRU cache of window-sized
+  /// snapshot copies, so a burst of segment sends from one buffer costs one
+  /// memcpy total instead of one per packet. The bump allocator never
+  /// reuses addresses, and at()/write() invalidate overlapping windows, so
+  /// a cache hit always serves current bytes.
+  fabric::Payload snapshot_slice(std::uint64_t addr, std::uint64_t len) {
+    MCCL_CHECK_MSG(backed_, "access to an unbacked (timing-only) arena");
+    MCCL_CHECK(addr + len <= brk_);
+    ++snap_clock_;
+    for (Snapshot& s : snaps_) {
+      if (s.data != nullptr && addr >= s.base &&
+          addr + len <= s.base + s.data->size()) {
+        s.last_use = snap_clock_;
+        return fabric::Payload(s.data, addr - s.base, len);
+      }
+    }
+    const std::uint64_t base = addr & ~(kSnapshotWindow - 1);
+    const std::uint64_t end =
+        std::min(std::max(addr + len, base + kSnapshotWindow), brk_);
+    Snapshot* victim = &snaps_[0];
+    for (Snapshot& s : snaps_) {
+      if (s.data == nullptr) {
+        victim = &s;
+        break;
+      }
+      if (s.last_use < victim->last_use) victim = &s;
+    }
+    victim->data = std::make_shared<std::vector<std::uint8_t>>(
+        bytes_.begin() + static_cast<std::ptrdiff_t>(base),
+        bytes_.begin() + static_cast<std::ptrdiff_t>(end));
+    victim->base = base;
+    victim->last_use = snap_clock_;
+    return fabric::Payload(victim->data, addr - base, len);
+  }
+
  private:
+  struct Snapshot {
+    std::shared_ptr<std::vector<std::uint8_t>> data;
+    std::uint64_t base = 0;
+    std::uint64_t last_use = 0;
+  };
+  static constexpr std::uint64_t kSnapshotWindow = std::uint64_t{1} << 18;
+
   std::uint64_t capacity_;
   bool backed_;
   std::vector<std::uint8_t> bytes_;
   std::uint64_t brk_ = 0;
+  std::array<Snapshot, 4> snaps_;
+  std::uint64_t snap_clock_ = 0;
 };
 
 /// Per-NIC registration table (the MTT/MPT equivalent).

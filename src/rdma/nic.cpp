@@ -1,6 +1,7 @@
 #include "src/rdma/nic.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace mccl::rdma {
 
@@ -11,6 +12,8 @@ Nic::Nic(sim::Engine& engine, fabric::Fabric& fabric, fabric::NodeId host,
       host_(host),
       config_(config),
       memory_(config.memory_capacity, config.carry_payload) {
+  crc_enabled_ =
+      config_.carry_payload && fabric.faults().corruption_possible();
   fabric_.set_delivery(host_,
                        [this](const fabric::PacketPtr& p) { on_packet(p); });
 }
@@ -40,14 +43,18 @@ RcQp& Nic::create_rc_qp(Cq* send_cq, Cq* recv_cq) {
 
 void Nic::attach_ud_mcast(fabric::McastGroupId group, UdQp& qp) {
   fabric_.mcast_attach(group, host_);
-  auto& list = ud_mcast_[group];
+  if (static_cast<std::size_t>(group) >= ud_mcast_.size())
+    ud_mcast_.resize(static_cast<std::size_t>(group) + 1);
+  auto& list = ud_mcast_[static_cast<std::size_t>(group)];
   if (std::find(list.begin(), list.end(), &qp) == list.end())
     list.push_back(&qp);
 }
 
 void Nic::attach_uc_mcast(fabric::McastGroupId group, UcQp& qp) {
   fabric_.mcast_attach(group, host_);
-  auto& list = uc_mcast_[group];
+  if (static_cast<std::size_t>(group) >= uc_mcast_.size())
+    uc_mcast_.resize(static_cast<std::size_t>(group) + 1);
+  auto& list = uc_mcast_[static_cast<std::size_t>(group)];
   if (std::find(list.begin(), list.end(), &qp) == list.end())
     list.push_back(&qp);
 }
@@ -61,34 +68,75 @@ void Nic::set_crashed(bool crashed) {
   if (crashed_) {
     // Discard everything queued for egress: a dead host transmits nothing.
     for (auto& q : tx_queues_) q.clear();
+    std::fill(tx_ready_.begin(), tx_ready_.end(), 0);
   }
+}
+
+std::size_t Nic::add_tx_queue() {
+  const std::size_t slot = tx_queues_.size();
+  tx_queues_.emplace_back();
+  if ((slot >> 6) >= tx_ready_.size()) tx_ready_.push_back(0);
+  return slot;
 }
 
 void Nic::transmit(std::uint32_t queue, const fabric::PacketPtr& packet,
                    TxCallback done) {
   if (crashed_) return;  // the send evaporates; no departure callback
-  auto [it, inserted] = tx_queue_index_.try_emplace(queue, tx_queues_.size());
-  if (inserted) tx_queues_.emplace_back();
-  tx_queues_[it->second].push_back(TxItem{packet, std::move(done)});
+  std::size_t slot;
+  if (queue == kIncTxQueue) {
+    if (inc_tx_slot_ == kNoTxQueue) inc_tx_slot_ = add_tx_queue();
+    slot = inc_tx_slot_;
+  } else {
+    if (queue >= tx_slot_of_.size()) tx_slot_of_.resize(queue + 1, -1);
+    if (tx_slot_of_[queue] < 0)
+      tx_slot_of_[queue] = static_cast<std::int32_t>(add_tx_queue());
+    slot = static_cast<std::size_t>(tx_slot_of_[queue]);
+  }
+  auto& q = tx_queues_[slot];
+  if (q.empty()) tx_ready_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+  q.push_back(TxItem{packet, std::move(done)});
   pump_tx();
+}
+
+std::size_t Nic::next_ready_tx(std::size_t start) const {
+  // First slot with a non-empty queue at or after `start`, wrapping — the
+  // exact pick a linear first-non-empty probe from `start` would make.
+  // Bits at or above tx_queues_.size() are never set.
+  const std::size_t n = tx_queues_.size();
+  if (n == 0) return kNoTxQueue;
+  if (start >= n) start -= n;  // tx_rr_ is at most n
+  std::size_t w = start >> 6;
+  std::uint64_t bits = (tx_ready_[w] >> (start & 63)) << (start & 63);
+  for (;;) {
+    if (bits != 0)
+      return (w << 6) +
+             static_cast<std::size_t>(__builtin_ctzll(bits));
+    if (++w == tx_ready_.size()) break;
+    bits = tx_ready_[w];
+  }
+  const std::size_t stop = start >> 6;
+  for (w = 0; w <= stop; ++w) {
+    bits = tx_ready_[w];
+    if (w == stop)
+      bits &= (std::uint64_t{1} << (start & 63)) - 1;  // below `start` only
+    if (bits != 0)
+      return (w << 6) +
+             static_cast<std::size_t>(__builtin_ctzll(bits));
+  }
+  return kNoTxQueue;
 }
 
 void Nic::pump_tx() {
   if (tx_active_) return;
   // Round-robin service across non-empty TX queues.
-  const std::size_t n = tx_queues_.size();
-  std::size_t picked = n;
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t q = (tx_rr_ + i) % n;
-    if (!tx_queues_[q].empty()) {
-      picked = q;
-      break;
-    }
-  }
-  if (picked == n) return;
+  const std::size_t picked = next_ready_tx(tx_rr_);
+  if (picked == kNoTxQueue) return;
   tx_rr_ = picked + 1;
-  TxItem item = std::move(tx_queues_[picked].front());
-  tx_queues_[picked].pop_front();
+  auto& queue = tx_queues_[picked];
+  TxItem item = std::move(queue.front());
+  queue.pop_front();
+  if (queue.empty())
+    tx_ready_[picked >> 6] &= ~(std::uint64_t{1} << (picked & 63));
   tx_active_ = true;
   const Time departure = fabric_.inject(item.packet);
   if (item.done) item.done(departure);
@@ -108,7 +156,8 @@ void Nic::post_local_copy(std::uint64_t src, std::uint64_t dst,
                       [this, src, dst, len, done = std::move(done)] {
                         if (crashed_) return;  // completion dies with the host
                         if (config_.carry_payload)
-                          memory_.write(dst, memory_.at(src), len);
+                          memory_.write(dst, std::as_const(memory_).at(src),
+                                        len);
                         if (done) done();
                       });
 }
@@ -161,15 +210,15 @@ void Nic::on_packet(const fabric::PacketPtr& packet) {
   if (packet->is_mcast()) {
     switch (packet->th.op) {
       case fabric::TransportOp::kUdSend: {
-        auto it = ud_mcast_.find(packet->mcast_group);
-        if (it == ud_mcast_.end()) return;  // send-only member
-        for (UdQp* qp : it->second) qp->on_packet(packet);
+        const auto g = static_cast<std::size_t>(packet->mcast_group);
+        if (g >= ud_mcast_.size()) return;  // send-only member
+        for (UdQp* qp : ud_mcast_[g]) qp->on_packet(packet);
         return;
       }
       case fabric::TransportOp::kUcWriteSeg: {
-        auto it = uc_mcast_.find(packet->mcast_group);
-        if (it == uc_mcast_.end()) return;
-        for (UcQp* qp : it->second) qp->on_packet(packet);
+        const auto g = static_cast<std::size_t>(packet->mcast_group);
+        if (g >= uc_mcast_.size()) return;
+        for (UcQp* qp : uc_mcast_[g]) qp->on_packet(packet);
         return;
       }
       default:

@@ -65,6 +65,15 @@ class Nic {
   HostMemory& memory() { return memory_; }
   MrTable& mrs() { return mrs_; }
 
+  /// Fresh packet from the fabric's recycling pool (fill via mut()).
+  fabric::PacketRef make_packet() { return fabric_.pool().acquire(); }
+
+  /// CRC32C stamping/verification policy, fixed at construction: only worth
+  /// paying for when payload bytes are carried AND the fault timeline has a
+  /// corruption window (otherwise no packet can ever fail the check — the
+  /// `corrupted` flag plumbing covers synthetic mode).
+  bool crc_enabled() const { return crc_enabled_; }
+
   Cq& create_cq();
   UdQp& create_ud_qp(Cq* send_cq, Cq* recv_cq);
   UcQp& create_uc_qp(Cq* send_cq, Cq* recv_cq);
@@ -77,8 +86,9 @@ class Nic {
   /// Joins the fabric group without a receive QP (send-only member).
   void join_mcast(fabric::McastGroupId group);
 
-  /// Wire-departure callback for transmit().
-  using TxCallback = std::function<void(Time departure)>;
+  /// Wire-departure callback for transmit(). Inline (no allocation) for
+  /// captures up to the 64-byte budget — this runs once per egress packet.
+  using TxCallback = sim::InlineFn<void(Time)>;
 
   /// TX queue id reserved for the in-network-compute transport.
   static constexpr std::uint32_t kIncTxQueue = 0xffffffffu;
@@ -89,7 +99,7 @@ class Nic {
   /// other QPs — e.g. a Reduce-Scatter burst must not starve concurrent
   /// Allgather multicast or control tokens.
   void transmit(std::uint32_t queue, const fabric::PacketPtr& packet,
-                TxCallback done = nullptr);
+                TxCallback done = {});
 
   /// Asynchronous on-NIC DMA copy between local buffers (staging → user).
   /// Models non-blocking queuing: posting returns immediately; `done` runs
@@ -137,6 +147,10 @@ class Nic {
 
   void on_packet(const fabric::PacketPtr& packet);
   void pump_tx();
+  std::size_t add_tx_queue();
+  std::size_t next_ready_tx(std::size_t start) const;
+
+  static constexpr std::size_t kNoTxQueue = ~std::size_t{0};
 
   sim::Engine& engine_;
   fabric::Fabric& fabric_;
@@ -146,17 +160,27 @@ class Nic {
   MrTable mrs_;
   std::vector<std::unique_ptr<Cq>> cqs_;
   std::vector<std::unique_ptr<Qp>> qps_;
-  std::unordered_map<fabric::McastGroupId, std::vector<UdQp*>> ud_mcast_;
-  std::unordered_map<fabric::McastGroupId, std::vector<UcQp*>> uc_mcast_;
+  // Indexed by group id (dense, fabric-assigned sequentially): mcast demux
+  // runs once per delivered packet per member host, so it must be a plain
+  // vector walk, not a hash probe.
+  std::vector<std::vector<UdQp*>> ud_mcast_;
+  std::vector<std::vector<UcQp*>> uc_mcast_;
   std::function<void(const fabric::PacketPtr&)> inc_handler_;
   sim::Resource dma_;
-  // Egress arbiter state.
-  std::unordered_map<std::uint32_t, std::size_t> tx_queue_index_;
+  // Egress arbiter state. Queue ids are QPNs (dense small integers) plus
+  // the kIncTxQueue sentinel, so the id->slot map is a flat vector, and the
+  // round-robin scan reads a non-empty bitmap (one ctz per word) instead of
+  // probing every queue — with hundreds of QPs per NIC the linear probe was
+  // one of the hottest loops in the simulator.
+  std::vector<std::int32_t> tx_slot_of_;    // queue id -> slot, -1 = none
+  std::size_t inc_tx_slot_ = kNoTxQueue;    // slot for kIncTxQueue
   std::vector<std::deque<TxItem>> tx_queues_;
+  std::vector<std::uint64_t> tx_ready_;     // bit per slot: queue non-empty
   std::size_t tx_rr_ = 0;
   bool tx_active_ = false;
   telemetry::Telemetry* telem_ = nullptr;
   bool crashed_ = false;
+  bool crc_enabled_ = false;
   std::uint64_t dma_ops_ = 0;
   std::uint64_t dma_bytes_ = 0;
   std::uint64_t crc_drops_ = 0;

@@ -12,14 +12,12 @@ Qp::Qp(Nic& nic, std::uint32_t qpn, Cq* send_cq, Cq* recv_cq)
 void Qp::post_recv(const RecvWr& wr) {
   MCCL_CHECK_MSG(rq_.size() < nic_.config().max_recv_queue,
                  "receive queue overflow");
-  rq_.push_back(wr);
+  rq_.push(wr);
 }
 
 RecvWr Qp::rq_pop() {
   MCCL_CHECK(!rq_.empty());
-  RecvWr wr = rq_.front();
-  rq_.pop_front();
-  return wr;
+  return rq_.pop();
 }
 
 void Qp::complete_send(const SendFlags& flags, std::uint32_t byte_len,
@@ -58,7 +56,8 @@ void Qp::complete_recv(const Cqe& cqe) {
 void UdQp::post_send(const UdDest& dest, std::uint64_t laddr,
                      std::uint32_t len, const SendFlags& flags) {
   MCCL_CHECK_MSG(len <= nic_.config().mtu, "UD datagram exceeds MTU");
-  auto pkt = std::make_shared<fabric::Packet>();
+  fabric::PacketRef pref = nic_.make_packet();
+  fabric::Packet* pkt = &pref.mut();
   pkt->src_host = nic_.host();
   if (dest.group != fabric::kNoMcastGroup) {
     pkt->mcast_group = dest.group;
@@ -74,16 +73,20 @@ void UdQp::post_send(const UdDest& dest, std::uint64_t laddr,
   pkt->th.has_imm = flags.has_imm;
   pkt->th.seg_len = len;
   if (len > 0 && nic_.config().carry_payload) {
-    pkt->payload = fabric::Payload::copy_of(nic_.memory().at(laddr), len);
-    pkt->th.crc = crc32c(pkt->payload.data(), pkt->payload.size());
-    pkt->th.has_crc = true;
+    // Zero-copy: a shared slice of the arena's snapshot cache (the same
+    // scheme UC uses for multi-segment messages), not a per-send copy.
+    pkt->payload = nic_.memory().snapshot_slice(laddr, len);
+    if (nic_.crc_enabled()) {
+      pkt->th.crc = crc32c(pkt->payload.data(), pkt->payload.size());
+      pkt->th.has_crc = true;
+    }
   }
   if (flags.signaled) {
-    nic_.transmit(qpn_, pkt, [this, flags, len](Time departed) {
+    nic_.transmit(qpn_, pref, [this, flags, len](Time departed) {
       complete_send(flags, len, departed);
     });
   } else {
-    nic_.transmit(qpn_, pkt);
+    nic_.transmit(qpn_, pref);
   }
 }
 
@@ -153,18 +156,16 @@ void UcQp::post_write(std::uint64_t laddr, std::uint64_t len,
   const std::uint64_t msg_id = next_msg_id_++;
   // One snapshot of the source buffer, sliced zero-copy per segment.
   fabric::Payload whole;
-  if (len > 0 && nic_.config().carry_payload) {
-    auto snapshot = std::make_shared<std::vector<std::uint8_t>>(
-        nic_.memory().at(laddr), nic_.memory().at(laddr) + len);
-    whole = fabric::Payload(snapshot, 0, len);
-  }
+  if (len > 0 && nic_.config().carry_payload)
+    whole = nic_.memory().snapshot_slice(laddr, len);
 
   std::uint64_t offset = 0;
   do {
     const std::uint32_t seg =
         static_cast<std::uint32_t>(std::min<std::uint64_t>(mtu, len - offset));
     const bool last = offset + seg >= len;
-    auto pkt = std::make_shared<fabric::Packet>();
+    fabric::PacketRef pref = nic_.make_packet();
+    fabric::Packet* pkt = &pref.mut();
     pkt->src_host = nic_.host();
     if (mcast_group_ != fabric::kNoMcastGroup)
       pkt->mcast_group = mcast_group_;
@@ -188,15 +189,17 @@ void UcQp::post_write(std::uint64_t laddr, std::uint64_t len,
     }
     if (seg > 0 && !whole.empty()) {
       pkt->payload = whole.slice(offset, seg);
-      pkt->th.crc = crc32c(pkt->payload.data(), pkt->payload.size());
-      pkt->th.has_crc = true;
+      if (nic_.crc_enabled()) {
+        pkt->th.crc = crc32c(pkt->payload.data(), pkt->payload.size());
+        pkt->th.has_crc = true;
+      }
     }
     if (last && flags.signaled) {
-      nic_.transmit(qpn_, pkt, [this, flags, len](Time departed) {
+      nic_.transmit(qpn_, pref, [this, flags, len](Time departed) {
         complete_send(flags, static_cast<std::uint32_t>(len), departed);
       });
     } else {
-      nic_.transmit(qpn_, pkt);
+      nic_.transmit(qpn_, pref);
     }
     offset += seg;
   } while (offset < len);

@@ -16,11 +16,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <unordered_map>
 
 #include "src/common/crc32c.hpp"
+#include "src/common/ring.hpp"
 #include "src/common/units.hpp"
 #include "src/fabric/packet.hpp"
 #include "src/rdma/cq.hpp"
@@ -78,7 +78,7 @@ class Qp {
   std::uint32_t qpn_;
   Cq* send_cq_;
   Cq* recv_cq_;
-  std::deque<RecvWr> rq_;
+  Ring<RecvWr> rq_;  // bounded by NicConfig::max_recv_queue
 };
 
 // --------------------------------------------------------------------------
@@ -230,8 +230,8 @@ class RcQp : public Qp {
   // --- transmit direction ---
   std::uint32_t next_psn_ = 0;   // next new psn to assign
   std::uint32_t acked_psn_ = 0;  // cumulative: all < acked_psn_ are acked
-  std::deque<InflightPacket> inflight_;  // psn order: [acked_psn_, next_psn_)
-  std::deque<TxOp> txq_;
+  Ring<InflightPacket> inflight_;  // psn order: [acked_psn_, next_psn_)
+  Ring<TxOp> txq_;
   std::uint64_t next_msg_id_ = 1;
   std::uint64_t rto_generation_ = 0;
   bool rto_armed_ = false;

@@ -60,13 +60,14 @@ void RcQp::post_read(std::uint64_t laddr, std::uint64_t len,
 
 void RcQp::enqueue_op(TxOp op) {
   MCCL_CHECK_MSG(remote_host_ != fabric::kInvalidNode, "RC QP not connected");
-  txq_.push_back(std::move(op));
+  txq_.push(std::move(op));
   pump();
 }
 
 fabric::PacketPtr RcQp::make_packet(const TxOp& op, std::uint64_t offset,
                                     std::uint32_t seg_len, bool last) {
-  auto pkt = std::make_shared<fabric::Packet>();
+  fabric::PacketRef pref = nic_.make_packet();
+  fabric::Packet* pkt = &pref.mut();
   pkt->src_host = nic_.host();
   pkt->dst_host = remote_host_;
   pkt->flow_id = (static_cast<std::uint64_t>(nic_.host()) << 20) | qpn_;
@@ -108,13 +109,14 @@ fabric::PacketPtr RcQp::make_packet(const TxOp& op, std::uint64_t offset,
   } else {
     pkt->wire_size = seg_len + nic_.config().wire_overhead;
     if (seg_len > 0 && nic_.config().carry_payload) {
-      pkt->payload = fabric::Payload::copy_of(
-          nic_.memory().at(op.laddr + offset), seg_len);
-      th.crc = crc32c(pkt->payload.data(), pkt->payload.size());
-      th.has_crc = true;
+      pkt->payload = nic_.memory().snapshot_slice(op.laddr + offset, seg_len);
+      if (nic_.crc_enabled()) {
+        th.crc = crc32c(pkt->payload.data(), pkt->payload.size());
+        th.has_crc = true;
+      }
     }
   }
-  return pkt;
+  return pref;
 }
 
 void RcQp::pump() {
@@ -133,7 +135,7 @@ void RcQp::pump() {
       last = op.cursor + seg >= op.len;
     }
     fabric::PacketPtr packet = make_packet(op, op.cursor, seg, last);
-    const_cast<fabric::Packet*>(packet.get())->th.psn = next_psn_++;
+    packet.mut().th.psn = next_psn_++;  // still builder-owned: sole reference
 
     InflightPacket ip;
     ip.packet = packet;
@@ -141,11 +143,11 @@ void RcQp::pump() {
                                op.kind == OpKind::kWrite);
     ip.flags = op.flags;
     ip.op_len = static_cast<std::uint32_t>(op.len);
-    inflight_.push_back(ip);
     transmit(ip);
+    inflight_.push(std::move(ip));
 
     if (op.kind != OpKind::kReadReq) op.cursor += seg;
-    if (op.cursor >= op.len) txq_.pop_front();
+    if (op.cursor >= op.len) txq_.pop();
   }
 }
 
@@ -216,10 +218,9 @@ void RcQp::handle_ack(std::uint32_t cum_psn, bool nak) {
     std::uint32_t n = cum_psn - acked_psn_;
     while (n-- > 0) {
       MCCL_CHECK(!inflight_.empty());
-      const InflightPacket& ip = inflight_.front();
+      const InflightPacket ip = inflight_.pop();
       if (ip.completes_op)
         complete_send(ip.flags, ip.op_len, nic_.engine().now());
-      inflight_.pop_front();
     }
     acked_psn_ = cum_psn;
     // Progress: invalidate the pending RTO, reset the retry budget, and
@@ -234,7 +235,8 @@ void RcQp::handle_ack(std::uint32_t cum_psn, bool nak) {
 }
 
 void RcQp::send_ack(bool nak) {
-  auto pkt = std::make_shared<fabric::Packet>();
+  fabric::PacketRef pref = nic_.make_packet();
+  fabric::Packet* pkt = &pref.mut();
   pkt->src_host = nic_.host();
   pkt->dst_host = remote_host_;
   pkt->wire_size = nic_.config().control_wire_size;
@@ -245,7 +247,7 @@ void RcQp::send_ack(bool nak) {
   pkt->th.dst_qpn = remote_qpn_;
   pkt->th.psn = expected_psn_;
   pkt->th.nak = nak;
-  nic_.transmit(qpn_, pkt);
+  nic_.transmit(qpn_, pref);
   last_acked_sent_ = expected_psn_;
   unacked_count_ = 0;
 }
@@ -362,7 +364,7 @@ void RcQp::process_in_order(const fabric::PacketPtr& packet) {
       resp.len = th.msg_len;
       resp.msg_id = th.msg_id;
       resp.flags.signaled = false;
-      txq_.push_back(std::move(resp));
+      txq_.push(std::move(resp));
       pump();
       break;
     }

@@ -11,19 +11,21 @@ namespace {
 
 PacketPtr make_test_packet(NodeId src, NodeId dst, std::uint32_t size,
                            std::uint64_t flow = 0) {
-  auto p = std::make_shared<Packet>();
-  p->src_host = src;
-  p->dst_host = dst;
-  p->wire_size = size;
-  p->flow_id = flow;
+  PacketRef p = make_unpooled_packet();
+  Packet& m = p.mut();
+  m.src_host = src;
+  m.dst_host = dst;
+  m.wire_size = size;
+  m.flow_id = flow;
   return p;
 }
 
 PacketPtr make_mcast_packet(NodeId src, McastGroupId g, std::uint32_t size) {
-  auto p = std::make_shared<Packet>();
-  p->src_host = src;
-  p->mcast_group = g;
-  p->wire_size = size;
+  PacketRef p = make_unpooled_packet();
+  Packet& m = p.mut();
+  m.src_host = src;
+  m.mcast_group = g;
+  m.wire_size = size;
   return p;
 }
 
@@ -117,6 +119,56 @@ TEST(Fabric, McastSubsetMembership) {
   EXPECT_EQ(recvd[3], 0);
   EXPECT_EQ(recvd[2], 1);
   EXPECT_EQ(recvd[4], 1);
+}
+
+TEST(Fabric, McastCorruptionClonesOnlyTheCorruptedReplica) {
+  // COW under multicast: replicas share the sender's payload buffer; a
+  // corruption window on one receiver's link must clone packet and bytes
+  // for that receiver only, leaving every other replica aliasing the
+  // original (clean) snapshot.
+  sim::Engine e;
+  Fabric::Config cfg;
+  // make_star(4): hosts 0..3, switch is node 4. Corrupt every payload
+  // packet crossing the host1<->switch link.
+  cfg.faults.events = {FaultEvent::corrupt_begin(0, 1, 4, 1.0)};
+  Fabric f(e, make_star(4, {}), cfg);
+  const McastGroupId g = f.create_mcast_group();
+
+  std::vector<std::uint8_t> bytes(64, 0xAB);
+  PacketRef p = make_mcast_packet(0, g, 512);
+  p.mut().payload = Payload::copy_of(bytes.data(), bytes.size());
+  const std::uint8_t* orig = p->payload.data();
+
+  std::map<NodeId, PacketPtr> got;
+  for (NodeId h = 0; h < 4; ++h) {
+    f.set_delivery(h, [&, h](const PacketPtr& pkt) { got.emplace(h, pkt); });
+    f.mcast_attach(g, h);
+  }
+  f.inject(p);
+  e.run();
+
+  ASSERT_EQ(got.count(1), 1u);
+  ASSERT_EQ(got.count(2), 1u);
+  ASSERT_EQ(got.count(3), 1u);
+  // Clean replicas alias the original buffer — pointer equality, no copy.
+  EXPECT_EQ(got.at(2)->payload.data(), orig);
+  EXPECT_EQ(got.at(3)->payload.data(), orig);
+  EXPECT_FALSE(got.at(2)->corrupted);
+  // The corrupted replica got its own buffer with exactly one bit flipped;
+  // the shared original stayed clean.
+  ASSERT_TRUE(got.at(1)->corrupted);
+  EXPECT_NE(got.at(1)->payload.data(), orig);
+  ASSERT_EQ(got.at(1)->payload.size(), bytes.size());
+  int flipped = 0;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::uint8_t diff = got.at(1)->payload.data()[i] ^ bytes[i];
+    while (diff != 0) {
+      flipped += diff & 1;
+      diff >>= 1;
+    }
+    EXPECT_EQ(orig[i], bytes[i]);  // original snapshot untouched
+  }
+  EXPECT_EQ(flipped, 1);
 }
 
 TEST(Fabric, McastTraversesEachLinkOnce) {
@@ -217,12 +269,13 @@ TEST(Fabric, DeterministicRoutingIsStablePerFlow) {
   std::vector<std::uint32_t> order;
   f.set_delivery(3, [&](const PacketPtr& p) { order.push_back(p->th.psn); });
   for (std::uint32_t i = 0; i < 20; ++i) {
-    auto p = std::make_shared<Packet>();
-    p->src_host = 0;
-    p->dst_host = 3;
-    p->wire_size = 4096;
-    p->flow_id = 7;
-    p->th.psn = i;
+    PacketRef p = make_unpooled_packet();
+    Packet& m = p.mut();
+    m.src_host = 0;
+    m.dst_host = 3;
+    m.wire_size = 4096;
+    m.flow_id = 7;
+    m.th.psn = i;
     f.inject(p);
   }
   e.run();
@@ -240,12 +293,13 @@ TEST(Fabric, AdaptiveRoutingWithJitterReorders) {
   std::vector<std::uint32_t> order;
   f.set_delivery(3, [&](const PacketPtr& p) { order.push_back(p->th.psn); });
   for (std::uint32_t i = 0; i < 200; ++i) {
-    auto p = std::make_shared<Packet>();
-    p->src_host = 0;
-    p->dst_host = 3;
-    p->wire_size = 64;
-    p->flow_id = 7;
-    p->th.psn = i;
+    PacketRef p = make_unpooled_packet();
+    Packet& m = p.mut();
+    m.src_host = 0;
+    m.dst_host = 3;
+    m.wire_size = 64;
+    m.flow_id = 7;
+    m.th.psn = i;
     f.inject(p);
   }
   e.run();
@@ -284,17 +338,19 @@ TEST(Fabric, VirtualLanesPrioritizeControlAtSwitch) {
   f.set_delivery(0, [](const PacketPtr&) {});
   f.set_delivery(1, [](const PacketPtr&) {});
   for (int i = 0; i < 8; ++i) {
-    auto p = std::make_shared<Packet>();
-    p->src_host = 0;
-    p->dst_host = 2;
-    p->wire_size = 4096;
+    PacketRef p = make_unpooled_packet();
+    Packet& m = p.mut();
+    m.src_host = 0;
+    m.dst_host = 2;
+    m.wire_size = 4096;
     f.inject(p);
   }
-  auto ctrl = std::make_shared<Packet>();
-  ctrl->src_host = 1;  // separate host link: arrives at the switch quickly
-  ctrl->dst_host = 2;
-  ctrl->wire_size = 64;
-  ctrl->vl = kCtrlLane;
+  PacketRef ctrl = make_unpooled_packet();
+  Packet& c = ctrl.mut();
+  c.src_host = 1;  // separate host link: arrives at the switch quickly
+  c.dst_host = 2;
+  c.wire_size = 64;
+  c.vl = kCtrlLane;
   f.inject(ctrl);
   e.run();
   ASSERT_EQ(order.size(), 9u);
@@ -314,10 +370,11 @@ TEST(Fabric, VirtualLanesCanBeDisabled) {
   f.set_delivery(0, [](const PacketPtr&) {});
   f.set_delivery(1, [](const PacketPtr&) {});
   for (int i = 0; i < 8; ++i) {
-    auto p = std::make_shared<Packet>();
-    p->src_host = 0;
-    p->dst_host = 2;
-    p->wire_size = 4096;
+    PacketRef p = make_unpooled_packet();
+    Packet& m = p.mut();
+    m.src_host = 0;
+    m.dst_host = 2;
+    m.wire_size = 4096;
     f.inject(p);
   }
   e.run();

@@ -30,11 +30,12 @@ struct ArbiterWorld {
   }
 
   fabric::PacketPtr packet(std::uint32_t imm, std::uint32_t size = 1000) {
-    auto p = std::make_shared<fabric::Packet>();
-    p->src_host = 0;
-    p->dst_host = 1;
-    p->wire_size = size;
-    p->th.imm = imm;
+    fabric::PacketRef p = a.make_packet();
+    fabric::Packet& m = p.mut();
+    m.src_host = 0;
+    m.dst_host = 1;
+    m.wire_size = size;
+    m.th.imm = imm;
     return p;
   }
 };

@@ -74,6 +74,48 @@ TEST(Engine, RunWhilePendingDrainsIfPredicateNeverTrue) {
   EXPECT_EQ(fired, 3);
 }
 
+TEST(Engine, TiesStayStableAcrossScheduleSources) {
+  // Equal-timestamp events must fire in global schedule order no matter
+  // which internal queue they land in: the heap (scheduled before the clock
+  // reached their time), the zero-delay FIFO (scheduled at `now`), or a
+  // monotone lane (fixed positive delay). Interleaves dispatch with
+  // scheduling to cover the merge rule between all three.
+  Engine e;
+  std::vector<int> order;
+  e.schedule(5, [&] { order.push_back(1); });
+  e.schedule(5, [&] {
+    order.push_back(2);
+    // Scheduled while dispatching t=5: same timestamp, but strictly after
+    // every t=5 event scheduled before the clock got here.
+    e.schedule(0, [&] { order.push_back(6); });
+    e.schedule(0, [&] { order.push_back(7); });
+    // A t=12 tie created during dispatch loses to the one scheduled up
+    // front (insertion order is global, not per-queue).
+    e.schedule(7, [&] { order.push_back(9); });
+  });
+  e.schedule(5, [&] { order.push_back(3); });
+  e.schedule(5, [&] { order.push_back(4); });
+  e.schedule(5, [&] { order.push_back(5); });
+  e.schedule(12, [&] { order.push_back(8); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(Engine, CallbackPoolIsRecycledAfterDrain) {
+  Engine e;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) e.schedule(i, [&] { ++fired; });
+  e.run();
+  const std::size_t cap = e.event_pool_capacity();
+  EXPECT_GE(cap, 100u);
+  // Every slot was returned on dispatch: a second wave of the same size
+  // reuses the freed cells instead of growing the pool.
+  for (int i = 0; i < 100; ++i) e.schedule(i, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 200);
+  EXPECT_EQ(e.event_pool_capacity(), cap);
+}
+
 TEST(Engine, ScheduleAtAbsoluteTime) {
   Engine e;
   Time seen = -1;
