@@ -18,6 +18,7 @@
 #include <string_view>
 
 #include "src/coll/communicator.hpp"
+#include "src/debug/validate.hpp"
 
 using namespace mccl;
 
@@ -87,6 +88,16 @@ int main(int argc, char** argv) {
               static_cast<double>(ring_traffic.total_bytes) / MiB,
               static_cast<double>(ring_traffic.total_bytes) /
                   static_cast<double>(traffic.total_bytes));
+
+  // 3d. Validate builds carry a determinism auditor: the engine folds every
+  // dispatched (time, slot) pair into a digest. Two runs of this binary must
+  // print the same value — the CI validate job diffs them.
+  if (debug::enabled())
+    std::printf("dispatch_hash: %016llx (%llu events)\n",
+                static_cast<unsigned long long>(
+                    cluster.engine().stream_hash()),
+                static_cast<unsigned long long>(
+                    cluster.engine().dispatched()));
 
   // 4. Telemetry artifacts, when asked for.
   if (!trace_path.empty()) {

@@ -2,6 +2,7 @@
 
 #include "src/coll/communicator.hpp"
 #include "src/common/rng.hpp"
+#include "src/debug/validate.hpp"
 
 namespace mccl::coll {
 
@@ -100,6 +101,13 @@ void FailureDetector::tick(std::size_t rank, std::uint64_t gen) {
 void FailureDetector::confirm(std::size_t observer, std::size_t peer) {
   View& v = views_[observer];
   if (v.dead[peer]) return;
+  // A confirmation is only legal after `suspect_threshold` consecutive
+  // lease expiries — anything earlier is a detector protocol bug.
+  MCCL_VALIDATE_THAT(v.suspect[peer] >= cfg_.suspect_threshold,
+                     "detector.premature_confirm",
+                     "observer %zu confirmed peer %zu dead at suspicion "
+                     "%u (threshold %u)",
+                     observer, peer, v.suspect[peer], cfg_.suspect_threshold);
   v.dead[peer] = 1;
   any_dead_[peer] = 1;
   ++confirmed_total_;
@@ -125,6 +133,22 @@ void FailureDetector::on_heartbeat(std::size_t observer, std::size_t src) {
   }
   v.lease[src] = comm_.cluster().engine().now() + cfg_.lease_timeout;
   v.suspect[src] = 0;
+}
+
+bool FailureDetector::validate_view(std::size_t observer) const {
+  if (!debug::kValidate) return true;
+  const View& v = views_[observer];
+  bool ok = true;
+  for (std::size_t p = 0; p < comm_.size(); ++p) {
+    if (v.dead[p] && v.suspect[p] < cfg_.suspect_threshold) {
+      debug::report("detector.lease_state",
+                    "observer %zu holds peer %zu dead with suspicion %u "
+                    "below threshold %u",
+                    observer, p, v.suspect[p], cfg_.suspect_threshold);
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 std::size_t FailureDetector::alive_count(std::size_t observer) const {

@@ -90,6 +90,21 @@ class FailureDetector {
   std::uint64_t confirmed_dead() const { return confirmed_total_; }
   std::uint64_t posthumous_heartbeats() const { return posthumous_; }
 
+  /// Validate-build audit of one observer's lease state machine: every
+  /// latched confirmation must be backed by a suspicion count at or above
+  /// the threshold (suspicion is never reset by confirm, only by a
+  /// heartbeat — which dead peers no longer get credited for). Reports
+  /// "detector.lease_state"; returns false if anything was reported.
+  /// Always true in regular builds.
+  bool validate_view(std::size_t observer) const;
+
+  /// Validate-build fault-injection hook: confirms a peer dead without the
+  /// suspicion protocol, tripping "detector.premature_confirm" immediately
+  /// and leaving state that validate_view flags as "detector.lease_state".
+  void test_confirm(std::size_t observer, std::size_t peer) {
+    confirm(observer, peer);
+  }
+
  private:
   struct View {
     std::vector<Time> lease;              // per peer, absolute expiry

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/debug/validate.hpp"
 #include "src/sim/callback.hpp"
 
 #include "src/coll/pattern.hpp"
@@ -203,6 +204,10 @@ void McastCollective::credit_barrier(std::size_t r) {
     // before the crash leaves a harmless surplus in barrier_seen.
     s.barrier_credited[k] = 1;
     ++s.barrier_seen[k];
+    MCCL_VALIDATE_THAT(s.barrier_seen[k] <= 2, "coll.barrier_credit_balance",
+                       "rank %zu: round %zu has %zu outstanding tokens "
+                       "(max 2: one real + one death credit)",
+                       r, k, s.barrier_seen[k]);
   }
 }
 
@@ -362,7 +367,20 @@ bool McastCollective::set_chunk(std::size_t r, std::uint32_t id) {
   if (!bm.set(id)) return false;
   ++s.received;
   const std::size_t block = map_.block_of(id);
-  if (++s.block_received[block] == map_.chunks_per_block())
+  ++s.block_received[block];
+  // Conservation: the bitmap dedup above is the only admission gate, so a
+  // per-block count past the block size (or more chunks than the op
+  // expects) means two accounting paths double-counted one chunk.
+  MCCL_VALIDATE_THAT(s.block_received[block] <= map_.chunks_per_block(),
+                     "coll.chunk_conservation",
+                     "rank %zu: block %zu holds %zu chunks but blocks have "
+                     "only %zu",
+                     r, block, s.block_received[block],
+                     map_.chunks_per_block());
+  MCCL_VALIDATE_THAT(s.received <= s.expected, "coll.chunk_conservation",
+                     "rank %zu: received %zu chunks, expected at most %zu",
+                     r, s.received, s.expected);
+  if (s.block_received[block] == map_.chunks_per_block())
     on_block_complete(r, block);
   return true;
 }
@@ -761,7 +779,15 @@ void McastCollective::on_block_report(std::size_t r, std::size_t block,
     if (src != r) send_decision_to(r, block, src);
     return;
   }
-  s.block_reports[block * comm_.size() + src] = holds_full ? 2 : 1;
+  std::uint8_t& cell = s.block_reports[block * comm_.size() + src];
+  // Census monotonicity: holding a full block is stable (chunks are never
+  // un-received), so a reporter may upgrade not-full -> full but a
+  // full -> not-full replay means the census is lying to the coordinator.
+  MCCL_VALIDATE_THAT(!(cell == 2 && !holds_full), "coll.census_regression",
+                     "rank %zu: block %zu reporter %zu regressed "
+                     "full -> not-full",
+                     r, block, src);
+  cell = holds_full ? 2 : 1;
   maybe_decide_block(r, block);
 }
 
@@ -941,6 +967,12 @@ void McastCollective::on_ctrl(std::size_t r, const CtrlMsg& msg,
     case CtrlType::kBarrier: {
       MCCL_CHECK(msg.arg < s.barrier_seen.size());
       ++s.barrier_seen[msg.arg];
+      MCCL_VALIDATE_THAT(s.barrier_seen[msg.arg] <= 2,
+                         "coll.barrier_credit_balance",
+                         "rank %zu: round %u has %zu outstanding tokens "
+                         "(max 2: one real + one death credit)",
+                         r, static_cast<unsigned>(msg.arg),
+                         s.barrier_seen[msg.arg]);
       barrier_advance(r);
       break;
     }
@@ -1018,6 +1050,46 @@ void McastCollective::check_op_done(std::size_t r) {
     tracer.complete(track, "handshake", data_ready, now, "coll");
   }
   rank_done(r);
+}
+
+bool McastCollective::validate_rank(std::size_t r) const {
+  if (!debug::kValidate) return true;
+  const RankState& s = st_[r];
+  bool ok = true;
+  std::size_t marked = 0;
+  for (const Bitmap& bm : s.bitmaps) marked += bm.popcount();
+  if (marked != s.received) {
+    debug::report("coll.chunk_conservation",
+                  "rank %zu: bitmaps mark %zu chunks but received counter "
+                  "is %zu",
+                  r, marked, s.received);
+    ok = false;
+  }
+  if (s.received > s.expected) {
+    debug::report("coll.chunk_conservation",
+                  "rank %zu: received %zu chunks, expected at most %zu", r,
+                  s.received, s.expected);
+    ok = false;
+  }
+  for (std::size_t b = 0; b < s.block_received.size(); ++b) {
+    if (s.block_received[b] > map_.chunks_per_block()) {
+      debug::report("coll.chunk_conservation",
+                    "rank %zu: block %zu holds %zu chunks but blocks have "
+                    "only %zu",
+                    r, b, s.block_received[b], map_.chunks_per_block());
+      ok = false;
+    }
+  }
+  for (std::size_t k = 0; k < s.barrier_seen.size(); ++k) {
+    if (s.barrier_seen[k] > 2) {
+      debug::report("coll.barrier_credit_balance",
+                    "rank %zu: round %zu has %zu outstanding tokens "
+                    "(max 2: one real + one death credit)",
+                    r, k, s.barrier_seen[k]);
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 void McastCollective::debug_dump() const {

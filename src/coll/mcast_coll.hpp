@@ -81,6 +81,32 @@ class McastCollective : public OpBase {
   /// simulations).
   void debug_dump() const;
 
+  /// Validate-build audit of one rank's bookkeeping: chunk conservation
+  /// (bitmap popcounts == received counter, per-block counts within bounds,
+  /// received <= expected) and barrier-credit balance (at most one real
+  /// token plus one death credit outstanding per round). Reports
+  /// "coll.chunk_conservation" / "coll.barrier_credit_balance"; returns
+  /// false if anything was reported. Always true in regular builds.
+  bool validate_rank(std::size_t r) const;
+
+  // --- validate-build fault-injection hooks (tests/test_validate.cpp) -----
+  /// Skews the received-chunk counter away from the bitmaps so
+  /// validate_rank trips "coll.chunk_conservation".
+  void test_skew_received(std::size_t r, std::size_t delta) {
+    st_[r].received += delta;
+  }
+  /// Over-credits a barrier round past the legal 2-token ceiling so
+  /// validate_rank trips "coll.barrier_credit_balance".
+  void test_overcredit_barrier(std::size_t r, std::size_t round) {
+    st_[r].barrier_seen[round] += 3;
+  }
+  /// Feeds a census report straight into the coordinator state machine —
+  /// a full -> not-full replay trips "coll.census_regression".
+  void test_inject_block_report(std::size_t r, std::size_t block,
+                                std::size_t src, bool holds_full) {
+    on_block_report(r, block, src, holds_full);
+  }
+
  private:
   /// One rank's fetch of one block through the hardened slow path.
   struct BlockFetch {

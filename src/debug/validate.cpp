@@ -1,0 +1,49 @@
+#include "src/debug/validate.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mccl::debug {
+namespace {
+
+// Single-threaded by construction (the simulator has one event loop), so a
+// plain pointer stack suffices.
+ViolationTrap* g_trap = nullptr;
+std::uint64_t g_count = 0;
+
+}  // namespace
+
+void report(const char* checker, const char* fmt, ...) {
+  char buf[512];
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  ++g_count;
+  if (g_trap != nullptr) {
+    g_trap->caught_.push_back(Violation{checker, buf});
+    return;
+  }
+  std::fprintf(stderr, "mccl validate violation: [%s] %s\n", checker, buf);
+  std::abort();
+}
+
+std::uint64_t violation_count() { return g_count; }
+
+ViolationTrap::ViolationTrap() : prev_(g_trap) { g_trap = this; }
+
+ViolationTrap::~ViolationTrap() { g_trap = prev_; }
+
+bool ViolationTrap::tripped(std::string_view checker) const {
+  for (const Violation& v : caught_) {
+    if (v.checker == checker) return true;
+    if (v.checker.size() > checker.size() &&
+        v.checker.compare(0, checker.size(), checker) == 0 &&
+        v.checker[checker.size()] == '.')
+      return true;
+  }
+  return false;
+}
+
+}  // namespace mccl::debug

@@ -1,0 +1,101 @@
+// Compiled-in invariant validator plane (the MCCL_VALIDATE build mode).
+//
+// The simulator's correctness claims rest on invariants that no single test
+// asserts end to end: PSN/bitmap conservation, ring-ordered fetch legality,
+// slot/packet pool balance, and byte-identical event-stream determinism.
+// This header is the one place those invariants report through.
+//
+// Usage: configure with -DMCCL_VALIDATE=ON. Checkers are written as
+//
+//   MCCL_VALIDATE_THAT(cond, "layer.checker_id", "fmt", args...);
+//
+// In a regular build `kValidate` is a compile-time false and the whole
+// statement folds away — hot paths pay nothing, which is why the checks can
+// live inline in dispatch loops. In a validate build a failed condition
+// produces a structured Violation{checker, detail} that is either delivered
+// to an installed ViolationTrap (tests asserting that a deliberately injected
+// corruption trips the right checker) or printed and fatal (CI, examples).
+//
+// Checker ids are dotted and stable: "engine.slot_leak", "packet.pool_leak",
+// "rc.ack_beyond_window", "coll.barrier_credit_balance", ... — see DESIGN.md
+// "Correctness tooling" for the full inventory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mccl::debug {
+
+#if defined(MCCL_VALIDATE)
+inline constexpr bool kValidate = true;
+#else
+inline constexpr bool kValidate = false;
+#endif
+
+/// True in MCCL_VALIDATE builds. Runtime alias of kValidate so tests can
+/// GTEST_SKIP in regular builds instead of silently passing.
+inline bool enabled() { return kValidate; }
+
+/// One tripped invariant: which checker, and a formatted diagnostic.
+struct Violation {
+  std::string checker;
+  std::string detail;
+};
+
+/// Reports a violation (printf-style detail). Default disposition is
+/// print-and-abort; with a ViolationTrap installed the violation is recorded
+/// and execution continues, so tests can observe the structured diagnostic.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void report(const char* checker, const char* fmt, ...);
+
+/// Total violations reported since process start (trapped or not).
+std::uint64_t violation_count();
+
+/// RAII sink for tests: while alive, violations are collected instead of
+/// aborting. Traps nest (latest wins).
+class ViolationTrap {
+ public:
+  ViolationTrap();
+  ViolationTrap(const ViolationTrap&) = delete;
+  ViolationTrap& operator=(const ViolationTrap&) = delete;
+  ~ViolationTrap();
+
+  const std::vector<Violation>& violations() const { return caught_; }
+  bool empty() const { return caught_.empty(); }
+  std::size_t size() const { return caught_.size(); }
+  /// True if any caught violation's checker id equals `checker` (or starts
+  /// with it followed by '.', so "rc" matches "rc.ack_beyond_window").
+  bool tripped(std::string_view checker) const;
+
+ private:
+  friend void report(const char*, const char*, ...);
+  std::vector<Violation> caught_;
+  ViolationTrap* prev_ = nullptr;
+};
+
+/// FNV-1a-style mix for the determinism auditor: the engine folds every
+/// dispatched event into a running hash; two runs of the same configuration
+/// must produce the same digest.
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 0x100000001b3ULL;
+  h ^= h >> 32;
+  return h;
+}
+inline constexpr std::uint64_t kHashSeed = 0xcbf29ce484222325ULL;
+
+}  // namespace mccl::debug
+
+/// Invariant check: zero-cost unless built with MCCL_VALIDATE. `cond` must
+/// be side-effect free. The checker id is a stable dotted string; `...` is a
+/// printf-style diagnostic (always provide one — a violation with no state
+/// attached is not actionable).
+#define MCCL_VALIDATE_THAT(cond, checker, ...)                 \
+  do {                                                         \
+    if (::mccl::debug::kValidate && !(cond))                   \
+      ::mccl::debug::report((checker), __VA_ARGS__);           \
+  } while (0)

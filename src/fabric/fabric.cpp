@@ -24,6 +24,10 @@ Fabric::Fabric(sim::Engine& engine, Topology topology, Config config)
   quiet_ = faults_.passthrough();
 }
 
+Fabric::~Fabric() {
+  if (engine_.empty()) pool_.leak_audit("Fabric teardown");
+}
+
 void Fabric::set_delivery(NodeId host, DeliveryFn fn) {
   MCCL_CHECK(topo_.is_host(host));
   delivery_[static_cast<size_t>(host)] = std::move(fn);
@@ -94,6 +98,7 @@ void Fabric::send_out(NodeId node, int port_idx, const PacketPtr& packet) {
   put_on_wire(node, port_idx, port, packet);
 }
 
+// mccl-lint: begin-hot fabric-wire
 void Fabric::pump_lanes(NodeId node, int port_idx, const Port& port) {
   LaneState& lane = lanes_[port.dir_index];
   if (lane.busy) return;
@@ -120,7 +125,7 @@ void Fabric::pump_lanes(NodeId node, int port_idx, const Port& port) {
                       });
 }
 
-void Fabric::put_on_wire(NodeId node, int port_idx, const Port& port,
+void Fabric::put_on_wire(NodeId node, int /*port_idx*/, const Port& port,
                          const PacketPtr& packet) {
   if (!quiet_ && !faults_.dir_usable(port.dir_index)) {
     black_hole(node, packet);  // link died while lane-queued
@@ -176,6 +181,7 @@ void Fabric::put_on_wire(NodeId node, int port_idx, const Port& port,
     if (!dup->payload.empty()) {
       const std::uint8_t* src_bytes = dup->payload.data();
       const std::size_t len = dup->payload.size();
+      // mccl-lint: allow(no-hot-alloc) corruption clone: cold fault path
       auto buf = std::make_shared<std::vector<std::uint8_t>>(src_bytes,
                                                              src_bytes + len);
       const std::uint64_t byte = faults_.corrupt_pick(len);
@@ -205,6 +211,7 @@ void Fabric::put_on_wire(NodeId node, int port_idx, const Port& port,
     arrive(peer, peer_port, packet);
   });
 }
+// mccl-lint: end-hot
 
 void Fabric::arrive(NodeId node, int in_port, const PacketPtr& packet) {
   // Switch died or host crashed while the packet flew: in-flight traffic

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/common/check.hpp"
+#include "src/debug/validate.hpp"
 
 namespace mccl::fabric {
 
@@ -216,9 +217,25 @@ class PacketRef {
     return *const_cast<Packet*>(p_);
   }
 
+  /// Test hook (validator coverage): releases this handle's reference
+  /// without forgetting the pointer, so the destructor under-counts — the
+  /// refcount-balance checker must trip on the extra release. Only
+  /// meaningful on pooled packets (cells outlive the refcount error).
+  void test_extra_release() { release(); }
+
  private:
   void release() {
-    if (p_ == nullptr || --p_->refs_ != 0) return;
+    if (p_ == nullptr) return;
+    // Refcount-balance invariant: a release with a zero count means a
+    // handle was duplicated or released twice — the cell may already be
+    // back in the pool (or worse, handed to a new sender).
+    if (debug::kValidate && p_->refs_ == 0) {
+      debug::report("packet.refcount_underflow",
+                    "release of packet with zero refcount (cell %p)",
+                    static_cast<const void*>(p_));
+      return;
+    }
+    if (--p_->refs_ != 0) return;
     Packet* p = const_cast<Packet*>(p_);
     detail::PacketPoolCore* core = p->home_;
     if (core == nullptr) {
@@ -273,6 +290,25 @@ class PacketPool {
   std::size_t idle() const { return core_->free_list.size(); }
   /// Total acquire() calls (diagnostic).
   std::uint64_t acquired_total() const { return core_->acquired_total; }
+  /// Packets handed out and not yet returned (live PacketRefs).
+  std::uint64_t outstanding() const { return core_->outstanding; }
+
+  /// End-of-run leak audit: once the event engine has drained, every pooled
+  /// packet must have come home (references held by queued events are gone,
+  /// and NIC/QP queues release on destruction). Returns true when clean;
+  /// reports "packet.pool_leak" in validate builds. Callers gate on the
+  /// engine being empty — packets owned by still-queued events are not
+  /// leaks.
+  bool leak_audit(const char* ctx) const {
+    if (core_->outstanding == 0) return true;
+    MCCL_VALIDATE_THAT(false, "packet.pool_leak",
+                       "%llu pooled packet(s) unreturned at %s "
+                       "(capacity %zu, acquired %llu)",
+                       static_cast<unsigned long long>(core_->outstanding),
+                       ctx, core_->slab.size(),
+                       static_cast<unsigned long long>(core_->acquired_total));
+    return false;
+  }
 
  private:
   detail::PacketPoolCore* core_;

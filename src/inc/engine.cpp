@@ -77,6 +77,9 @@ const Engine::Tree& Engine::tree_for(Session& s, fabric::NodeId owner) {
       cur = parent;
     }
   }
+  // Order-independent: fills a per-key map, no sim-visible decision
+  // depends on the visit sequence.
+  // mccl-lint: allow(no-unordered-iter) per-key fill, order-independent
   for (const auto& [sw, froms] : child_from)
     tree.expected[sw] = static_cast<std::uint32_t>(froms.size());
 

@@ -11,6 +11,7 @@
 #include <functional>
 
 #include "src/common/check.hpp"
+#include "src/debug/validate.hpp"
 #include "src/fabric/packet.hpp"
 
 namespace mccl::rdma {
@@ -45,10 +46,25 @@ class Cq {
   void set_consumer(Consumer* consumer) { consumer_ = consumer; }
 
   void push(const Cqe& cqe) {
+    if (gate_closed_) {
+      // Qp::complete_* already consult Nic::crashed() at fire time, so a
+      // push past a closed gate means some path forgot the crash check.
+      MCCL_VALIDATE_THAT(false, "cq.cqe_after_crash",
+                         "CQE (op %u, qpn %u) pushed after crash gate closed",
+                         static_cast<unsigned>(cqe.opcode), cqe.qpn);
+      return;
+    }
     queue_.push_back(cqe);
     ++total_pushed_;
     if (consumer_) consumer_->on_cqe(*this);
   }
+
+  /// Crash gate: closed when the owning NIC crash-stops. A crashed NIC must
+  /// never surface new completions; the validator treats a push through a
+  /// closed gate as a protocol bug (and drops the CQE either way).
+  void close_gate() { gate_closed_ = true; }
+  void open_gate() { gate_closed_ = false; }
+  bool gate_closed() const { return gate_closed_; }
 
   bool empty() const { return queue_.empty(); }
   std::size_t depth() const { return queue_.size(); }
@@ -65,6 +81,7 @@ class Cq {
   std::deque<Cqe> queue_;
   Consumer* consumer_ = nullptr;
   std::uint64_t total_pushed_ = 0;
+  bool gate_closed_ = false;
 };
 
 }  // namespace mccl::rdma

@@ -70,6 +70,14 @@ void Nic::set_crashed(bool crashed) {
     for (auto& q : tx_queues_) q.clear();
     std::fill(tx_ready_.begin(), tx_ready_.end(), 0);
   }
+  // Close (or reopen) every CQ's crash gate: a crashed NIC must never
+  // surface new completions, and the validator flags any push that tries.
+  for (auto& cq : cqs_) {
+    if (crashed_)
+      cq->close_gate();
+    else
+      cq->open_gate();
+  }
 }
 
 std::size_t Nic::add_tx_queue() {
@@ -126,6 +134,7 @@ std::size_t Nic::next_ready_tx(std::size_t start) const {
   return kNoTxQueue;
 }
 
+// mccl-lint: begin-hot nic-egress
 void Nic::pump_tx() {
   if (tx_active_) return;
   // Round-robin service across non-empty TX queues.
@@ -145,6 +154,7 @@ void Nic::pump_tx() {
     pump_tx();
   });
 }
+// mccl-lint: end-hot
 
 void Nic::post_local_copy(std::uint64_t src, std::uint64_t dst,
                           std::uint64_t len, std::function<void()> done) {

@@ -22,6 +22,7 @@
 #include "src/common/crc32c.hpp"
 #include "src/common/ring.hpp"
 #include "src/common/units.hpp"
+#include "src/debug/validate.hpp"
 #include "src/fabric/packet.hpp"
 #include "src/rdma/cq.hpp"
 #include "src/rdma/memory.hpp"
@@ -183,6 +184,19 @@ class RcQp : public Qp {
   /// state and transmits nothing further (peer presumed dead).
   bool dead() const { return dead_; }
 
+  // --- validate-build fault-injection hooks (tests/test_validate.cpp) -----
+  /// Feeds a synthetic cumulative ACK straight into the reliability state
+  /// machine, bypassing the wire — used to trip "rc.ack_beyond_window".
+  void test_inject_ack(std::uint32_t cum_psn, bool nak) {
+    handle_ack(cum_psn, nak);
+  }
+  /// Desynchronizes the validator's shadow of the in-order delivery stream
+  /// so the next delivered packet trips "rc.psn_regression".
+  void test_desync_rx_psn(std::uint32_t psn) { vld_next_rx_psn_ = psn; }
+  /// Stuffs a phantom entry into the inflight ring so the next pump() trips
+  /// "rc.window_overflow" (the phantom holds no packet, so no pool leak).
+  void test_stuff_inflight() { inflight_.push(InflightPacket{}); }
+
  private:
   enum class OpKind : std::uint8_t { kSend, kWrite, kReadReq, kReadResp };
 
@@ -251,6 +265,11 @@ class RcQp : public Qp {
   RecvWr active_recv_{};
   // RDMA Read responses in flight, keyed by msg_id.
   std::unordered_map<std::uint64_t, PendingRead> pending_reads_;
+
+  // --- validate plane (constant-folded away without MCCL_VALIDATE) ---
+  // Shadow counter of the in-order delivery stream: every packet handed to
+  // process_in_order must carry exactly this PSN.
+  std::uint32_t vld_next_rx_psn_ = 0;
 };
 
 }  // namespace mccl::rdma

@@ -4,6 +4,7 @@
 // stream, so a single cumulative-ACK window per direction covers all ops.
 #include <algorithm>
 
+#include "src/debug/validate.hpp"
 #include "src/rdma/nic.hpp"
 #include "src/rdma/qp.hpp"
 #include "src/telemetry/telemetry.hpp"
@@ -119,7 +120,20 @@ fabric::PacketPtr RcQp::make_packet(const TxOp& op, std::uint64_t offset,
   return pref;
 }
 
+// mccl-lint: begin-hot rc-pump
 void RcQp::pump() {
+  // Window accounting: the inflight ring covers exactly [acked_psn_,
+  // next_psn_) and never exceeds the configured window. The loop condition
+  // below preserves this; a violation means some path bypassed it.
+  MCCL_VALIDATE_THAT(inflight_.size() <= nic_.config().rc_window,
+                     "rc.window_overflow",
+                     "qpn %u: %zu packets in flight exceeds window %u", qpn_,
+                     inflight_.size(), nic_.config().rc_window);
+  MCCL_VALIDATE_THAT(
+      inflight_.size() == static_cast<std::size_t>(next_psn_ - acked_psn_),
+      "rc.window_overflow",
+      "qpn %u: inflight ring holds %zu but psn span is [%u, %u)", qpn_,
+      inflight_.size(), acked_psn_, next_psn_);
   const std::uint32_t mtu = nic_.config().mtu;
   while (!txq_.empty() && inflight_.size() < nic_.config().rc_window) {
     TxOp& op = txq_.front();
@@ -150,6 +164,7 @@ void RcQp::pump() {
     if (op.cursor >= op.len) txq_.pop();
   }
 }
+// mccl-lint: end-hot
 
 void RcQp::transmit(const InflightPacket& pkt) {
   if (dead_) return;
@@ -214,6 +229,15 @@ void RcQp::retransmit_from(std::uint32_t psn, Time delay) {
 }
 
 void RcQp::handle_ack(std::uint32_t cum_psn, bool nak) {
+  if (debug::kValidate && cum_psn > next_psn_) {
+    // A cumulative ACK can never cover PSNs we have not yet transmitted.
+    // Report and contain: dropping the bogus ACK keeps the state machine
+    // consistent so the run (and the test harness) can continue.
+    debug::report("rc.ack_beyond_window",
+                  "qpn %u: cumulative ACK for psn %u but next_psn is %u",
+                  qpn_, cum_psn, next_psn_);
+    return;
+  }
   if (cum_psn > acked_psn_) {
     std::uint32_t n = cum_psn - acked_psn_;
     while (n-- > 0) {
@@ -306,6 +330,18 @@ void RcQp::on_packet(const fabric::PacketPtr& packet) {
 
 void RcQp::process_in_order(const fabric::PacketPtr& packet) {
   const fabric::TransportHeader& th = packet->th;
+  if constexpr (debug::kValidate) {
+    // PSN monotonicity of the delivered stream: reliability must hand each
+    // PSN to the consumer exactly once, in order. Contain on violation —
+    // reprocessing a segment would corrupt reassembly state downstream.
+    if (th.psn != vld_next_rx_psn_) {
+      debug::report("rc.psn_regression",
+                    "qpn %u: in-order delivery of psn %u, expected %u", qpn_,
+                    th.psn, vld_next_rx_psn_);
+      return;
+    }
+    vld_next_rx_psn_ = th.psn + 1;
+  }
   const std::uint32_t len = th.seg_len;
   MCCL_CHECK(packet->payload.empty() || packet->payload.size() == len);
   switch (th.op) {

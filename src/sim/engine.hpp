@@ -50,6 +50,7 @@
 #include "src/common/check.hpp"
 #include "src/common/ring.hpp"
 #include "src/common/units.hpp"
+#include "src/debug/validate.hpp"
 #include "src/sim/callback.hpp"
 #include "src/telemetry/trace.hpp"
 
@@ -58,6 +59,11 @@ namespace mccl::sim {
 class Engine {
  public:
   using Callback = InlineCallback;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine() { validate_quiescent("engine destruction"); }
 
   Time now() const { return now_; }
 
@@ -154,6 +160,38 @@ class Engine {
   /// steady-state event population this stops growing (slots are recycled).
   /// Exposed for tests and diagnostics.
   std::size_t event_pool_capacity() const { return pool_size_; }
+
+  /// Callback cells currently held by queued events (slot-pool leak
+  /// accounting: every scheduled event owns exactly one cell until it
+  /// dispatches).
+  std::size_t slots_in_use() const { return pool_size_ - free_slots_.size(); }
+
+  /// Determinism auditor (MCCL_VALIDATE builds): a running digest of the
+  /// dispatched event stream — every (dispatch time, callback slot) pair is
+  /// folded in, in dispatch order. Two runs of an identical configuration
+  /// must agree; compare across a double run to prove the engine replayed
+  /// the same event stream. Constant (never folded into) in regular builds —
+  /// the hot path pays nothing for the feature it does not use.
+  std::uint64_t stream_hash() const { return stream_hash_; }
+
+  /// Slot-pool leak audit: with no events pending, every callback cell must
+  /// be back on the free list. Returns true when clean (trivially true with
+  /// events still queued — their cells are legitimately out). Reports
+  /// "engine.slot_leak" in validate builds.
+  bool validate_quiescent(const char* ctx) const {
+    if (!empty() || slots_in_use() == 0) return true;
+    MCCL_VALIDATE_THAT(false, "engine.slot_leak",
+                       "%zu callback slot(s) unreturned at %s (pool %zu)",
+                       slots_in_use(), ctx, pool_size_);
+    return false;
+  }
+
+  /// Test hook (validator coverage): leaks one recycled callback cell so the
+  /// quiescent audit has something to find. Harmless otherwise — the cell
+  /// is simply never handed out again.
+  void test_leak_slot() {
+    if (!free_slots_.empty()) free_slots_.pop_back();
+  }
 
   /// Sampled dispatch tracing: every `sample` dispatched events the engine
   /// emits one span covering the window plus a pending-queue counter on
@@ -260,6 +298,7 @@ class Engine {
     return best;
   }
 
+  // mccl-lint: begin-hot engine-dispatch
   void step() {
     // Global (when, seq) minimum across the heap top and the lane heads —
     // a k-way merge of sorted runs, so dispatch order is the total order.
@@ -282,6 +321,22 @@ class Engine {
       slot = fifo_.pop();
     } else {
       const Entry top = *best;
+      // Monotonic-dispatch invariant: the k-way merge must emit non-FIFO
+      // entries in strictly increasing (when, seq) order — a regression
+      // here silently reorders the simulation.
+      if constexpr (debug::kValidate) {
+        MCCL_VALIDATE_THAT(
+            top.when > vld_last_when_ ||
+                (top.when == vld_last_when_ && top.key > vld_last_key_),
+            "engine.dispatch_order",
+            "dispatch (when=%lld key=%llu) after (when=%lld key=%llu)",
+            static_cast<long long>(top.when),
+            static_cast<unsigned long long>(top.key),
+            static_cast<long long>(vld_last_when_),
+            static_cast<unsigned long long>(vld_last_key_));
+        vld_last_when_ = top.when;
+        vld_last_key_ = top.key;
+      }
       if (src == kSrcHeap) {
         const std::size_t n = heap_.size() - 1;
         if (n > 0) heap_[0] = heap_[n];
@@ -297,6 +352,12 @@ class Engine {
       slot = static_cast<std::uint32_t>(top.key) & kSlotMask;
     }
     ++dispatched_;
+    // Determinism auditor: fold (time, slot) into the stream digest. The
+    // slot id is deterministic (free-list recycling order is part of the
+    // simulation), so the digest pins the exact dispatch sequence.
+    if constexpr (debug::kValidate)
+      stream_hash_ = debug::mix(
+          stream_hash_, (static_cast<std::uint64_t>(now_) << 20) ^ slot);
     // Countdown instead of `dispatched_ % trace_sample_`: a 64-bit divide
     // per event is measurable at tens of millions of events per second.
     if (--trace_countdown_ == 0) {
@@ -316,6 +377,7 @@ class Engine {
     cell(slot).consume();
     free_slots_.push_back(slot);
   }
+  // mccl-lint: end-hot
 
   Time now_ = 0;
   std::uint64_t seq_ = 0;
@@ -331,6 +393,10 @@ class Engine {
   std::vector<std::unique_ptr<InlineCallback[]>> blocks_;  // slot pool
   std::size_t pool_size_ = 0;
   std::vector<std::uint32_t> free_slots_;  // recycled pool slots
+  // Validator-plane state (updated only in MCCL_VALIDATE builds).
+  std::uint64_t stream_hash_ = debug::kHashSeed;
+  Time vld_last_when_ = std::numeric_limits<Time>::min();
+  std::uint64_t vld_last_key_ = 0;
   telemetry::Tracer* tracer_ = nullptr;
   telemetry::TrackId trace_track_ = 0;
   std::uint64_t trace_sample_ = 8192;

@@ -1,0 +1,434 @@
+#!/usr/bin/env python3
+"""mccl-lint: repo-specific determinism and hot-path lint for the mccl tree.
+
+The simulator's correctness story rests on bit-identical replay: every run
+with the same seed must dispatch the same events in the same order. That
+property is easy to break silently -- one wall-clock read, one iteration
+over an unordered container feeding a scheduling decision -- so this lint
+encodes the repo's determinism rules as machine-checked source rules:
+
+  no-wallclock       No wall-clock / libc randomness / environment reads in
+                     the simulation core (src/sim, src/fabric, src/rdma,
+                     src/coll, src/inc). All time comes from sim::Engine,
+                     all randomness from common/rng.hpp.
+  no-unordered-iter  No range-for over std::unordered_map/set declared in
+                     the same file: iteration order is implementation-
+                     defined and feeds sim-visible decisions. Point lookups
+                     are fine.
+  no-pointer-key     No associative container keyed by a raw pointer type:
+                     pointer values differ across runs, so any ordered or
+                     hashed traversal over them is nondeterministic.
+  no-shared-packet   No shared_ptr<Packet>: packets are pooled and must be
+                     held through fabric::PacketRef (intrusive refcount, no
+                     atomic ops, recycling on release).
+  no-hot-alloc       No heap-allocation keywords (new, make_unique,
+                     make_shared, malloc/calloc/realloc, std::function
+                     declarations) inside regions marked
+                     `// mccl-lint: begin-hot <name>` ... `// mccl-lint:
+                     end-hot` -- the engine-dispatch and per-packet paths.
+  capture-budget     Lambda capture lists passed to Engine::schedule /
+                     schedule_at stay within the 64-byte inline-callback
+                     budget (<= 8 captured entities at ~8 bytes each);
+                     larger captures silently fall back to heap allocation.
+
+Suppression: append `// mccl-lint: allow(<rule>[,<rule>...]) <reason>` on
+the offending line or the line directly above it. A reason is required.
+
+Usage:
+  mccl_lint.py --root <repo-root>     scan the tree; exit 1 on violations
+  mccl_lint.py --self-test            every rule must trip on its seeded
+                                      violation and stay quiet when
+                                      suppressed; exit 1 otherwise
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CORE_DIRS = ("src/sim", "src/fabric", "src/rdma", "src/coll", "src/inc")
+ALL_SRC = ("src",)
+
+ALLOW_RE = re.compile(r"//\s*mccl-lint:\s*allow\(([\w\-, ]+)\)\s*\S")
+BEGIN_HOT_RE = re.compile(r"//\s*mccl-lint:\s*begin-hot\s+[\w\-]+")
+END_HOT_RE = re.compile(r"//\s*mccl-lint:\s*end-hot")
+
+WALLCLOCK_PATTERNS = [
+    (re.compile(r"std::chrono::(system|steady|high_resolution)_clock"),
+     "wall-clock read (use sim::Engine::now())"),
+    (re.compile(r"\b(gettimeofday|clock_gettime|timespec_get)\b"),
+     "wall-clock read (use sim::Engine::now())"),
+    (re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)"),
+     "wall-clock read (use sim::Engine::now())"),
+    (re.compile(r"\b(std::)?(rand|srand|rand_r|drand48)\s*\("),
+     "libc randomness (use common/rng.hpp)"),
+    (re.compile(r"\brandom_device\b"),
+     "nondeterministic seed source (use common/rng.hpp)"),
+    (re.compile(r"\b(getenv|secure_getenv)\s*\("),
+     "environment read (pass configuration explicitly)"),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set)\b[^;{}()]*?\b([A-Za-z_]\w*)\s*;")
+POINTER_KEY_RE = re.compile(
+    r"std::(?:unordered_)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*")
+SHARED_PACKET_RE = re.compile(
+    r"(?:shared_ptr|make_shared)\s*<\s*(?:mccl::)?(?:fabric::)?Packet\s*>")
+HOT_ALLOC_RE = re.compile(
+    r"\bnew\b|\bmake_unique\b|\bmake_shared\b"
+    r"|\b(?:malloc|calloc|realloc)\s*\(|std::function\s*<")
+SCHEDULE_RE = re.compile(r"\bschedule(_at)?\s*\(")
+
+CAPTURE_BUDGET = 8  # entities * 8 bytes = the 64-byte inline budget
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving line structure.
+
+    Keeps column positions stable by replacing each removed character with a
+    space (newlines survive). Handles //, /* */, "...", '...', and basic
+    raw strings R"tag(...)tag".
+    """
+    out = list(text)
+    i, n = 0, len(text)
+    NORMAL, LINE, BLOCK, STR, CHR = range(5)
+    state = NORMAL
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == "R" and nxt == '"':
+                m = re.match(r'R"([^\s()\\]*)\(', text[i:])
+                if m:
+                    tag = m.group(1)
+                    end = text.find(")" + tag + '"', i + len(m.group(0)))
+                    end = n if end < 0 else end + len(tag) + 2
+                    for j in range(i, end):
+                        if text[j] != "\n":
+                            out[j] = " "
+                    i = end
+                    continue
+            if c == '"':
+                state = STR
+                out[i] = " "
+                i += 1
+                continue
+            # Apostrophes as digit separators (1'000'000) are between
+            # alphanumerics; char literals are not.
+            if c == "'" and not (i > 0 and text[i - 1].isalnum() and
+                                 nxt.isalnum()):
+                state = CHR
+                out[i] = " "
+                i += 1
+                continue
+            i += 1
+            continue
+        if state == LINE:
+            if c == "\n":
+                state = NORMAL
+            else:
+                out[i] = " "
+            i += 1
+            continue
+        if state == BLOCK:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+        # STR / CHR
+        if c == "\\" and i + 1 < n:
+            out[i] = " "
+            if nxt != "\n":
+                out[i + 1] = " "
+            i += 2
+            continue
+        if (state == STR and c == '"') or (state == CHR and c == "'"):
+            state = NORMAL
+            out[i] = " "
+            i += 1
+            continue
+        if c != "\n":
+            out[i] = " "
+        i += 1
+    return "".join(out)
+
+
+class FileContext:
+    def __init__(self, path, text):
+        self.path = path
+        self.raw_lines = text.splitlines()
+        self.code = strip_comments_and_strings(text)
+        self.code_lines = self.code.splitlines()
+        # allowed[lineno] = set of rule ids suppressed on that line
+        # (1-indexed; an allow() covers its own line and the next).
+        self.allowed = {}
+        self.hot = [False] * (len(self.raw_lines) + 2)
+        in_hot = False
+        for idx, line in enumerate(self.raw_lines, start=1):
+            m = ALLOW_RE.search(line)
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",")}
+                self.allowed.setdefault(idx, set()).update(rules)
+                self.allowed.setdefault(idx + 1, set()).update(rules)
+            if BEGIN_HOT_RE.search(line):
+                in_hot = True
+            elif END_HOT_RE.search(line):
+                in_hot = False
+            self.hot[idx] = in_hot
+
+    def suppressed(self, lineno, rule):
+        return rule in self.allowed.get(lineno, set())
+
+
+class Violation:
+    def __init__(self, path, lineno, rule, message):
+        self.path = path
+        self.lineno = lineno
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.lineno, self.rule,
+                                   self.message)
+
+
+def emit(violations, ctx, lineno, rule, message):
+    if not ctx.suppressed(lineno, rule):
+        violations.append(Violation(ctx.path, lineno, rule, message))
+
+
+def check_wallclock(ctx, violations):
+    for idx, line in enumerate(ctx.code_lines, start=1):
+        for pattern, why in WALLCLOCK_PATTERNS:
+            if pattern.search(line):
+                emit(violations, ctx, idx, "no-wallclock", why)
+
+
+def check_unordered_iter(ctx, violations):
+    names = set(UNORDERED_DECL_RE.findall(ctx.code))
+    if not names:
+        return
+    iter_re = re.compile(
+        r"for\s*\([^)]*:\s*(?:[\w]+\s*(?:\.|->)\s*)*(%s)\s*\)" %
+        "|".join(re.escape(nm) for nm in sorted(names)))
+    for idx, line in enumerate(ctx.code_lines, start=1):
+        m = iter_re.search(line)
+        if m:
+            emit(violations, ctx, idx, "no-unordered-iter",
+                 "iteration over unordered container '%s' "
+                 "(implementation-defined order)" % m.group(1))
+
+
+def check_pointer_key(ctx, violations):
+    for idx, line in enumerate(ctx.code_lines, start=1):
+        if POINTER_KEY_RE.search(line):
+            emit(violations, ctx, idx, "no-pointer-key",
+                 "associative container keyed by a raw pointer "
+                 "(addresses vary across runs)")
+
+
+def check_shared_packet(ctx, violations):
+    for idx, line in enumerate(ctx.code_lines, start=1):
+        if SHARED_PACKET_RE.search(line):
+            emit(violations, ctx, idx, "no-shared-packet",
+                 "shared_ptr<Packet> bypasses the packet pool; hold packets "
+                 "through fabric::PacketRef")
+
+
+def check_hot_alloc(ctx, violations):
+    for idx, line in enumerate(ctx.code_lines, start=1):
+        if not ctx.hot[idx]:
+            continue
+        m = HOT_ALLOC_RE.search(line)
+        if m:
+            emit(violations, ctx, idx, "no-hot-alloc",
+                 "heap allocation ('%s') inside a begin-hot region" %
+                 m.group(0).strip())
+
+
+def check_capture_budget(ctx, violations):
+    code = ctx.code
+    for m in SCHEDULE_RE.finditer(code):
+        window = code[m.end():m.end() + 400]
+        lb = window.find("[")
+        # The lambda may be the first argument or follow a simple time
+        # expression (schedule(delay, [..] {...})); give up when anything
+        # structural sits between the call and the capture list.
+        if lb < 0 or any(ch in window[:lb] for ch in ";{}()"):
+            continue
+        rb = window.find("]", lb)
+        if rb < 0:
+            continue
+        captures = [c.strip() for c in window[lb + 1:rb].split(",")
+                    if c.strip()]
+        if len(captures) > CAPTURE_BUDGET:
+            lineno = code.count("\n", 0, m.start()) + 1
+            emit(violations, ctx, lineno, "capture-budget",
+                 "%d captured entities exceed the %d-entity (64-byte) "
+                 "inline-callback budget" % (len(captures), CAPTURE_BUDGET))
+
+
+RULES = [
+    ("no-wallclock", CORE_DIRS, check_wallclock),
+    ("no-unordered-iter", CORE_DIRS, check_unordered_iter),
+    ("no-pointer-key", CORE_DIRS, check_pointer_key),
+    ("no-shared-packet", ALL_SRC, check_shared_packet),
+    ("no-hot-alloc", ALL_SRC, check_hot_alloc),
+    ("capture-budget", CORE_DIRS, check_capture_budget),
+]
+
+
+def scan_file(path, relpath, violations):
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+    except OSError as err:
+        print("mccl-lint: cannot read %s: %s" % (path, err), file=sys.stderr)
+        return
+    ctx = FileContext(relpath, text)
+    rel = relpath.replace(os.sep, "/")
+    for _rule, scopes, checker in RULES:
+        if any(rel.startswith(scope + "/") for scope in scopes):
+            checker(ctx, violations)
+
+
+def scan_tree(root):
+    violations = []
+    for base in ALL_SRC:
+        top = os.path.join(root, base)
+        for dirpath, _dirnames, filenames in os.walk(top):
+            for name in sorted(filenames):
+                if not name.endswith((".cpp", ".hpp", ".h", ".cc")):
+                    continue
+                path = os.path.join(dirpath, name)
+                relpath = os.path.relpath(path, root)
+                scan_file(path, relpath, violations)
+    return violations
+
+
+def run_scan(root):
+    violations = scan_tree(root)
+    for v in violations:
+        print(v)
+    if violations:
+        print("mccl-lint: %d violation(s)" % len(violations))
+        return 1
+    print("mccl-lint: clean")
+    return 0
+
+
+# --- self-test --------------------------------------------------------------
+
+SELF_TESTS = [
+    # (rule, relpath, snippet that must trip exactly that rule)
+    ("no-wallclock", "src/sim/bad.cpp",
+     "void f() { auto t = std::chrono::steady_clock::now(); }\n"),
+    ("no-wallclock", "src/fabric/bad.cpp",
+     "int f() { return std::rand(); }\n"),
+    ("no-wallclock", "src/coll/bad.cpp",
+     "const char* f() { return getenv(\"MCCL_DEBUG\"); }\n"),
+    ("no-unordered-iter", "src/rdma/bad.cpp",
+     "#include <unordered_map>\n"
+     "std::unordered_map<int, int> table_;\n"
+     "int f() { int s = 0; for (const auto& kv : table_) s += kv.second;\n"
+     "  return s; }\n"),
+    ("no-pointer-key", "src/coll/bad2.cpp",
+     "#include <map>\n"
+     "std::map<Packet*, int> refs_;\n"),
+    ("no-shared-packet", "src/fabric/bad2.cpp",
+     "#include <memory>\n"
+     "std::shared_ptr<Packet> keep_alive_;\n"),
+    ("no-hot-alloc", "src/sim/bad2.cpp",
+     "// mccl-lint: begin-hot test-region\n"
+     "void step() { auto* p = new int(7); (void)p; }\n"
+     "// mccl-lint: end-hot\n"),
+    ("capture-budget", "src/sim/bad3.cpp",
+     "void f() {\n"
+     "  int a, b, c, d, e, g, h, i, j;\n"
+     "  engine.schedule(5, [this, a, b, c, d, e, g, h, i, j] {\n"
+     "    use(a); });\n"
+     "}\n"),
+]
+
+CLEAN_TESTS = [
+    # Comment/string mentions and suppressed lines must stay quiet.
+    ("src/sim/ok.cpp",
+     "// std::rand() would be wrong here; we use common/rng.hpp instead.\n"
+     "const char* kMsg = \"getenv(HOME)\";\n"
+     "// mccl-lint: allow(no-wallclock) documented determinism escape hatch\n"
+     "const char* f() { return getenv(\"MCCL_TRACE\"); }\n"),
+    ("src/rdma/ok.cpp",
+     "#include <unordered_map>\n"
+     "std::unordered_map<int, int> table_;\n"
+     "int f(int k) { return table_.at(k); }  // point lookup: fine\n"),
+    ("src/sim/ok2.cpp",
+     "void warm() { auto* p = new int(7); (void)p; }  // not in a hot region\n"),
+]
+
+
+def run_self_test():
+    failures = []
+    for rule, relpath, snippet in SELF_TESTS:
+        violations = []
+        ctx = FileContext(relpath, snippet)
+        for r, scopes, checker in RULES:
+            rel = relpath.replace(os.sep, "/")
+            if any(rel.startswith(scope + "/") for scope in scopes):
+                checker(ctx, violations)
+        hit = [v for v in violations if v.rule == rule]
+        if not hit:
+            failures.append("rule '%s' did not trip on its seeded violation"
+                            " (%s)" % (rule, relpath))
+    for relpath, snippet in CLEAN_TESTS:
+        violations = []
+        ctx = FileContext(relpath, snippet)
+        for r, scopes, checker in RULES:
+            rel = relpath.replace(os.sep, "/")
+            if any(rel.startswith(scope + "/") for scope in scopes):
+                checker(ctx, violations)
+        if violations:
+            failures.append("clean snippet %s tripped: %s" %
+                            (relpath, "; ".join(str(v) for v in violations)))
+    if failures:
+        for f in failures:
+            print("mccl-lint self-test FAIL: %s" % f)
+        return 1
+    print("mccl-lint self-test: %d seeded violations tripped, %d clean "
+          "snippets quiet" % (len(SELF_TESTS), len(CLEAN_TESTS)))
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="mccl-lint",
+        description="determinism / hot-path lint for the mccl tree")
+    parser.add_argument("--root", help="repository root to scan")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded rule self-test")
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return run_self_test()
+    if args.root:
+        return run_scan(args.root)
+    parser.error("one of --root or --self-test is required")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
