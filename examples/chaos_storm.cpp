@@ -31,6 +31,14 @@
 // never a hang. Crash scenarios must never watchdog at all: the detector's
 // verdict is the contract, and it is cross-checked against the metrics
 // registry (coll.reroots / coll.missing_blocks / detector.confirmed_dead).
+//
+// A second sweep covers the Nezha-style multi-rail story (PAPERS.md): on a
+// two-rail fat tree one rail's trunk silently degrades, and the health
+// plane (coll/health_monitor) must fail the multicast subgroups over to the
+// healthy rail — static mode must report exactly zero coll.adapt.*
+// activity, adaptive mode must deweight the trunk and re-pin subgroups,
+// with every adapt metric cross-checked against the OpResult/Communicator
+// counters (the deeper A/B p99 contract lives in example_adapt_storm).
 #include <cstdio>
 #include <vector>
 
@@ -210,6 +218,102 @@ int run_case(const Scenario& sc, coll::Transport transport, bool recovery) {
   return rc;
 }
 
+// Multi-rail rail failover: a seeded trunk degrade on rail 0 of a two-rail
+// fat tree (hosts 0-7; rail 0 = leaves 8-9 + spine 10, rail 1 = leaves
+// 11-12 + spine 13). Runs a short allgather train and cross-checks every
+// coll.adapt.* metric against the OpResult / Communicator counters.
+int run_rail_case(bool adaptive) {
+  coll::ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {fabric::FaultEvent::degrade(
+      10 * kMicrosecond, 8, 10, 0.08, 15 * kMicrosecond)};
+  kcfg.nic.rc_rto = 20 * kMicrosecond;  // ops are ~100 us, not multi-ms
+  coll::Cluster cluster(
+      fabric::make_multi_rail_fat_tree(2, 2, 4, 1, 1, {}, {}), kcfg);
+  coll::CommConfig cfg;
+  cfg.transport = coll::Transport::kUcMcast;
+  cfg.subgroups = 4;  // rail-striped: even -> rail 0, odd -> rail 1
+  cfg.cutoff_alpha = 30 * kMicrosecond;
+  cfg.adapt.enabled = adaptive;
+  std::vector<fabric::NodeId> hosts;
+  for (std::size_t h = 0; h < kRanks; ++h)
+    hosts.push_back(static_cast<fabric::NodeId>(h));
+  coll::Communicator comm(cluster, hosts, cfg);
+
+  int rc = 0;
+  std::uint64_t sum_reroots = 0, sum_demotions = 0, sum_detours = 0;
+  Time first = 0, last = 0;
+  constexpr int kOps = 4;
+  for (int op = 0; op < kOps; ++op) {
+    const coll::OpResult res =
+        comm.allgather(128 * KiB, coll::AllgatherAlgo::kMcast);
+    if (!res.data_verified || res.failed || res.watchdog_fired) {
+      std::fprintf(stderr, "FAIL: rail_degrade %s op %d did not verify: %s\n",
+                   adaptive ? "adaptive" : "static", op, res.error.c_str());
+      return 1;
+    }
+    if (op == 0) first = res.duration();
+    last = res.duration();
+    sum_reroots += res.adapt_reroots;
+    sum_demotions += res.chain_demotions;
+    sum_detours += res.fetch_detours;
+  }
+
+  const telemetry::Snapshot snap = cluster.telemetry().metrics.snapshot();
+  const auto metric = [&snap](const char* key) -> std::uint64_t {
+    const auto it = snap.find(key);
+    return it == snap.end() ? 0 : it->second.count;
+  };
+  std::printf("%-12s %-8s %12.1f %12.1f %9llu %7llu %8llu\n", "rail_degrade",
+              adaptive ? "adaptive" : "static", to_microseconds(first),
+              to_microseconds(last),
+              static_cast<unsigned long long>(
+                  metric("coll.adapt.link_deweights")),
+              static_cast<unsigned long long>(
+                  metric("coll.adapt.subgroup_repins")),
+              static_cast<unsigned long long>(
+                  metric("fabric.ecmp_reweights")));
+
+  // One story across all three planes: registry vs OpResult vs Communicator.
+  if (metric("coll.adapt.slow_reroots") != sum_reroots ||
+      metric("coll.adapt.chain_demotions") != sum_demotions ||
+      metric("coll.adapt.fetch_detours") != sum_detours ||
+      metric("coll.adapt.subgroup_repins") != comm.subgroup_repins()) {
+    std::fprintf(stderr,
+                 "FAIL: rail_degrade %s adapt metrics disagree with op "
+                 "counters\n",
+                 adaptive ? "adaptive" : "static");
+    rc = 1;
+  }
+  if (adaptive) {
+    // The degrade is persistent and poisons exactly one rail: the health
+    // plane must indict the trunk and move the multicast plane off it.
+    if (metric("coll.adapt.link_deweights") == 0 ||
+        metric("coll.adapt.subgroup_repins") == 0 ||
+        metric("fabric.ecmp_reweights") == 0) {
+      std::fprintf(stderr,
+                   "FAIL: rail_degrade adaptive left the rail policies idle "
+                   "(deweights=%llu repins=%llu ecmp=%llu)\n",
+                   static_cast<unsigned long long>(
+                       metric("coll.adapt.link_deweights")),
+                   static_cast<unsigned long long>(
+                       metric("coll.adapt.subgroup_repins")),
+                   static_cast<unsigned long long>(
+                       metric("fabric.ecmp_reweights")));
+      rc = 1;
+    }
+  } else if ((metric("coll.adapt.slow_marks") |
+              metric("coll.adapt.link_deweights") |
+              metric("coll.adapt.subgroup_repins") |
+              metric("fabric.ecmp_reweights") | sum_reroots | sum_demotions |
+              sum_detours) != 0) {
+    std::fprintf(stderr,
+                 "FAIL: rail_degrade static reported adaptation activity\n");
+    rc = 1;
+  }
+  if (rc != 0) cluster.telemetry().recorder.dump(stderr);
+  return rc;
+}
+
 }  // namespace
 
 int main() {
@@ -222,5 +326,8 @@ int main() {
          {coll::Transport::kUd, coll::Transport::kUcMcast})
       for (const bool recovery : {true, false})
         rc |= run_case(sc, t, recovery);
+  std::printf("%-12s %-8s %12s %12s %9s %7s %8s\n", "scenario", "mode",
+              "first_us", "last_us", "deweight", "repin", "ecmp_rw");
+  for (const bool adaptive : {false, true}) rc |= run_rail_case(adaptive);
   return rc;
 }

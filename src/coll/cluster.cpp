@@ -25,6 +25,10 @@ Cluster::Cluster(fabric::Topology topology, ClusterConfig config)
         });
     cpus_.push_back(std::make_unique<exec::Complex>(engine_, config.cpu));
     dpas_.push_back(std::make_unique<exec::Complex>(engine_, config.dpa));
+    cpus_.back()->set_telemetry(&telemetry_, static_cast<std::int32_t>(h),
+                                "cpu");
+    dpas_.back()->set_telemetry(&telemetry_, static_cast<std::int32_t>(h),
+                                "dpa");
   }
   // The fault plane owns the straggler timeline; applying the slowdown to a
   // host's compute complexes is the Cluster's job (the fabric has no notion

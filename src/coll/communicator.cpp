@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/coll/mcast_coll.hpp"
+#include "src/debug/validate.hpp"
 #include "src/coll/p2p_coll.hpp"
 #include "src/coll/reduce_scatter.hpp"
 #include "src/coll/vandegeijn.hpp"
@@ -111,8 +112,13 @@ Communicator::Communicator(Cluster& cluster,
     rank_of_[hosts[r]] = r;
     eps_.push_back(std::make_unique<Endpoint>(*this, r, hosts[r]));
   }
+  // Rail-aware chunk striping: on a multi-rail fabric, pin subgroup s to
+  // rail s % rails so each rail carries an even share of the subgroups (and
+  // a rail outage degrades only the subgroups striped onto it).
+  const int rails = cluster_.fabric().topology().num_rails();
   for (std::size_t s = 0; s < config_.subgroups; ++s)
-    groups_.push_back(cluster_.fabric().create_mcast_group());
+    groups_.push_back(cluster_.fabric().create_mcast_group(
+        rails > 0 ? static_cast<int>(s) % rails : -1));
   for (auto& ep : eps_) {
     ep->setup_workers();
     ep->setup_subgroups();
@@ -125,21 +131,34 @@ Communicator::Communicator(Cluster& cluster,
       [this](fabric::NodeId host, bool crashed) {
         on_host_crash(host, crashed);
       });
+  if (config_.adapt.enabled)
+    health_ = std::make_unique<HealthMonitor>(*this, config_.adapt);
   if (config_.detector.enabled) {
     detector_ = std::make_unique<FailureDetector>(*this, config_.detector);
     // Heartbeats travel on the reserved op id 0 (Cluster::next_op_id starts
-    // at 1, so no collective ever claims it).
+    // at 1, so no collective ever claims it). The health monitor piggybacks
+    // on the same control-plane event: gap samples cost nothing extra.
     for (auto& ep : eps_) {
       const std::size_t r = ep->rank();
       ep->register_ctrl(0, [this, r](const CtrlMsg& m, std::size_t src,
                                      const rdma::Cqe&) {
-        if (m.type == CtrlType::kHeartbeat) detector_->on_heartbeat(r, src);
+        if (m.type == CtrlType::kHeartbeat) {
+          detector_->on_heartbeat(r, src);
+          if (health_) health_->on_heartbeat(r, src);
+        }
       });
     }
     detector_->add_listener([this](std::size_t observer, std::size_t peer) {
       for (auto& op : ops_)
         if (!op->done()) op->on_peer_confirmed_dead(observer, peer);
     });
+  }
+  if (health_) {
+    health_->add_listener(
+        [this](std::size_t observer, std::size_t peer, bool slow) {
+          for (auto& op : ops_)
+            if (!op->done()) op->on_peer_slow(observer, peer, slow);
+        });
   }
 }
 
@@ -166,10 +185,53 @@ std::size_t Communicator::presumed_alive() const {
 
 void Communicator::note_op_started() {
   if (detector_) detector_->note_op_started();
+  if (health_) health_->note_op_started();
 }
 
 void Communicator::note_op_finished() {
   if (detector_) detector_->note_op_finished();
+  if (health_) health_->note_op_finished();
+}
+
+void Communicator::rebalance_subgroups() {
+  if (!health_) return;
+  const int rails = cluster_.fabric().topology().num_rails();
+  if (rails <= 1) return;
+  for (const auto& op : ops_)
+    if (!op->done()) return;  // trees may carry in-flight multicast
+  fabric::Fabric& fab = cluster_.fabric();
+  for (std::size_t s = 0; s < groups_.size(); ++s) {
+    const int cur = fab.mcast_group_rail(groups_[s]);
+    if (cur < 0) continue;  // unpinned group: nothing to re-balance
+    const std::size_t cur_bad = health_->unhealthy_dirs_on_rail(cur);
+    if (cur_bad == 0) continue;
+    // Healthiest rail, lowest id on ties; move only on a strict win so two
+    // equally sick rails never trade subgroups back and forth.
+    int best = cur;
+    std::size_t best_bad = cur_bad;
+    for (int rl = 0; rl < rails; ++rl)
+      if (health_->unhealthy_dirs_on_rail(rl) < best_bad) {
+        best = rl;
+        best_bad = health_->unhealthy_dirs_on_rail(rl);
+      }
+    if (best == cur) continue;
+    fab.set_mcast_group_rail(groups_[s], best);
+    ++subgroup_repins_;
+    MCCL_VALIDATE_THAT(
+        subgroup_repins_ <=
+            static_cast<std::uint64_t>(config_.adapt.max_transitions) *
+                groups_.size(),
+        "adapt.oscillation",
+        "subgroup re-pins (%llu) exceed %u per subgroup — rail health is "
+        "flapping through the re-balancer",
+        static_cast<unsigned long long>(subgroup_repins_),
+        config_.adapt.max_transitions);
+    telemetry::Telemetry& te = cluster_.telemetry();
+    te.metrics.counter("coll.adapt.subgroup_repins").add(1);
+    te.recorder.record(cluster_.engine().now(), -1,
+                       telemetry::EventCat::kAdapt, "subgroup_repin", s,
+                       static_cast<std::uint64_t>(best));
+  }
 }
 
 std::size_t Communicator::rank_of_host(fabric::NodeId host) const {
@@ -184,6 +246,7 @@ bool Communicator::data_mode() const {
 
 OpBase& Communicator::start_broadcast(std::size_t root, std::uint64_t bytes,
                                       BcastAlgo algo) {
+  rebalance_subgroups();
   if (algo == BcastAlgo::kMcast) {
     McastCollective::Params p;
     p.roots = {root};
@@ -202,6 +265,7 @@ OpBase& Communicator::start_broadcast(std::size_t root, std::uint64_t bytes,
 
 OpBase& Communicator::start_allgather(std::uint64_t bytes,
                                       AllgatherAlgo algo) {
+  rebalance_subgroups();
   switch (algo) {
     case AllgatherAlgo::kMcast: {
       McastCollective::Params p;
@@ -269,6 +333,9 @@ OpResult Communicator::finish(OpBase& op) {
   std::sort(res.missing_blocks.begin(), res.missing_blocks.end());
   res.crashed_ranks = op.crashed_ranks();
   res.reroots = op.reroots();
+  res.adapt_reroots = op.adapt_reroots();
+  res.chain_demotions = op.chain_demotions();
+  res.fetch_detours = op.fetch_detours();
   // A watchdog-terminated op has incomplete buffers by definition; don't
   // report synthetic-mode success for garbage. Partial completion verifies
   // what survivors do hold (crashed ranks and abandoned blocks exempt).
@@ -288,6 +355,9 @@ OpResult Communicator::finish(OpBase& op) {
   if (res.watchdog_fired) reg.counter("coll.watchdog_fired").add(1);
   reg.counter("coll.reroots").add(res.reroots);
   reg.counter("coll.missing_blocks").add(res.missing_blocks.size());
+  reg.counter("coll.adapt.slow_reroots").add(res.adapt_reroots);
+  reg.counter("coll.adapt.chain_demotions").add(res.chain_demotions);
+  reg.counter("coll.adapt.fetch_detours").add(res.fetch_detours);
   reg.histogram("coll.op_duration_us", {{"op", op.name()}})
       .observe(to_microseconds(res.duration()));
   return res;

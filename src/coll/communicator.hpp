@@ -25,6 +25,7 @@
 #include "src/coll/cluster.hpp"
 #include "src/coll/ctrl.hpp"
 #include "src/coll/failure_detector.hpp"
+#include "src/coll/health_monitor.hpp"
 #include "src/exec/cost_model.hpp"
 
 namespace mccl::coll {
@@ -90,6 +91,12 @@ struct CommConfig {
   /// behavior: a crash mid-op ends in a watchdog failure.
   DetectorConfig detector;
 
+  // --- performance-fault adaptation ------------------------------------------
+  /// Online health plane (health_monitor.hpp): per-peer slowness scores and
+  /// per-link health drive slow-root re-ownership, fetch detours, chain
+  /// demotion and weighted-ECMP steering. Off by default (static baseline).
+  HealthConfig adapt;
+
   std::optional<exec::DatapathCosts> costs_override;  // else by engine kind
 };
 
@@ -146,6 +153,13 @@ struct OpResult {
   std::vector<std::size_t> crashed_ranks;
   /// Dead block roots successfully replaced by a surviving full holder.
   std::uint64_t reroots = 0;
+  // --- performance-fault adaptation ------------------------------------------
+  /// Alive-but-slow block roots replaced by a full holder (kSlowRoot).
+  std::uint64_t adapt_reroots = 0;
+  /// Chain-token passes that overlapped a lagging root instead of waiting.
+  std::uint64_t chain_demotions = 0;
+  /// Fetch requests steered away from a lagging target.
+  std::uint64_t fetch_detours = 0;
 };
 
 enum class BcastAlgo : std::uint8_t {
@@ -311,6 +325,9 @@ class OpBase {
     return missing_blocks_;
   }
   std::uint64_t reroots() const { return reroots_; }
+  std::uint64_t adapt_reroots() const { return adapt_reroots_; }
+  std::uint64_t chain_demotions() const { return chain_demotions_; }
+  std::uint64_t fetch_detours() const { return fetch_detours_; }
   bool rank_crashed(std::size_t r) const { return crashed_[r] != 0; }
   std::vector<std::size_t> crashed_ranks() const;
 
@@ -332,6 +349,15 @@ class OpBase {
                                       std::size_t peer) {
     (void)observer;
     (void)peer;
+  }
+  /// Health-plane channel: `observer`'s monitor marked `peer` slow (or
+  /// cleared it). Adaptive ops override this to shift work away from (or
+  /// back to) the peer; the default ignores it.
+  virtual void on_peer_slow(std::size_t observer, std::size_t peer,
+                            bool slow) {
+    (void)observer;
+    (void)peer;
+    (void)slow;
   }
 
  protected:
@@ -360,6 +386,9 @@ class OpBase {
   std::vector<char> crashed_;  // physically crashed ranks
   std::vector<std::size_t> missing_blocks_;  // abandoned (sorted at finish)
   std::uint64_t reroots_ = 0;
+  std::uint64_t adapt_reroots_ = 0;
+  std::uint64_t chain_demotions_ = 0;
+  std::uint64_t fetch_detours_ = 0;
 
  private:
   /// Notifies the communicator exactly once when the op transitions to
@@ -395,6 +424,16 @@ class Communicator {
   // --- crash tolerance -------------------------------------------------------
   /// The lease-based failure detector; null when disabled in the config.
   FailureDetector* detector() { return detector_.get(); }
+  /// The performance-fault health monitor; null unless config().adapt is
+  /// enabled.
+  HealthMonitor* health() { return health_.get(); }
+  /// Multicast subgroup re-balancing: between ops, re-pins every rail-pinned
+  /// subgroup whose rail plane has unhealthy links onto the healthiest rail
+  /// (strictly fewer unhealthy dirs). No-op while any op is in flight, on
+  /// single-rail fabrics, or without the health monitor. Called on every
+  /// collective start; public so chaos drivers can force a decision point.
+  void rebalance_subgroups();
+  std::uint64_t subgroup_repins() const { return subgroup_repins_; }
   /// Physical truth from the fault plane: has this rank's host crashed?
   /// Used for op accounting and result reporting only — the protocol's own
   /// membership decisions go through the detector.
@@ -456,6 +495,8 @@ class Communicator {
   std::vector<fabric::McastGroupId> groups_;  // one per subgroup
   std::vector<std::unique_ptr<OpBase>> ops_;
   std::unique_ptr<FailureDetector> detector_;
+  std::unique_ptr<HealthMonitor> health_;
+  std::uint64_t subgroup_repins_ = 0;
   std::vector<char> host_crashed_;
   std::uint64_t crash_listener_id_ = 0;
   std::uint8_t next_tag_ = 1;

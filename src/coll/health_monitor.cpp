@@ -1,0 +1,277 @@
+#include "src/coll/health_monitor.hpp"
+
+#include <algorithm>
+
+#include "src/coll/communicator.hpp"
+#include "src/common/rng.hpp"
+#include "src/debug/validate.hpp"
+
+namespace mccl::coll {
+
+HealthMonitor::HealthMonitor(Communicator& comm, HealthConfig cfg)
+    : comm_(comm), cfg_(cfg), n_(comm.size()) {
+  MCCL_CHECK(cfg_.ewma_alpha > 0.0 && cfg_.ewma_alpha <= 1.0);
+  MCCL_CHECK(cfg_.heartbeat_alpha > 0.0 && cfg_.heartbeat_alpha <= 1.0);
+  MCCL_CHECK(cfg_.slow_enter > cfg_.slow_exit);
+  MCCL_CHECK(cfg_.backlog_enter > cfg_.backlog_exit);
+  MCCL_CHECK(cfg_.dwell >= 1 && cfg_.link_dwell >= 1);
+  peers_.assign(n_ * n_, PeerHealth{});
+  links_.assign(comm_.cluster().fabric().topology().num_dirs(), LinkHealth{});
+  // Sampler phase: decorrelated from the detector ticks and the fabric's
+  // fault RNG, drawn once for deterministic replay.
+  Rng rng(cfg_.seed ^ 0x4ea17bffull);
+  sample_phase_ = static_cast<Time>(
+      rng.below(static_cast<std::uint64_t>(cfg_.sample_interval)));
+  telemetry::MetricsRegistry& reg = comm_.cluster().telemetry().metrics;
+  ctr_slow_marks_ = &reg.counter("coll.adapt.slow_marks");
+  ctr_slow_clears_ = &reg.counter("coll.adapt.slow_clears");
+  ctr_link_deweights_ = &reg.counter("coll.adapt.link_deweights");
+  ctr_link_restores_ = &reg.counter("coll.adapt.link_restores");
+}
+
+void HealthMonitor::note_op_started() {
+  if (++active_ops_ > 1) return;
+  ++generation_;
+  schedule_sample(generation_);
+}
+
+void HealthMonitor::note_op_finished() {
+  MCCL_CHECK(active_ops_ > 0);
+  // Pending sample events see a stale generation and fall through, so the
+  // event queue drains between ops.
+  if (--active_ops_ == 0) ++generation_;
+}
+
+void HealthMonitor::schedule_sample(std::uint64_t gen) {
+  sim::Engine& eng = comm_.cluster().engine();
+  eng.schedule(cfg_.sample_interval + sample_phase_, [this, gen] {
+    if (gen != generation_ || active_ops_ == 0) return;
+    sample_links();
+    sample_phase_ = 0;  // phase applies to the first sample of a window only
+    schedule_sample(gen);
+  });
+}
+
+void HealthMonitor::observe(std::size_t observer, std::size_t peer,
+                            double sample, double alpha) {
+  if (observer == peer) return;
+  PeerHealth& h = peers_[observer * n_ + peer];
+  h.ewma = alpha * sample + (1.0 - alpha) * h.ewma;
+  if (!h.slow) {
+    if (h.ewma >= cfg_.slow_enter) {
+      if (++h.enter_dwell >= cfg_.dwell) set_slow(observer, peer, true);
+    } else {
+      h.enter_dwell = 0;
+    }
+  } else {
+    if (h.ewma <= cfg_.slow_exit) {
+      if (++h.exit_dwell >= cfg_.dwell) set_slow(observer, peer, false);
+    } else {
+      h.exit_dwell = 0;
+    }
+  }
+}
+
+void HealthMonitor::set_slow(std::size_t observer, std::size_t peer,
+                             bool slow) {
+  PeerHealth& h = peers_[observer * n_ + peer];
+  if (h.slow == slow) return;
+  h.slow = slow;
+  h.enter_dwell = 0;
+  h.exit_dwell = 0;
+  ++h.transitions;
+  // A pair flipping more often than the bound means the hysteresis band is
+  // too narrow for the signal (or a policy feeds back into its own input).
+  MCCL_VALIDATE_THAT(h.transitions <= cfg_.max_transitions,
+                     "adapt.oscillation",
+                     "observer %zu flipped peer %zu slow-state %u times "
+                     "(bound %u)",
+                     observer, peer, h.transitions, cfg_.max_transitions);
+  if (slow) {
+    ++slow_marks_;
+    ctr_slow_marks_->add(1);
+  } else {
+    ++slow_clears_;
+    ctr_slow_clears_->add(1);
+  }
+  telemetry::Telemetry& te = comm_.cluster().telemetry();
+  te.recorder.record(comm_.cluster().engine().now(),
+                     static_cast<std::int32_t>(comm_.ep(observer).host()),
+                     telemetry::EventCat::kAdapt,
+                     slow ? "peer_slow" : "peer_slow_clear", peer,
+                     static_cast<std::uint64_t>(h.ewma * 100.0));
+  for (const SlowListener& fn : listeners_) fn(observer, peer, slow);
+}
+
+void HealthMonitor::on_heartbeat(std::size_t observer, std::size_t src) {
+  if (observer == src) return;
+  PeerHealth& h = peers_[observer * n_ + src];
+  const Time now = comm_.cluster().engine().now();
+  if (h.last_heartbeat >= 0) {
+    const Time gap = now - h.last_heartbeat;
+    const double nominal = static_cast<double>(
+        comm_.config().detector.heartbeat_interval);
+    if (nominal > 0 && gap > 0)
+      observe(observer, src, static_cast<double>(gap) / nominal,
+              cfg_.heartbeat_alpha);
+  }
+  h.last_heartbeat = now;
+}
+
+void HealthMonitor::note_fetch_ack(std::size_t observer, std::size_t peer,
+                                   Time latency) {
+  const double nominal =
+      static_cast<double>(comm_.config().fetch_retry_timeout);
+  if (nominal <= 0) return;
+  const double sample =
+      std::min(static_cast<double>(latency) / nominal, cfg_.timeout_sample);
+  observe(observer, peer, sample, cfg_.ewma_alpha);
+}
+
+void HealthMonitor::note_fetch_timeout(std::size_t observer,
+                                       std::size_t peer) {
+  observe(observer, peer, cfg_.timeout_sample, cfg_.ewma_alpha);
+}
+
+void HealthMonitor::note_block_late(std::size_t observer, std::size_t root) {
+  observe(observer, root, cfg_.timeout_sample, cfg_.ewma_alpha);
+}
+
+void HealthMonitor::sample_links() {
+  fabric::Fabric& fab = comm_.cluster().fabric();
+  for (std::size_t dir = 0; dir < links_.size(); ++dir) {
+    LinkHealth& lh = links_[dir];
+    const fabric::Fabric::DirCounters& c = fab.dir_counters(dir);
+    const std::uint64_t pkt_delta = c.packets - lh.last_packets;
+    const std::uint64_t drop_delta = c.drops - lh.last_drops;
+    lh.last_packets = c.packets;
+    lh.last_drops = c.drops;
+    // Peak-hold, not a point sample: a degraded trunk books its backlog in
+    // bursts that can drain entirely between two sampler ticks.
+    const Time backlog = fab.take_peak_backlog(dir);
+
+    const bool drops_bad =
+        pkt_delta >= cfg_.min_window_packets &&
+        static_cast<double>(drop_delta) >=
+            cfg_.drop_enter * static_cast<double>(pkt_delta);
+    const bool drops_good =
+        drop_delta == 0 ||
+        (pkt_delta > 0 && static_cast<double>(drop_delta) <=
+                              cfg_.drop_exit * static_cast<double>(pkt_delta));
+    if (!lh.unhealthy) {
+      if (drops_bad || backlog >= cfg_.backlog_enter) {
+        if (++lh.bad_windows >= cfg_.link_dwell) {
+          lh.unhealthy = true;
+          lh.bad_windows = 0;
+          lh.good_windows = 0;
+          ++lh.transitions;
+          MCCL_VALIDATE_THAT(lh.transitions <= cfg_.max_transitions,
+                             "adapt.oscillation",
+                             "link dir %zu flipped health %u times (bound "
+                             "%u)",
+                             dir, lh.transitions, cfg_.max_transitions);
+          ++link_deweights_;
+          ctr_link_deweights_->add(1);
+          comm_.cluster().telemetry().recorder.record(
+              comm_.cluster().engine().now(), -1, telemetry::EventCat::kAdapt,
+              "link_deweight", dir, static_cast<std::uint64_t>(backlog));
+          reweight_node_of(dir);
+          reweight_host_rails();
+        }
+      } else {
+        lh.bad_windows = 0;
+      }
+    } else {
+      // An idle window proves nothing: a direction the policies steered
+      // around shows zero drops and zero backlog precisely *because* it is
+      // unused. Restoration needs evidence — enough packets actually
+      // crossing the link cleanly — or the subgroup re-balancer would move
+      // traffic right back onto a still-degraded trunk.
+      if (pkt_delta >= cfg_.min_window_packets && drops_good &&
+          backlog <= cfg_.backlog_exit) {
+        if (++lh.good_windows >= cfg_.link_dwell) {
+          lh.unhealthy = false;
+          lh.bad_windows = 0;
+          lh.good_windows = 0;
+          ++lh.transitions;
+          ++link_restores_;
+          ctr_link_restores_->add(1);
+          comm_.cluster().telemetry().recorder.record(
+              comm_.cluster().engine().now(), -1, telemetry::EventCat::kAdapt,
+              "link_restore", dir, static_cast<std::uint64_t>(backlog));
+          reweight_node_of(dir);
+          reweight_host_rails();
+        }
+      } else {
+        lh.good_windows = 0;
+      }
+    }
+  }
+}
+
+std::size_t HealthMonitor::unhealthy_dirs_on_rail(int rail) const {
+  const fabric::Topology& topo = comm_.cluster().fabric().topology();
+  std::size_t n = 0;
+  for (std::size_t d = 0; d < links_.size(); ++d) {
+    if (!links_[d].unhealthy) continue;
+    const auto& ld = topo.dirs()[d];
+    const fabric::NodeId sw = topo.is_host(ld.from) ? ld.to : ld.from;
+    if (topo.is_host(sw) || topo.rail_of(sw) == rail) ++n;
+  }
+  return n;
+}
+
+void HealthMonitor::reweight_host_rails() {
+  fabric::Fabric& fab = comm_.cluster().fabric();
+  const fabric::Topology& topo = fab.topology();
+  const int rails = topo.num_rails();
+  if (rails <= 1) return;
+  // Cold path (runs on link health transitions, sampling cadence at worst).
+  std::vector<bool> rail_bad(static_cast<std::size_t>(rails), false);
+  bool any_bad = false;
+  for (int rl = 0; rl < rails; ++rl) {
+    rail_bad[static_cast<std::size_t>(rl)] = unhealthy_dirs_on_rail(rl) > 0;
+    any_bad |= rail_bad[static_cast<std::size_t>(rl)];
+  }
+  for (fabric::NodeId h = 0; h < topo.num_nodes(); ++h) {
+    if (!topo.is_host(h)) continue;
+    for (const fabric::Port& p : topo.ports(h)) {
+      const int rl = topo.rail_of(p.peer);
+      const bool bad = links_[p.dir_index].unhealthy ||
+                       (rl >= 0 && rail_bad[static_cast<std::size_t>(rl)]);
+      fab.set_dir_weight(p.dir_index,
+                         !any_bad   ? 1
+                         : bad      ? cfg_.lossy_weight
+                                    : cfg_.healthy_weight);
+    }
+  }
+}
+
+void HealthMonitor::reweight_node_of(std::size_t dir) {
+  fabric::Fabric& fab = comm_.cluster().fabric();
+  const fabric::Topology& topo = fab.topology();
+  const fabric::NodeId from = topo.dirs()[dir].from;
+  // Weighted ECMP splits flows among a node's candidate egresses in
+  // proportion to their weights, so deweighting is relative: with any
+  // unhealthy egress at this node, healthy siblings get healthy_weight and
+  // unhealthy ones lossy_weight; with none, everything returns to the
+  // neutral default (keeping the fabric's unweighted fast path armed).
+  bool any_unhealthy = false;
+  for (const fabric::Port& p : topo.ports(from))
+    if (links_[p.dir_index].unhealthy) any_unhealthy = true;
+  for (const fabric::Port& p : topo.ports(from)) {
+    const std::uint16_t w =
+        !any_unhealthy ? 1
+        : links_[p.dir_index].unhealthy ? cfg_.lossy_weight
+                                        : cfg_.healthy_weight;
+    fab.set_dir_weight(p.dir_index, w);
+  }
+}
+
+void HealthMonitor::test_force_flap(std::size_t observer, std::size_t peer,
+                                    std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i)
+    set_slow(observer, peer, (i % 2) == 0);
+}
+
+}  // namespace mccl::coll

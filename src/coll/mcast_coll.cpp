@@ -86,12 +86,22 @@ McastCollective::McastCollective(Communicator& comm, std::string name,
     s.block_reports.assign(p_.roots.size() * P, 0);
     s.block_decision.assign(p_.roots.size(), 0);
     s.block_new_root.assign(p_.roots.size(), 0);
+    s.peer_lagging.assign(P, 0);
+    s.slow_reported.assign(p_.roots.size(), 0);
+    s.slow_decision.assign(p_.roots.size(), 0);
     // Seed the membership view from this rank's detector: peers confirmed
     // dead in earlier ops stay dead (crash-stop), so a new op never waits
     // on them.
     if (FailureDetector* det = comm.detector()) {
       for (std::size_t p = 0; p < P; ++p)
         if (p != r && det->dead(r, p)) s.peer_dead[p] = 1;
+    }
+    // Likewise the lagging view from the health monitor: a peer marked slow
+    // in an earlier op is avoided from the start of this one (it clears
+    // through the monitor's hysteresis, not per op).
+    if (HealthMonitor* hm = comm.health()) {
+      for (std::size_t p = 0; p < P; ++p)
+        if (p != r && hm->slow(r, p)) s.peer_lagging[p] = 1;
     }
     s.bitmaps.reserve(map_.subgroups);
     for (std::size_t sg = 0; sg < map_.subgroups; ++sg)
@@ -313,13 +323,27 @@ void McastCollective::on_subgroup_sent(std::size_t r, std::size_t sg) {
   // Pass the activation token to the next root in the chain that is still
   // alive. The root after a skipped (dead) one may also self-activate once
   // it confirms the death itself — token and repair are deliberately
-  // redundant, and activation is idempotent.
+  // redundant, and activation is idempotent. A *lagging* successor still
+  // gets its token (it must send eventually) but no longer gates the
+  // healthy tail: the walk continues to the first non-lagging survivor,
+  // which is activated concurrently (chain demotion — the laggard's
+  // multicast window overlaps the healthy chain instead of serializing it).
   int next = schedule_.successor(static_cast<std::size_t>(s.root_index));
-  while (next >= 0 && s.peer_dead[p_.roots[static_cast<std::size_t>(next)]])
+  while (next >= 0) {
+    const std::size_t root = p_.roots[static_cast<std::size_t>(next)];
+    if (s.peer_dead[root]) {
+      next = schedule_.successor(static_cast<std::size_t>(next));
+      continue;
+    }
+    comm_.ep(r).ctrl_send(root, {CtrlType::kChainToken, id(), 0});
+    if (!s.peer_lagging[root]) break;
+    ++chain_demotions_;
+    telem().recorder.record(comm_.cluster().engine().now(),
+                            static_cast<std::int32_t>(r),
+                            telemetry::EventCat::kAdapt, "chain_demote", root,
+                            static_cast<std::uint64_t>(next));
     next = schedule_.successor(static_cast<std::size_t>(next));
-  if (next >= 0)
-    comm_.ep(r).ctrl_send(p_.roots[static_cast<std::size_t>(next)],
-                          {CtrlType::kChainToken, id(), 0});
+  }
   check_op_done(r);
 }
 
@@ -459,21 +483,58 @@ void McastCollective::on_cutoff(std::size_t r, std::uint64_t gen) {
   if (te.tracer.enabled())
     te.tracer.instant(comm_.ep(r).trace_track(), "cutoff",
                       s.t_recovery_begin, "coll");
+  // Health plane: *differential* lateness only. In a uniformly lossy world
+  // every block is a little short at cutoff — that indicts the fabric, not
+  // any root. A slow root shows as one block far behind (< half the chunks
+  // of the best-progressed peer block); only those roots are sampled. Fed
+  // first — a resulting slow mark re-enters this op through on_peer_slow,
+  // so the target pick below sees the freshest lagging view.
+  if (HealthMonitor* hm = comm_.health()) {
+    std::size_t best = 0;
+    for (std::size_t b = 0; b < p_.roots.size(); ++b)
+      if (static_cast<int>(b) != s.root_index &&
+          s.block_received[b] > best)
+        best = s.block_received[b];
+    for (std::size_t b = 0; b < p_.roots.size(); ++b) {
+      if (static_cast<int>(b) == s.root_index) continue;
+      if (s.block_received[b] * 2 < best && !s.block_abandoned[b] &&
+          !s.peer_dead[s.block_root[b]] && s.block_root[b] != r)
+        hm->note_block_late(r, s.block_root[b]);
+    }
+  }
   // One fetch request per incomplete block: the target acks each block as
   // soon as it holds it in full. The first target is the left-alive
-  // neighbor (the static left neighbor unless it already died).
-  const std::size_t tgt = left_alive_of(r, r);
+  // neighbor (the static left neighbor unless it already died), detoured
+  // past lagging survivors when the health plane marked any.
+  bool detoured = false;
+  const std::size_t tgt = fetch_target_of(r, r, &detoured);
   if (tgt == r) return;  // sole survivor: nothing to fetch from
+  if (detoured)
+    telem().recorder.record(comm_.cluster().engine().now(),
+                            static_cast<std::int32_t>(r),
+                            telemetry::EventCat::kAdapt, "fetch_detour",
+                            static_cast<std::uint64_t>(-1), tgt);
   for (std::size_t b = 0; b < p_.roots.size(); ++b) {
     if (static_cast<int>(b) == s.root_index) continue;
     if (s.block_received[b] < map_.chunks_per_block() &&
-        !s.block_abandoned[b])
+        !s.block_abandoned[b]) {
+      if (detoured) ++fetch_detours_;
       start_fetch(r, b, tgt);
+    }
   }
 }
 
 void McastCollective::on_block_complete(std::size_t r, std::size_t block) {
   RankState& s = st_[r];
+  // Deferred slow-root report: the first ranks to assemble a lagging
+  // root's block in full are exactly the ownership candidates — report as
+  // soon as we qualify (the on_peer_slow sweep only catches blocks already
+  // held full at mark time).
+  if (comm_.health() != nullptr && static_cast<int>(block) != s.root_index &&
+      !s.slow_reported[block] && !s.block_abandoned[block] &&
+      s.block_root[block] != r && s.peer_lagging[s.block_root[block]] &&
+      !s.peer_dead[s.block_root[block]])
+    report_slow_root(r, block);
   // Serve every rank whose fetch request was deferred until we held the
   // block (pre-hardening this could only be the right neighbor).
   for (const std::size_t waiter : s.fetch_waiters[block])
@@ -499,6 +560,7 @@ void McastCollective::start_fetch(std::size_t r, std::size_t block,
   f.target = target;
   f.attempts = 1;
   f.reads_outstanding = 0;
+  f.sent_at = comm_.cluster().engine().now();
   ++f.gen;
   telem().recorder.record(comm_.cluster().engine().now(),
                           static_cast<std::int32_t>(r),
@@ -528,11 +590,22 @@ void McastCollective::on_fetch_retry(std::size_t r, std::size_t block,
     return;
   if (s.block_received[block] == map_.chunks_per_block()) return;
   if (s.block_abandoned[block]) return;
+  // Health plane: an unanswered fetch request is the strongest slow signal.
+  // Fed before acting — the resulting slow mark may detour this very fetch
+  // (through on_peer_slow), which bumps f.gen; bail out if it did.
+  if (HealthMonitor* hm = comm_.health()) {
+    hm->note_fetch_timeout(r, f.target);
+    if (!f.active || f.acked || gen != f.gen) return;
+    if (s.block_received[block] == map_.chunks_per_block() ||
+        s.block_abandoned[block])
+      return;
+  }
   if (f.attempts < comm_.config().fetch_retry_cap) {
     // Same target, another request: the original (or its ACK) may have
     // been lost on a degraded link.
     ++f.attempts;
     ++fetch_retries_;
+    f.sent_at = comm_.cluster().engine().now();
     telemetry::Telemetry& te = telem();
     te.recorder.record(comm_.cluster().engine().now(),
                        static_cast<std::int32_t>(r),
@@ -555,9 +628,33 @@ void McastCollective::on_fetch_retry(std::size_t r, std::size_t block,
   while ((next == r || s.peer_dead[next]) && next != f.target)
     next = left_of(next);  // never fetch from ourselves or a dead rank
   if (next == f.target || next == r) return;  // nowhere else to go
+  if (s.peer_lagging[next]) {
+    // Adaptive detour: keep walking for a non-lagging survivor no farther
+    // away than the static choice (same rule as fetch_target_of — never
+    // trade a laggard for a longer path); the lagging candidate stays the
+    // fallback when everyone further lags.
+    const fabric::Topology& topo = comm_.cluster().fabric().topology();
+    const fabric::NodeId here = comm_.ep(r).host();
+    const int base_dist = topo.distance(here, comm_.ep(next).host());
+    std::size_t alt = left_of(next);
+    while (alt != f.target &&
+           (alt == r || s.peer_dead[alt] || s.peer_lagging[alt] ||
+            topo.distance(here, comm_.ep(alt).host()) > base_dist))
+      alt = left_of(alt);
+    if (alt != f.target && alt != r && !s.peer_lagging[alt] &&
+        topo.distance(here, comm_.ep(alt).host()) <= base_dist) {
+      next = alt;
+      ++fetch_detours_;
+      telem().recorder.record(comm_.cluster().engine().now(),
+                              static_cast<std::int32_t>(r),
+                              telemetry::EventCat::kAdapt, "fetch_detour",
+                              block, next);
+    }
+  }
   ++fetch_failovers_;
   f.target = next;
   f.attempts = 1;
+  f.sent_at = comm_.cluster().engine().now();
   ++f.gen;
   telemetry::Telemetry& te = telem();
   te.recorder.record(comm_.cluster().engine().now(),
@@ -581,6 +678,13 @@ void McastCollective::on_fetch_ack(std::size_t r, std::size_t block,
   if (f.acked) return;  // duplicate ACK (retry raced the original)
   f.acked = true;
   ++f.gen;  // cancel pending retry timers
+  // Health plane: request->ACK latency of the serving target (measured
+  // from the latest request — retries reset the clock).
+  if (HealthMonitor* hm = comm_.health()) {
+    if (f.active && src == f.target)
+      hm->note_fetch_ack(r, src,
+                         comm_.cluster().engine().now() - f.sent_at);
+  }
   telem().recorder.record(comm_.cluster().engine().now(),
                           static_cast<std::int32_t>(r),
                           telemetry::EventCat::kColl, "fetch_ack", block,
@@ -730,11 +834,19 @@ void McastCollective::repair_fetches(std::size_t r, std::size_t dead) {
                             static_cast<std::int32_t>(r),
                             telemetry::EventCat::kColl, "fetch_dead_target",
                             b, dead);
-    const std::size_t next = left_alive_of(r, f.target);
+    bool det = false;
+    const std::size_t next = fetch_target_of(r, f.target, &det);
     if (next == r) {  // no surviving target; root repair decides the block
       f.active = false;
       ++f.gen;
       continue;
+    }
+    if (det) {
+      ++fetch_detours_;
+      telem().recorder.record(comm_.cluster().engine().now(),
+                              static_cast<std::int32_t>(r),
+                              telemetry::EventCat::kAdapt, "fetch_detour", b,
+                              next);
     }
     start_fetch(r, b, next);
   }
@@ -868,14 +980,32 @@ void McastCollective::send_decision_to(std::size_t r, std::size_t block,
 }
 
 void McastCollective::apply_reroot(std::size_t r, std::size_t block,
-                                   std::size_t new_root) {
+                                   std::size_t new_root, bool eager) {
   RankState& s = st_[r];
+  const std::size_t old_root = s.block_root[block];
   s.block_root[block] = new_root;  // future root-deaths census against this
+  // One *slow* re-root per block per op, cluster-wide: re-rooting moves the
+  // coordinator (right of the new root), whose slow_decision latch would
+  // otherwise be fresh — lagging marks on the new root would cascade the
+  // ownership around the ring.
+  if (!eager) s.slow_decision[block] = 1;
+  // A *slow* re-root reaches the displaced root alive: it owns the block's
+  // data by construction and must never fetch it.
+  if (static_cast<int>(block) == s.root_index) return;
   if (s.block_abandoned[block] || rank_crashed(r) || s.data_complete) return;
   if (s.block_received[block] == map_.chunks_per_block()) return;
   BlockFetch& f = s.fetch[block];
   // Reads already in flight from a live holder will complete; leave them.
   if (f.active && f.acked) return;
+  if (!eager) {
+    // Lazy re-root: the multicast is still delivering, so nobody rushes to
+    // the slow path (an eager fan-in of every incomplete rank on the one
+    // full holder costs more than the laggard does). Only a fetch already
+    // pointed at the displaced root is re-aimed at the new terminus.
+    if (f.active && f.target == old_root && new_root != r)
+      start_fetch(r, block, new_root);
+    return;
+  }
   if (!s.recovering) {
     s.recovering = true;
     s.t_recovery_begin = comm_.cluster().engine().now();
@@ -904,6 +1034,143 @@ void McastCollective::apply_block_dead(std::size_t r, std::size_t block) {
                           telemetry::EventCat::kColl, "block_abandoned",
                           block, 0);
   check_data_complete(r);
+}
+
+// --------------------------------------------------------------------------
+// Performance-fault adaptation. Driven by the communicator's health monitor
+// (slow marks fan out through on_peer_slow exactly like death confirmations
+// through on_peer_confirmed_dead); everything here is per-observer view,
+// deterministic, and inert when adaptation is disabled.
+// --------------------------------------------------------------------------
+
+std::size_t McastCollective::fetch_target_of(std::size_t r, std::size_t from,
+                                             bool* detoured) const {
+  const RankState& s = st_[r];
+  const fabric::Topology& topo = comm_.cluster().fabric().topology();
+  const fabric::NodeId here = comm_.ep(r).host();
+  std::size_t first_alive = r;
+  int base_dist = 0;
+  std::size_t x = left_of(from);
+  while (x != r) {
+    if (!s.peer_dead[x]) {
+      if (first_alive == r) {
+        first_alive = x;
+        base_dist = topo.distance(here, comm_.ep(x).host());
+      }
+      // A detour must never trade a slow peer for a longer path: a
+      // cross-leaf hop rides trunks the health plane may not have scored
+      // yet, and a degraded trunk costs far more than any laggard.
+      if (!s.peer_lagging[x] &&
+          topo.distance(here, comm_.ep(x).host()) <= base_dist) {
+        if (detoured != nullptr) *detoured = x != first_alive;
+        return x;
+      }
+    }
+    x = left_of(x);
+  }
+  if (detoured != nullptr) *detoured = false;
+  return first_alive;  // r itself when no other survivor exists
+}
+
+void McastCollective::on_peer_slow(std::size_t observer, std::size_t peer,
+                                   bool slow) {
+  const std::size_t r = observer;
+  RankState& s = st_[r];
+  if (failed_ || rank_crashed(r) || s.op_done) return;
+  if (s.peer_lagging[peer] == static_cast<char>(slow ? 1 : 0)) return;
+  s.peer_lagging[peer] = slow ? 1 : 0;
+  // A clear only stops future avoidance: detours and re-roots already made
+  // stay (they are correct either way, and undoing them would oscillate).
+  if (!slow) return;
+  if (s.peer_dead[peer]) return;  // crash repair owns dead peers
+  // (1) Slow-root re-ownership: for each block the lagging peer currently
+  // roots, report to the block's coordinator if we already hold it in full
+  // (ranks completing later report from on_block_complete).
+  for (std::size_t b = 0; b < p_.roots.size(); ++b) {
+    if (s.block_root[b] != peer) continue;
+    if (s.block_abandoned[b] || s.slow_reported[b]) continue;
+    if (s.block_received[b] == map_.chunks_per_block())
+      report_slow_root(r, b);
+  }
+  // (2) Fetch detour: re-aim active un-ACKed fetches at the lagging peer
+  // toward a non-lagging survivor (ACKed fetches finish where they are —
+  // the RDMA Reads are already in flight).
+  for (std::size_t b = 0; b < p_.roots.size(); ++b) {
+    BlockFetch& f = s.fetch[b];
+    if (!f.active || f.acked || f.target != peer) continue;
+    if (s.block_received[b] == map_.chunks_per_block() ||
+        s.block_abandoned[b])
+      continue;
+    bool det = false;
+    const std::size_t next = fetch_target_of(r, r, &det);
+    if (next == r || next == peer || s.peer_lagging[next]) continue;
+    ++fetch_detours_;
+    telem().recorder.record(comm_.cluster().engine().now(),
+                            static_cast<std::int32_t>(r),
+                            telemetry::EventCat::kAdapt, "fetch_detour", b,
+                            next);
+    start_fetch(r, b, next);
+  }
+}
+
+void McastCollective::report_slow_root(std::size_t r, std::size_t block) {
+  RankState& s = st_[r];
+  if (s.block_received[block] != map_.chunks_per_block()) return;
+  s.slow_reported[block] = 1;
+  const std::size_t c = coordinator_of(r, block);
+  telem().recorder.record(comm_.cluster().engine().now(),
+                          static_cast<std::int32_t>(r),
+                          telemetry::EventCat::kAdapt, "slow_root_report",
+                          block, c);
+  if (c == r) {
+    on_slow_root_report(r, block, r, true);
+    return;
+  }
+  MCCL_CHECK(block < (std::size_t{1} << 15));
+  comm_.ep(r).ctrl_send(c, {CtrlType::kSlowRoot, id(),
+                            static_cast<std::uint16_t>((block << 1) | 1u)});
+}
+
+void McastCollective::on_slow_root_report(std::size_t r, std::size_t block,
+                                          std::size_t src, bool holds_full) {
+  RankState& s = st_[r];
+  if (failed_ || rank_crashed(r)) return;
+  if (!holds_full) return;  // only a full holder can take ownership
+  if (s.slow_decision[block] != 0 || s.block_decision[block] != 0 ||
+      s.block_abandoned[block])
+    return;  // already decided (or the dead census owns this block)
+  if (s.peer_dead[s.block_root[block]] || s.peer_dead[src]) return;
+  if (src == s.block_root[block]) return;
+  // Ownership conservation: a slow re-root hands the block's slow-path
+  // responsibility to a rank that really holds all of it. Remote claims are
+  // taken on faith (the reporter checked its own bitmaps before sending);
+  // a self-delivered claim is checked against this rank's bookkeeping.
+  MCCL_VALIDATE_THAT(
+      src != r || s.block_received[block] == map_.chunks_per_block(),
+      "adapt.ownership_conservation",
+      "rank %zu: slow re-root of block %zu to itself while holding only "
+      "%zu/%zu chunks",
+      r, block, s.block_received[block], map_.chunks_per_block());
+  s.slow_decision[block] = 1;
+  ++adapt_reroots_;
+  const Time now = comm_.cluster().engine().now();
+  telemetry::Telemetry& te = telem();
+  te.recorder.record(now, static_cast<std::int32_t>(r),
+                     telemetry::EventCat::kAdapt, "slow_reroot", block, src);
+  if (te.tracer.enabled())
+    te.tracer.instant(comm_.ep(r).trace_track(), "slow_reroot", now, "coll");
+  // The ordinary kReRoot broadcast moves the fetch-chain terminus; the slow
+  // root stays alive and keeps multicasting (only slow-path ownership
+  // moves). The displaced root gets the message too, so every future death
+  // census agrees on who owns the block.
+  MCCL_CHECK(block < 256 && src < 256);
+  for (std::size_t x = 0; x < comm_.size(); ++x) {
+    if (x == r || s.peer_dead[x]) continue;
+    comm_.ep(r).ctrl_send(
+        x, {CtrlType::kReRoot, id(),
+            static_cast<std::uint16_t>((block << 8) | src)});
+  }
+  apply_reroot(r, block, src, /*eager=*/false);
 }
 
 // --------------------------------------------------------------------------
@@ -1006,8 +1273,15 @@ void McastCollective::on_ctrl(std::size_t r, const CtrlMsg& msg,
     case CtrlType::kBlockReport:
       on_block_report(r, msg.arg >> 1, src, (msg.arg & 1u) != 0);
       break;
+    case CtrlType::kSlowRoot:
+      on_slow_root_report(r, msg.arg >> 1, src, (msg.arg & 1u) != 0);
+      break;
     case CtrlType::kReRoot:
-      apply_reroot(r, msg.arg >> 8, msg.arg & 0xffu);
+      // Eager only when the displaced root is dead from this rank's view
+      // (crash census); a slow re-root's old root is alive and keeps
+      // multicasting, so the receiver stays lazy.
+      apply_reroot(r, msg.arg >> 8, msg.arg & 0xffu,
+                   st_[r].peer_dead[st_[r].block_root[msg.arg >> 8]] != 0);
       break;
     case CtrlType::kBlockDead:
       apply_block_dead(r, msg.arg);

@@ -47,6 +47,22 @@
 //    with the exact missing-block set) instead of hanging or failing whole.
 // Ranks that physically crashed are settled by OpBase::note_rank_crashed;
 // the watchdog remains the backstop for the undetectable cases.
+//
+// Performance-fault adaptation (third hardening pass, driven by the
+// communicator's HealthMonitor when enabled): each rank additionally keeps a
+// *lagging* view of its peers — alive but slow. On a slow mark, a rank
+//  - detours its fetch chains around lagging targets (preferring the first
+//    non-lagging survivor to its left; the lagging rank stays the fallback),
+//  - reports a lagging block root to the block's coordinator once it holds
+//    the block in full (CtrlType::kSlowRoot); the coordinator re-roots the
+//    block's fetch responsibility at that holder via the ordinary kReRoot
+//    broadcast — no census quorum, since the root is alive and keeps
+//    multicasting; only the slow-path ownership moves,
+//  - and demotes lagging roots out of the chain token's critical path:
+//    on_subgroup_sent passes the token to each lagging successor *and*
+//    keeps walking to the first non-lagging one, overlapping the laggard's
+//    multicast window instead of serializing behind it.
+// All of it is inert (zero branches taken) when adaptation is disabled.
 #pragma once
 
 #include <vector>
@@ -72,6 +88,8 @@ class McastCollective : public OpBase {
   bool verify() const override;
   void on_peer_confirmed_dead(std::size_t observer,
                               std::size_t peer) override;
+  void on_peer_slow(std::size_t observer, std::size_t peer,
+                    bool slow) override;
 
   std::uint64_t recvbuf_addr(std::size_t rank) const {
     return st_[rank].recvbuf;
@@ -106,6 +124,13 @@ class McastCollective : public OpBase {
                                 std::size_t src, bool holds_full) {
     on_block_report(r, block, src, holds_full);
   }
+  /// Feeds a slow-root report straight into the coordinator state machine —
+  /// a self-claimed full holding that the bitmaps contradict trips
+  /// "adapt.ownership_conservation".
+  void test_inject_slow_report(std::size_t r, std::size_t block,
+                               std::size_t src, bool holds_full) {
+    on_slow_root_report(r, block, src, holds_full);
+  }
 
  private:
   /// One rank's fetch of one block through the hardened slow path.
@@ -115,6 +140,7 @@ class McastCollective : public OpBase {
     std::size_t target = 0;    // rank currently being asked
     std::size_t attempts = 0;  // requests sent to the current target
     std::uint64_t gen = 0;     // invalidates in-flight retry timers
+    Time sent_at = 0;          // last request send (health latency samples)
     // RDMA Reads posted to the ACKing target and not yet completed. If the
     // target crashes, these never complete; the repair path discounts them
     // from pending_fetches and restarts the walk.
@@ -182,6 +208,12 @@ class McastCollective : public OpBase {
     bool repairing = false;
     Time t_repair_begin = 0;
 
+    // Performance-fault adaptation: this rank's lagging view (health-plane
+    // slow marks; independent of peer_dead — a rank is never both).
+    std::vector<char> peer_lagging;
+    std::vector<char> slow_reported;  // per block: kSlowRoot report sent
+    std::vector<char> slow_decision;  // per block: coordinator latch
+
     // Timestamps for the Fig 10 phase breakdown.
     Time t_start = 0, t_barrier = 0, t_data = 0, t_send_done = 0;
     Time t_recovery_begin = 0, t_recovery = 0;
@@ -244,8 +276,24 @@ class McastCollective : public OpBase {
                        bool holds_full);
   void maybe_decide_block(std::size_t r, std::size_t block);
   void send_decision_to(std::size_t r, std::size_t block, std::size_t peer);
-  void apply_reroot(std::size_t r, std::size_t block, std::size_t new_root);
+  /// `eager`: start the slow-path fetch immediately (root is dead, the
+  /// multicast will never deliver). Slow re-roots pass false — the displaced
+  /// root is alive and still multicasting, so only the fetch-chain terminus
+  /// moves and fetches already aimed at the laggard are re-aimed.
+  void apply_reroot(std::size_t r, std::size_t block, std::size_t new_root,
+                    bool eager = true);
   void apply_block_dead(std::size_t r, std::size_t block);
+
+  // Performance-fault adaptation (all inert when the communicator has no
+  // health monitor: peer_lagging never sets).
+  /// Drop-in for left_alive_of that prefers the first *non-lagging*
+  /// survivor left of `from`, falling back to the first survivor when
+  /// everyone lags; `detoured` reports whether a lagging rank was skipped.
+  std::size_t fetch_target_of(std::size_t r, std::size_t from,
+                              bool* detoured) const;
+  void report_slow_root(std::size_t r, std::size_t block);
+  void on_slow_root_report(std::size_t r, std::size_t block, std::size_t src,
+                           bool holds_full);
 
   // Watchdog (op-level hard deadline).
   Time cutoff_deadline(std::size_t r) const;

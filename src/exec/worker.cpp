@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/telemetry/telemetry.hpp"
+
 namespace mccl::exec {
 
 Complex::Complex(sim::Engine& engine, Config config)
@@ -9,6 +11,35 @@ Complex::Complex(sim::Engine& engine, Config config)
   MCCL_CHECK(config.cores >= 1 && config.threads_per_core >= 1);
   MCCL_CHECK(config.ghz > 0);
   cores_.resize(config.cores);
+}
+
+void Complex::set_telemetry(telemetry::Telemetry* telem, std::int32_t node,
+                            const char* engine_name) {
+  telem_ = telem;
+  telem_node_ = node;
+  telem_engine_ = engine_name;
+}
+
+void Complex::set_cost_scale(double scale) {
+  MCCL_CHECK(scale >= 1.0);
+  if (scale == cost_scale_) return;
+  const bool was_straggling = cost_scale_ > 1.0;
+  cost_scale_ = scale;
+  if (telem_ == nullptr) return;
+  // Cold path: scale transitions come from the fault timeline, never from
+  // per-CQE processing, so the registry lookup per transition is fine.
+  telem_->metrics
+      .gauge("worker.straggler_active",
+             {{"host", std::to_string(telem_node_)},
+              {"engine", telem_engine_}})
+      .set(scale > 1.0 ? scale : 0.0);
+  const bool straggling = scale > 1.0;
+  if (straggling != was_straggling)
+    telem_->recorder.record(
+        engine_.now(), telem_node_, telemetry::EventCat::kFault,
+        straggling ? "straggler_exec_begin" : "straggler_exec_end",
+        static_cast<std::uint64_t>(scale),
+        static_cast<std::uint64_t>(telem_engine_[0]));  // 'c'pu vs 'd'pa
 }
 
 Worker& Complex::create_worker() {

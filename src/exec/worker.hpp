@@ -30,6 +30,10 @@
 #include "src/sim/resource.hpp"
 #include "src/telemetry/trace.hpp"
 
+namespace mccl::telemetry {
+class Telemetry;
+}  // namespace mccl::telemetry
+
 namespace mccl::exec {
 
 /// Cycle cost of one task on a worker.
@@ -71,12 +75,17 @@ class Complex {
 
   /// Straggler injection (fault plane): every task executed while the scale
   /// is s takes s times as long (instruction and stall components alike),
-  /// modeling a paused or oversubscribed node. 1.0 = nominal.
-  void set_cost_scale(double scale) {
-    MCCL_CHECK(scale >= 1.0);
-    cost_scale_ = scale;
-  }
+  /// modeling a paused or oversubscribed node. 1.0 = nominal. Transitions
+  /// are mirrored into telemetry (worker.straggler_active gauge + flight
+  /// recorder) when a hook is attached, so detectors and tests can observe
+  /// the window instead of inferring it from slowed completions.
+  void set_cost_scale(double scale);
   double cost_scale() const { return cost_scale_; }
+  /// Attaches the telemetry hook for cost-scale transitions. `node` is the
+  /// owning host id (gauge label / recorder ring); `engine_name` must point
+  /// at static storage (e.g. "cpu", "dpa").
+  void set_telemetry(telemetry::Telemetry* telem, std::int32_t node,
+                     const char* engine_name);
   std::size_t capacity() const {
     return config_.cores * config_.threads_per_core;
   }
@@ -99,6 +108,9 @@ class Complex {
   sim::Engine& engine_;
   Config config_;
   double cost_scale_ = 1.0;
+  telemetry::Telemetry* telem_ = nullptr;
+  std::int32_t telem_node_ = -1;
+  const char* telem_engine_ = "";
   std::vector<Core> cores_;
   std::vector<std::unique_ptr<Worker>> workers_;
 };

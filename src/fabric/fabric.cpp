@@ -18,10 +18,15 @@ Fabric::Fabric(sim::Engine& engine, Topology topology, Config config)
   MCCL_CHECK_MSG(topo_.routes_ready(), "topology routes not computed");
   delivery_.resize(topo_.num_nodes());
   serializers_.resize(topo_.num_dirs());
+  peak_backlog_.assign(topo_.num_dirs(), 0);
   counters_.resize(topo_.num_dirs());
   lanes_.resize(topo_.num_dirs());
+  dir_weight_.assign(topo_.num_dirs(), 1);
   faults_.arm();
   quiet_ = faults_.passthrough();
+  // Re-arm the quiet fast path once the fault timeline has fired its last
+  // event and left no residual state (every query neutral from then on).
+  faults_.set_quiescence_handler([this] { quiet_ = true; });
 }
 
 Fabric::~Fabric() {
@@ -92,6 +97,7 @@ void Fabric::send_out(NodeId node, int port_idx, const PacketPtr& packet) {
     LaneState& lane = lanes_[port.dir_index];
     MCCL_CHECK(packet->vl < kNumLanes);
     lane.queues[packet->vl].push_back(packet);
+    lane.queued_bytes += packet->wire_size;
     pump_lanes(node, port_idx, port);
     return;
   }
@@ -111,6 +117,7 @@ void Fabric::pump_lanes(NodeId node, int port_idx, const Port& port) {
     }
   }
   if (!next) return;
+  lane.queued_bytes -= next->wire_size;
   lane.busy = true;
   put_on_wire(node, port_idx, port, next);
   // Clamp to now: a packet black-holed inside put_on_wire (link died while
@@ -142,6 +149,16 @@ void Fabric::put_on_wire(NodeId node, int /*port_idx*/, const Port& port,
              : port.params.gbps * faults_.bw_factor(port.dir_index);
   const Time ser_time = serialization_time(packet->wire_size, gbps_eff);
   const Time wire_done = ser.acquire(engine_.now(), ser_time);
+  // Peak-hold backlog register for the health sampler (see
+  // take_peak_backlog): wire time booked beyond now, plus the drain time of
+  // whatever the virtual lanes hold — with VLs on, switch egress paces one
+  // packet at a time, so congestion queues in the lanes, not the serializer.
+  Time booked = wire_done - engine_.now();
+  if (config_.virtual_lanes && !topo_.is_host(node))
+    booked += serialization_time(lanes_[port.dir_index].queued_bytes,
+                                 gbps_eff);
+  Time& peak = peak_backlog_[port.dir_index];
+  if (booked > peak) peak = booked;
   ctr.packets += 1;
   ctr.bytes += packet->wire_size;
 
@@ -331,8 +348,13 @@ int Fabric::pick_next_hop(NodeId node, const Packet& packet) {
                                   static_cast<std::uint32_t>(alive.size())}
                : all;
   if (cand.size() == 1) return cand.front();
-  if (config_.routing == RoutingMode::kAdaptive)
+  if (config_.routing == RoutingMode::kAdaptive) {
+    if (weighted_) {
+      const int c = pick_weighted(node, cand, ~0ULL, /*adaptive=*/true);
+      if (c >= 0) return c;
+    }
     return cand[rng_.below(cand.size())];
+  }
   // Deterministic ECMP: mix flow id, node and destination so distinct flows
   // spread while one flow stays on one path (in-order delivery).
   std::uint64_t h = packet.flow_id * 0x9e3779b97f4a7c15ULL;
@@ -340,14 +362,60 @@ int Fabric::pick_next_hop(NodeId node, const Packet& packet) {
        static_cast<std::uint64_t>(packet.dst_host);
   h *= 0xbf58476d1ce4e5b9ULL;
   h ^= h >> 29;
+  if (weighted_) {
+    const int c = pick_weighted(node, cand, h, /*adaptive=*/false);
+    if (c >= 0) return c;
+  }
   // Fat-tree uplink counts are powers of two in practice; mask instead of a
   // 64-bit divide when possible (identical result).
   const std::size_t n = cand.size();
   return cand[(n & (n - 1)) == 0 ? (h & (n - 1)) : (h % n)];
 }
 
-McastGroupId Fabric::create_mcast_group() {
+int Fabric::pick_weighted(NodeId node, const Topology::HopSet& cand,
+                          std::uint64_t hash, bool adaptive) {
+  // Weighted ECMP: flows land on a candidate with probability proportional
+  // to its direction weight. Falls back to uniform selection (-1) when the
+  // candidates' weights sum to zero — a zero-weight path is still usable,
+  // merely deprioritized, so an all-zero set must not black-hole.
+  std::uint32_t total = 0;
+  const auto& ports = topo_.ports(node);
+  for (int c : cand) total += dir_weight_[ports[static_cast<size_t>(c)].dir_index];
+  if (total == 0) return -1;
+  std::uint64_t pick = adaptive ? rng_.below(total) : hash % total;
+  for (int c : cand) {
+    const std::uint32_t w =
+        dir_weight_[ports[static_cast<size_t>(c)].dir_index];
+    if (pick < w) return c;
+    pick -= w;
+  }
+  return cand.front();  // unreachable: pick < total by construction
+}
+
+void Fabric::set_dir_weight(std::size_t dir_index, std::uint16_t weight) {
+  if (dir_weight_[dir_index] == weight) return;
+  dir_weight_[dir_index] = weight;
+  ++ecmp_reweights_;
+  weighted_ = false;
+  for (const std::uint16_t w : dir_weight_) {
+    if (w != 1) {
+      weighted_ = true;
+      break;
+    }
+  }
+  if (telem_ != nullptr) {
+    const LinkDir& d = topo_.dirs()[dir_index];
+    telem_->recorder.record(engine_.now(), static_cast<std::int32_t>(d.from),
+                            telemetry::EventCat::kAdapt,
+                            weight == 1 ? "ecmp_restore" : "ecmp_reweight",
+                            static_cast<std::uint64_t>(d.to), weight);
+  }
+}
+
+McastGroupId Fabric::create_mcast_group(int rail) {
+  MCCL_CHECK(rail < topo_.num_rails());
   groups_.emplace_back();
+  groups_.back().rail = rail;
   return static_cast<McastGroupId>(groups_.size() - 1);
 }
 
@@ -364,9 +432,31 @@ std::size_t Fabric::mcast_group_size(McastGroupId group) const {
   return groups_[static_cast<size_t>(group)].members.size();
 }
 
+void Fabric::set_mcast_group_rail(McastGroupId group, int rail) {
+  MCCL_CHECK(rail < topo_.num_rails());
+  auto& g = groups_[static_cast<size_t>(group)];
+  if (g.rail == rail) return;
+  g.rail = rail;
+  // Rebuild eagerly, not lazily: collective completion does not imply
+  // fabric quiescence — a replica can still be in flight on a slow link
+  // from the previous op, and it must find a valid (if empty for its
+  // switch) tree when it lands, not a torn-down one. Old-plane switches
+  // get no ports in the new tree, so stragglers die out as harmless
+  // late duplicates.
+  build_mcast_tree(g);
+}
+
 void Fabric::build_mcast_tree(McastGroup& group) {
   MCCL_CHECK_MSG(group.members.size() >= 2, "mcast group needs >= 2 members");
   group.tree_ports.assign(topo_.num_nodes(), {});
+
+  // Rail-striped groups keep their tree inside one rail plane: switches of
+  // other rails are invisible to root selection and tree flooding (hosts
+  // straddle all rails and always qualify).
+  const auto rail_ok = [&](NodeId n) {
+    return group.rail < 0 || topo_.is_host(n) ||
+           topo_.rail_of(n) == group.rail;
+  };
 
   // Root selection: the node minimizing the maximum distance to any member
   // (prefer switches). This mirrors the subnet manager placing the mcast
@@ -375,6 +465,7 @@ void Fabric::build_mcast_tree(McastGroup& group) {
   int best = std::numeric_limits<int>::max();
   for (std::size_t n = 0; n < topo_.num_nodes(); ++n) {
     const NodeId node = static_cast<NodeId>(n);
+    if (!rail_ok(node)) continue;
     if (topo_.is_host(node) &&
         std::find(group.members.begin(), group.members.end(), node) ==
             group.members.end())
@@ -408,7 +499,7 @@ void Fabric::build_mcast_tree(McastGroup& group) {
     const auto& ports = topo_.ports(cur);
     for (std::size_t pi = 0; pi < ports.size(); ++pi) {
       const NodeId peer = ports[pi].peer;
-      if (visited[static_cast<size_t>(peer)]) continue;
+      if (visited[static_cast<size_t>(peer)] || !rail_ok(peer)) continue;
       visited[static_cast<size_t>(peer)] = true;
       parent_port[static_cast<size_t>(peer)] = ports[pi].peer_port;
       frontier.push_back(peer);
@@ -476,6 +567,7 @@ void Fabric::publish_metrics(telemetry::MetricsRegistry& reg) const {
   reg.counter("integrity.corrupt_packets").set(faults_.corrupted());
   reg.counter("fabric.switch_port_bytes").set(s.switch_port_bytes);
   reg.counter("fabric.host_egress_bytes").set(s.host_egress_bytes);
+  reg.counter("fabric.ecmp_reweights").set(ecmp_reweights_);
   // Per-link-direction counters, Fig 12 style. Only directions that saw
   // traffic get a series (keeps the snapshot proportional to live links).
   const auto& dirs = topo_.dirs();

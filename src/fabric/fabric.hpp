@@ -112,9 +112,53 @@ class Fabric {
   Time inject(const PacketPtr& packet);
 
   // --- Multicast -----------------------------------------------------------
-  McastGroupId create_mcast_group();
+  /// `rail >= 0` pins the group's spanning tree to that rail plane's
+  /// switches (rail-striped multicast on multi-rail fabrics); -1 = any.
+  McastGroupId create_mcast_group(int rail = -1);
   void mcast_attach(McastGroupId group, NodeId host);
   std::size_t mcast_group_size(McastGroupId group) const;
+  /// Re-pins the group's tree to another rail plane (health-plane subgroup
+  /// re-balancing) and rebuilds it immediately. Safe between collective ops
+  /// even with replicas of the previous op still in flight: a straggler
+  /// landing on an old-plane switch finds no tree ports there and dies out
+  /// as a late duplicate.
+  void set_mcast_group_rail(McastGroupId group, int rail);
+  int mcast_group_rail(McastGroupId group) const {
+    return groups_[static_cast<std::size_t>(group)].rail;
+  }
+
+  // --- Weighted ECMP (health-plane path steering) --------------------------
+  /// Per-direction ECMP weight (default 1). With any non-default weight
+  /// set, deterministic ECMP hashes flows onto candidates proportionally to
+  /// their weights instead of uniformly, steering traffic away from
+  /// lossy-but-alive links (weight 0 removes the direction from selection
+  /// while some sibling has weight > 0). Cold-path API: the health monitor
+  /// adjusts weights at sampling cadence, never per packet.
+  void set_dir_weight(std::size_t dir_index, std::uint16_t weight);
+  std::uint16_t dir_weight(std::size_t dir_index) const {
+    return dir_weight_[dir_index];
+  }
+  /// Number of weight transitions applied (coll.adapt cross-checks).
+  std::uint64_t ecmp_reweights() const { return ecmp_reweights_; }
+
+  /// Sim-time this direction's serializer is booked past `now` — the
+  /// queue-depth/ECN analog the health monitor samples to spot degraded
+  /// (slow but not dropping) links.
+  Time serializer_backlog(std::size_t dir_index) const {
+    const Time free_at = serializers_[dir_index].free_at();
+    const Time now = engine_.now();
+    return free_at > now ? free_at - now : 0;
+  }
+  /// Peak serializer backlog booked on this direction since the last call
+  /// (read-and-reset, like a switch's max-queue-depth register). A periodic
+  /// point sample of `serializer_backlog` aliases over short bursts — a
+  /// degraded trunk can book tens of µs and drain entirely between two
+  /// sampler ticks; the peak-hold register cannot miss it.
+  Time take_peak_backlog(std::size_t dir_index) {
+    const Time peak = peak_backlog_[dir_index];
+    peak_backlog_[dir_index] = 0;
+    return peak;
+  }
 
   // --- Fault injection -----------------------------------------------------
   void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
@@ -155,6 +199,7 @@ class Fabric {
  private:
   struct McastGroup {
     std::vector<NodeId> members;
+    int rail = -1;  // restrict the tree to this rail's switches (-1 = any)
     bool tree_ready = false;
     // tree_ports[node] = ports of `node` that are tree edges.
     std::vector<std::vector<int>> tree_ports;
@@ -164,6 +209,7 @@ class Fabric {
   /// paced by the NIC arbiter, one packet at a time).
   struct LaneState {
     std::array<std::deque<PacketPtr>, kNumLanes> queues;
+    std::uint64_t queued_bytes = 0;  // wire bytes across all lanes
     bool busy = false;
   };
 
@@ -177,6 +223,9 @@ class Fabric {
   void arrive(NodeId node, int in_port, const PacketPtr& packet);
   void forward(NodeId sw, int in_port, const PacketPtr& packet);
   int pick_next_hop(NodeId node, const Packet& packet);
+  /// Weight-proportional candidate selection; -1 = fall back to uniform.
+  int pick_weighted(NodeId node, const Topology::HopSet& cand,
+                    std::uint64_t hash, bool adaptive);
   /// Rebuilds the per-(host, node) reachability table consulted by ECMP
   /// when the fault plane has taken links or switches down.
   void recompute_viability();
@@ -191,6 +240,7 @@ class Fabric {
   telemetry::Telemetry* telem_ = nullptr;
   std::vector<DeliveryFn> delivery_;        // per host node id
   std::vector<sim::Resource> serializers_;  // per link direction
+  std::vector<Time> peak_backlog_;          // peak-hold since last read
   std::vector<DirCounters> counters_;       // per link direction
   std::vector<LaneState> lanes_;            // per link direction
   std::vector<McastGroup> groups_;
@@ -202,9 +252,16 @@ class Fabric {
   // Rebuilt lazily whenever the fault plane's topo_version moves.
   std::vector<char> viable_;
   std::uint64_t viable_version_ = 0;
+  // Weighted ECMP: per-direction weights (default 1); weighted_ caches
+  // "any weight differs from 1" so the unweighted hot path stays a single
+  // predictable branch.
+  std::vector<std::uint16_t> dir_weight_;
+  bool weighted_ = false;
+  std::uint64_t ecmp_reweights_ = 0;
   /// Cached FaultPlane::passthrough(): when set, every per-packet fault
   /// query is skipped (each would return its neutral value and draw no RNG,
-  /// so the skip is bit-identical to asking).
+  /// so the skip is bit-identical to asking). Re-armed mid-run via the
+  /// plane's quiescence handler once the timeline is exhausted.
   bool quiet_ = false;
 };
 

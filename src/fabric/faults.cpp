@@ -55,6 +55,7 @@ FaultPlane::FaultPlane(sim::Engine& engine, const Topology& topo,
 void FaultPlane::arm() {
   if (armed_) return;
   armed_ = true;
+  events_pending_ = config_.events.size();
   for (const FaultEvent& ev : config_.events) {
     MCCL_CHECK_MSG(ev.at >= engine_.now(), "fault event scheduled in the past");
     engine_.schedule_at(ev.at, [this, ev] { apply(ev); });
@@ -88,6 +89,13 @@ void FaultPlane::set_straggler_handler(StragglerHandler fn) {
       straggler_(host, factor);
     pending_straggles_.clear();
   }
+}
+
+void FaultPlane::set_quiescence_handler(QuiescenceHandler fn) {
+  quiescence_ = std::move(fn);
+  // The timeline may already have quiesced (all events at t=0, handler
+  // registered during construction afterwards).
+  if (quiescence_ && passthrough_ && armed_) quiescence_();
 }
 
 void FaultPlane::set_crash_handler(CrashHandler fn) {
@@ -178,6 +186,29 @@ void FaultPlane::apply(const FaultEvent& ev) {
       for_link_dirs(ev.a, ev.b, [](DirState& d) { d.corrupt_prob = 0.0; });
       break;
   }
+  MCCL_CHECK_MSG(events_pending_ > 0, "fault event fired but none pending");
+  --events_pending_;
+  maybe_requiesce();
+}
+
+void FaultPlane::maybe_requiesce() {
+  if (passthrough_) return;
+  if (events_pending_ != 0 || config_.burst.enabled()) return;
+  for (const DirState& d : state_)
+    if (d.down || d.bw_factor != 1.0 || d.extra_latency != 0 ||
+        d.corrupt_prob != 0.0)
+      return;
+  for (std::size_t i = 0; i < node_down_.size(); ++i)
+    if (node_down_[i] || host_crashed_[i]) return;
+  // Straggler state lives in the compute complexes, not here; an unpaired
+  // straggler_begin would leave events_pending_ == 0 with the host still
+  // slow, but that perturbs workers, not the fabric — the per-packet fault
+  // queries this flag gates are all neutral from now on.
+  passthrough_ = true;
+  if (telem_ != nullptr)
+    telem_->recorder.record(engine_.now(), -1, telemetry::EventCat::kFault,
+                            "fault_plane_quiesced");
+  if (quiescence_) quiescence_();
 }
 
 bool FaultPlane::burst_drop(std::size_t dir) {

@@ -158,6 +158,11 @@ class FaultPlane {
   /// Host crash/recover transitions are propagated through this hook
   /// (registered by the Cluster, which owns the NICs and complexes).
   using CrashHandler = std::function<void(NodeId host, bool crashed)>;
+  /// Invoked once when the timeline quiesces: every scheduled event has
+  /// fired and left no residual per-direction or per-node state, so the
+  /// plane can never perturb traffic again. The Fabric re-arms its quiet
+  /// fast path here.
+  using QuiescenceHandler = std::function<void()>;
 
   FaultPlane(sim::Engine& engine, const Topology& topo, FaultConfig config);
 
@@ -167,16 +172,21 @@ class FaultPlane {
 
   void set_straggler_handler(StragglerHandler fn);
   void set_crash_handler(CrashHandler fn);
+  void set_quiescence_handler(QuiescenceHandler fn);
 
   /// Fault-timeline transitions become trace instant events (on the sim
   /// "faults" row) and flight-recorder entries.
   void set_telemetry(telemetry::Telemetry* telem);
 
   // --- per-packet queries (Fabric hot path) --------------------------------
-  /// True iff this plane can never perturb traffic: no timeline events and
-  /// no burst model. Constant after construction — the Fabric caches it and
-  /// skips every per-packet fault query (all of which would return their
-  /// neutral value and draw no RNG, so skipping is bit-identical).
+  /// True iff this plane can never perturb traffic again. Set at
+  /// construction when there are no timeline events and no burst model, and
+  /// *re-armed* mid-run once the last scheduled event has fired with no
+  /// residual state (all directions back to neutral, no downed switches or
+  /// crashed hosts, burst model off): every per-packet fault query would
+  /// return its neutral value and draw no RNG from then on, so skipping
+  /// them is bit-identical. Consumers that cache this (the Fabric's quiet_
+  /// gate) register a quiescence handler to learn about the re-arm.
   bool passthrough() const { return passthrough_; }
   /// A direction is usable iff the link is up and neither endpoint is a
   /// downed switch or a crashed host.
@@ -244,6 +254,10 @@ class FaultPlane {
   /// Applies `fn` to both directions of every (a, b) link.
   void for_link_dirs(NodeId a, NodeId b,
                      const std::function<void(DirState&)>& fn);
+  /// Called after each applied event: re-arms passthrough_ (and notifies
+  /// the quiescence handler) once the timeline is exhausted and every
+  /// direction / node is back to its neutral state.
+  void maybe_requiesce();
 
   /// Records the applied transition (recorder + trace instant).
   void note_transition(const FaultEvent& ev);
@@ -258,6 +272,7 @@ class FaultPlane {
   std::vector<bool> host_crashed_;  // per node (crashed hosts)
   StragglerHandler straggler_;
   CrashHandler crash_;
+  QuiescenceHandler quiescence_;
   // Straggler/crash events that fired before the Cluster registered its
   // handlers (both happen at t=0 during construction; replay on
   // registration).
@@ -266,6 +281,7 @@ class FaultPlane {
   bool armed_ = false;
   bool corruption_possible_ = false;
   bool passthrough_ = false;
+  std::size_t events_pending_ = 0;  // scheduled but not yet fired
   std::uint64_t topo_version_ = 0;
   std::uint64_t black_holed_ = 0;
   std::uint64_t burst_drops_ = 0;

@@ -16,6 +16,7 @@ NodeId Topology::add_node(NodeKind kind) {
   kinds_.push_back(kind);
   ports_.emplace_back();
   host_index_.push_back(kNoHost);
+  rail_of_.push_back(-1);
   if (kind == NodeKind::kHost) {
     host_index_.back() = hosts_.size();
     hosts_.push_back(id);
@@ -144,6 +145,41 @@ Topology make_fat_tree(std::size_t leaves, std::size_t hosts_per_leaf,
     for (std::size_t s = 0; s < spines; ++s)
       for (std::size_t k = 0; k < trunks; ++k)
         t.connect(leaf_sw[l], spine_sw[s], trunk_link);
+  }
+  t.compute_routes();
+  return t;
+}
+
+Topology make_multi_rail_fat_tree(std::size_t rails, std::size_t leaves,
+                                  std::size_t hosts_per_leaf,
+                                  std::size_t spines, std::size_t trunks,
+                                  LinkParams host_link, LinkParams trunk_link) {
+  MCCL_CHECK(rails >= 1 && leaves >= 1 && hosts_per_leaf >= 1 && spines >= 1 &&
+             trunks >= 1);
+  Topology t;
+  std::vector<NodeId> hs;
+  hs.reserve(leaves * hosts_per_leaf);
+  for (std::size_t i = 0; i < leaves * hosts_per_leaf; ++i)
+    hs.push_back(t.add_host());
+  // One leaf/spine plane per rail; host port r goes to rail r's leaf, so
+  // rails are iterated outermost to keep port indices aligned with rails.
+  for (std::size_t r = 0; r < rails; ++r) {
+    std::vector<NodeId> leaf_sw(leaves), spine_sw(spines);
+    for (auto& s : leaf_sw) {
+      s = t.add_switch();
+      t.tag_rail(s, static_cast<int>(r));
+    }
+    for (auto& s : spine_sw) {
+      s = t.add_switch();
+      t.tag_rail(s, static_cast<int>(r));
+    }
+    for (std::size_t l = 0; l < leaves; ++l) {
+      for (std::size_t i = 0; i < hosts_per_leaf; ++i)
+        t.connect(hs[l * hosts_per_leaf + i], leaf_sw[l], host_link);
+      for (std::size_t s = 0; s < spines; ++s)
+        for (std::size_t k = 0; k < trunks; ++k)
+          t.connect(leaf_sw[l], spine_sw[s], trunk_link);
+    }
   }
   t.compute_routes();
   return t;

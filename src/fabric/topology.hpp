@@ -68,6 +68,19 @@ class Topology {
     return idx;
   }
 
+  /// Rail tagging (multi-rail fabrics, cf. Nezha-style dual-ToR designs):
+  /// each switch belongs to exactly one rail plane; hosts straddle all
+  /// rails (one port per rail) and stay untagged (-1). Rail-aware consumers
+  /// (multicast tree striping) restrict themselves to one plane's switches.
+  void tag_rail(NodeId n, int rail) {
+    MCCL_CHECK(rail >= 0 && static_cast<size_t>(n) < num_nodes());
+    rail_of_[static_cast<size_t>(n)] = rail;
+    if (rail + 1 > num_rails_) num_rails_ = rail + 1;
+  }
+  int rail_of(NodeId n) const { return rail_of_[static_cast<size_t>(n)]; }
+  /// Number of rail planes (0 when the topology is not rail-tagged).
+  int num_rails() const { return num_rails_; }
+
   /// (Re)computes shortest-path routing tables. Must be called after the
   /// last connect() and before next_hops().
   void compute_routes();
@@ -108,6 +121,8 @@ class Topology {
   std::vector<NodeKind> kinds_;
   std::vector<NodeId> hosts_;
   std::vector<std::size_t> host_index_;  // node id -> host index (or npos)
+  std::vector<int> rail_of_;             // node id -> rail plane (-1 = none)
+  int num_rails_ = 0;
   std::vector<std::vector<Port>> ports_;
   std::vector<LinkDir> dirs_;
 
@@ -139,5 +154,16 @@ Topology make_fat_tree(std::size_t leaves, std::size_t hosts_per_leaf,
 /// built from radix-`radix` switches, uniform link parameters.
 Topology make_fat_tree_for_hosts(std::size_t min_hosts, std::size_t radix,
                                  LinkParams params);
+
+/// Multi-rail fat tree: `rails` independent two-level leaf/spine planes
+/// (each tagged with its rail id) sharing one set of hosts; every host has
+/// one port per rail (port r on rail r). Unicast ECMP spreads flows across
+/// rails (host-side candidates are equal-cost); a dead or degraded rail is
+/// routed around by viability / weighted path selection, and rail-striped
+/// multicast groups pin each subgroup's tree to one plane.
+Topology make_multi_rail_fat_tree(std::size_t rails, std::size_t leaves,
+                                  std::size_t hosts_per_leaf,
+                                  std::size_t spines, std::size_t trunks,
+                                  LinkParams host_link, LinkParams trunk_link);
 
 }  // namespace mccl::fabric

@@ -18,6 +18,8 @@ const char* to_string(EventCat cat) {
       return "watchdog";
     case EventCat::kDetector:
       return "detector";
+    case EventCat::kAdapt:
+      return "adapt";
   }
   return "?";
 }

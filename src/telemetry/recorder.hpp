@@ -26,6 +26,7 @@ enum class EventCat : std::uint8_t {
   kFault,     // fault-plane timeline transitions
   kWatchdog,  // watchdog verdicts
   kDetector,  // failure-detector suspicions / confirmations
+  kAdapt,     // health-plane adaptation decisions (reweights, re-roots)
 };
 
 const char* to_string(EventCat cat);

@@ -381,5 +381,118 @@ TEST(Fabric, VirtualLanesCanBeDisabled) {
   EXPECT_EQ(order.size(), 8u);  // plain FIFO still delivers everything
 }
 
+// --------------------------------------------------------------------------
+// Degraded-link serialization math: kDegrade scales the effective line rate
+// by bw_factor and adds extra_latency per packet, and the quiet fast-path
+// gate (FaultPlane::passthrough) must produce bit-identical timing when it
+// skips those queries.
+// --------------------------------------------------------------------------
+
+TEST(Fabric, DegradedLinkScalesSerializationAndAddsLatency) {
+  sim::Engine e;
+  Fabric::Config cfg;
+  // 100 Gbit/s link degraded to a quarter rate with 5 us added latency,
+  // from t=0 so the first packet already sees it.
+  cfg.faults.events = {
+      FaultEvent::degrade(0, 0, 1, 0.25, 5 * kMicrosecond)};
+  Fabric f(e, make_back_to_back({100.0, 1 * kMicrosecond}), cfg);
+  Time arrival = 0;
+  f.set_delivery(1, [&](const PacketPtr&) { arrival = e.now(); });
+  e.run_until(0);  // apply the t=0 degrade before injecting
+  f.inject(make_test_packet(0, 1, 1000));
+  e.run();
+  // Serialization at bw_factor * nominal, plus base + extra latency.
+  EXPECT_EQ(arrival, serialization_time(1000, 25.0) + 1 * kMicrosecond +
+                         5 * kMicrosecond);
+}
+
+TEST(Fabric, DegradedLinkBacklogCompoundsAtTheSlowerRate) {
+  // Back-to-back packets on a degraded link queue behind each other at the
+  // *effective* rate: the serializer books 1/bw_factor times the nominal
+  // wire time per packet.
+  sim::Engine e;
+  Fabric::Config cfg;
+  cfg.faults.events = {FaultEvent::degrade(0, 0, 1, 0.1, 0)};
+  Fabric f(e, make_back_to_back({100.0, 0}), cfg);
+  f.set_delivery(1, [](const PacketPtr&) {});
+  e.run_until(0);  // apply the t=0 degrade before injecting
+  const Time d1 = f.inject(make_test_packet(0, 1, 1000));
+  const Time d2 = f.inject(make_test_packet(0, 1, 1000));
+  EXPECT_EQ(d1, serialization_time(1000, 10.0));
+  EXPECT_EQ(d2, 2 * serialization_time(1000, 10.0));
+  e.run();
+}
+
+TEST(Fabric, RestoreReturnsTimingToNominalBitIdentically) {
+  // After restore, the plane quiesces (passthrough re-arms) and packet
+  // timing must be indistinguishable from a fabric that never had a fault
+  // timeline at all — the quiet gate skips queries that would all return
+  // neutral values, so arrivals are equal to the ns.
+  sim::Engine noisy_e;
+  Fabric::Config noisy_cfg;
+  noisy_cfg.faults.events = {
+      FaultEvent::degrade(0, 0, 1, 0.5, 2 * kMicrosecond),
+      FaultEvent::restore(10 * kMicrosecond, 0, 1)};
+  Fabric noisy(noisy_e, make_back_to_back({100.0, 1 * kMicrosecond}),
+               noisy_cfg);
+  Time noisy_arrival = 0;
+  noisy.set_delivery(
+      1, [&](const PacketPtr&) { noisy_arrival = noisy_e.now(); });
+  noisy_e.run_until(20 * kMicrosecond);
+  EXPECT_TRUE(noisy.faults().passthrough());  // timeline quiesced, re-armed
+  noisy.inject(make_test_packet(0, 1, 1000));
+  noisy_e.run();
+
+  sim::Engine quiet_e;
+  Fabric quiet(quiet_e, make_back_to_back({100.0, 1 * kMicrosecond}), {});
+  EXPECT_TRUE(quiet.faults().passthrough());  // quiet from construction
+  Time quiet_arrival = 0;
+  quiet.set_delivery(
+      1, [&](const PacketPtr&) { quiet_arrival = quiet_e.now(); });
+  quiet_e.run_until(20 * kMicrosecond);
+  quiet.inject(make_test_packet(0, 1, 1000));
+  quiet_e.run();
+
+  EXPECT_EQ(noisy_arrival, quiet_arrival);
+  EXPECT_EQ(noisy_arrival, 20 * kMicrosecond +
+                               serialization_time(1000, 100.0) +
+                               1 * kMicrosecond);
+}
+
+TEST(Fabric, DegradeTimingIsIdenticalAcrossQuietAndNoisyPlanes) {
+  // A burst model keeps the plane noisy forever (passthrough can never
+  // re-arm), but with the Gilbert-Elliott chain parked in its good state
+  // and zero good-state drop rate the degrade math must match the plane
+  // that does quiesce: the gate changes *when* queries are skipped, never
+  // what they compute.
+  const auto run_one = [](bool keep_noisy) {
+    sim::Engine e;
+    Fabric::Config cfg;
+    cfg.faults.events = {
+        FaultEvent::degrade(0, 0, 1, 0.25, 3 * kMicrosecond),
+        FaultEvent::restore(50 * kMicrosecond, 0, 1)};
+    if (keep_noisy) cfg.faults.burst.p_enter_bad = 1e-12;
+    Fabric f(e, make_back_to_back({100.0, 1 * kMicrosecond}), cfg);
+    std::vector<Time> arrivals;
+    f.set_delivery(1, [&](const PacketPtr&) { arrivals.push_back(e.now()); });
+    e.run_until(0);  // apply the t=0 degrade before injecting
+    f.inject(make_test_packet(0, 1, 2000));  // degraded window
+    e.run_until(60 * kMicrosecond);
+    EXPECT_EQ(f.faults().passthrough(), !keep_noisy);
+    f.inject(make_test_packet(0, 1, 2000));  // restored window
+    e.run();
+    return arrivals;
+  };
+  const std::vector<Time> quiesced = run_one(false);
+  const std::vector<Time> noisy = run_one(true);
+  ASSERT_EQ(quiesced.size(), 2u);
+  EXPECT_EQ(quiesced, noisy);
+  EXPECT_EQ(quiesced[0], serialization_time(2000, 25.0) + 1 * kMicrosecond +
+                             3 * kMicrosecond);
+  EXPECT_EQ(quiesced[1], 60 * kMicrosecond +
+                             serialization_time(2000, 100.0) +
+                             1 * kMicrosecond);
+}
+
 }  // namespace
 }  // namespace mccl::fabric

@@ -4,6 +4,7 @@
 // the op watchdog (coll/mcast_coll.cpp).
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -453,6 +454,86 @@ TEST(Faults, CorruptionWindowCloseRestoresCleanRuns) {
   const OpResult clean = w.comm->broadcast(0, 256 * 1024, BcastAlgo::kMcast);
   EXPECT_TRUE(clean.data_verified);
   EXPECT_EQ(clean.fetched_chunks, 0u);
+}
+
+TEST(Faults, PassthroughReArmsAfterTimelineQuiesces) {
+  // Regression: the quiet_ fast-path gate used to be evaluated only at
+  // construction, so a plane whose timeline ends with every direction and
+  // node back at neutral kept paying per-packet fault queries forever.
+  // After the last restore/straggler_end fires, the plane must flip back
+  // to passthrough and notify the fabric's quiescence handler.
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::degrade(0, 2, 4, 0.1, 20 * kMicrosecond),
+      fabric::FaultEvent::straggler_begin(0, 1, 4.0),
+      fabric::FaultEvent::restore(150 * kMicrosecond, 2, 4),
+      fabric::FaultEvent::straggler_end(200 * kMicrosecond, 1),
+  };
+  World w(4, quick_recovery(), kcfg);  // star: host 2 <-> switch 4
+  EXPECT_FALSE(w.cluster->fabric().faults().passthrough());
+  const OpResult degraded =
+      w.comm->broadcast(0, 128 * 1024, BcastAlgo::kMcast);
+  EXPECT_TRUE(degraded.data_verified);
+  // Drain past the last event: every direction is neutral again, no burst
+  // model, no downed nodes -> the plane can never perturb traffic again.
+  w.cluster->engine().run_until(300 * kMicrosecond);
+  EXPECT_TRUE(w.cluster->fabric().faults().passthrough());
+  bool quiesced_event = false;
+  for (const auto& e : w.cluster->telemetry().recorder.merged())
+    if (std::strcmp(e.what, "fault_plane_quiesced") == 0)
+      quiesced_event = true;
+  EXPECT_TRUE(quiesced_event);
+  const OpResult clean = w.comm->broadcast(0, 128 * 1024, BcastAlgo::kMcast);
+  EXPECT_TRUE(clean.data_verified);
+  EXPECT_LT(clean.duration(), degraded.duration());
+}
+
+TEST(Faults, PassthroughStaysOffWhileResidualStateOrBurstRemains) {
+  // An exhausted timeline does NOT re-arm the gate when it leaves residual
+  // state behind (unrestored degrade), nor when a burst-loss model can
+  // still fire — both keep the per-packet queries live.
+  ClusterConfig residual;
+  residual.fabric.faults.events = {
+      fabric::FaultEvent::degrade(0, 2, 4, 0.5, 0)};
+  World wr(4, quick_recovery(), residual);
+  wr.cluster->engine().run_until(100 * kMicrosecond);
+  EXPECT_FALSE(wr.cluster->fabric().faults().passthrough());
+
+  ClusterConfig bursty;
+  bursty.fabric.faults.events = {
+      fabric::FaultEvent::degrade(0, 2, 4, 0.5, 0),
+      fabric::FaultEvent::restore(50 * kMicrosecond, 2, 4)};
+  bursty.fabric.faults.burst.p_enter_bad = 0.001;
+  World wb(4, quick_recovery(), bursty);
+  wb.cluster->engine().run_until(100 * kMicrosecond);
+  EXPECT_FALSE(wb.cluster->fabric().faults().passthrough());
+}
+
+TEST(Faults, StragglerWindowIsObservableInTelemetry) {
+  // exec/worker applies cost_scale_ to task timing; the window itself must
+  // be visible — a worker.straggler_active gauge per (host, engine) and
+  // begin/end flight-recorder events — so detectors and tests can see the
+  // injected fault instead of inferring it from slowed completions.
+  ClusterConfig kcfg;
+  kcfg.fabric.faults.events = {
+      fabric::FaultEvent::straggler_begin(0, 2, 20.0),
+      fabric::FaultEvent::straggler_end(500 * kMicrosecond, 2)};
+  World w(4, quick_recovery(), kcfg);
+  auto& gauge = w.cluster->telemetry().metrics.gauge(
+      "worker.straggler_active", {{"host", "2"}, {"engine", "cpu"}});
+  const OpResult res = w.comm->broadcast(0, 256 * 1024, BcastAlgo::kMcast);
+  EXPECT_TRUE(res.data_verified);
+  EXPECT_DOUBLE_EQ(gauge.value(), 20.0);  // window still open
+  w.cluster->engine().run_until(600 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);  // cleared by straggler_end
+  int begins = 0, ends = 0;
+  for (const auto& e : w.cluster->telemetry().recorder.merged()) {
+    if (std::strcmp(e.what, "straggler_exec_begin") == 0) ++begins;
+    if (std::strcmp(e.what, "straggler_exec_end") == 0) ++ends;
+  }
+  // Both of the host's complexes (cpu + dpa) record their transitions.
+  EXPECT_EQ(begins, 2);
+  EXPECT_EQ(ends, 2);
 }
 
 }  // namespace

@@ -76,5 +76,32 @@ TEST(Topology, LinkParamsPreserved) {
   EXPECT_EQ(t.dirs()[0].params.latency, 700 * kNanosecond);
 }
 
+TEST(Topology, MultiRailFatTreeShape) {
+  // make_multi_rail_fat_tree(2, 2, 4, 1, 1): 8 hosts shared by two
+  // independent leaf/spine planes — rail 0 = leaves 8-9 + spine 10,
+  // rail 1 = leaves 11-12 + spine 13; every host has one port per rail.
+  Topology t = make_multi_rail_fat_tree(2, 2, 4, 1, 1, {}, {});
+  EXPECT_EQ(t.num_rails(), 2);
+  EXPECT_EQ(t.num_nodes(), 8u + 2 * (2 + 1));
+  for (NodeId h = 0; h < 8; ++h) {
+    EXPECT_TRUE(t.is_host(h));
+    EXPECT_EQ(t.rail_of(h), -1);  // hosts belong to no single rail
+    const auto& ports = t.ports(h);
+    ASSERT_EQ(ports.size(), 2u);
+    // Port r is the uplink into rail r.
+    EXPECT_EQ(t.rail_of(ports[0].peer), 0);
+    EXPECT_EQ(t.rail_of(ports[1].peer), 1);
+  }
+  for (NodeId sw = 8; sw < t.num_nodes(); ++sw) {
+    EXPECT_FALSE(t.is_host(sw));
+    EXPECT_EQ(t.rail_of(sw), sw < 11 ? 0 : 1);
+  }
+  // The planes are disjoint: no switch has a port into the other rail.
+  for (NodeId sw = 8; sw < t.num_nodes(); ++sw)
+    for (const Port& p : t.ports(sw))
+      if (!t.is_host(p.peer))
+        EXPECT_EQ(t.rail_of(p.peer), t.rail_of(sw));
+}
+
 }  // namespace
 }  // namespace mccl::fabric

@@ -254,6 +254,25 @@ TEST(Validate, DetectorPrematureConfirmDetected) {
   EXPECT_TRUE(trap.tripped("detector.lease_state"));
 }
 
+TEST(Validate, AdaptOscillationDetected) {
+  SKIP_UNLESS_VALIDATE();
+  // The health monitor's hysteresis band is supposed to make slow-state
+  // flapping impossible; the adapt.oscillation validator catches the case
+  // where it is misconfigured (or a policy feeds back into its own input).
+  coll::CommConfig cfg;
+  cfg.adapt.enabled = true;
+  World w(4, cfg);
+  coll::HealthMonitor* hm = w.comm->health();
+  ASSERT_NE(hm, nullptr);
+  debug::ViolationTrap trap;
+  // One flip under the bound: silent.
+  hm->test_force_flap(0, 1, hm->config().max_transitions);
+  EXPECT_FALSE(trap.tripped("adapt.oscillation"));
+  // Past the bound: structured violation.
+  hm->test_force_flap(0, 1, 2);
+  EXPECT_TRUE(trap.tripped("adapt.oscillation"));
+}
+
 // --- determinism auditor ----------------------------------------------------
 
 std::uint64_t run_hash(std::uint64_t seed, double drop) {
