@@ -94,6 +94,9 @@ void OpBase::maybe_note_done() {
   if (done_noted_ || !done()) return;
   done_noted_ = true;
   comm_.note_op_finished();
+  // Fire after the communicator's own bookkeeping so the callback observes
+  // a fully settled op (detector deactivated, finish times final).
+  if (on_done_) on_done_(*this);
 }
 
 // ---------------------------------------------------------------------------
@@ -244,8 +247,16 @@ bool Communicator::data_mode() const {
   return cluster_.config().nic.carry_payload;
 }
 
+void Communicator::align_symmetric_heap() {
+  std::uint64_t watermark = 0;
+  for (auto& ep : eps_)
+    watermark = std::max(watermark, ep->nic().memory().brk());
+  for (auto& ep : eps_) ep->nic().memory().align_brk(watermark);
+}
+
 OpBase& Communicator::start_broadcast(std::size_t root, std::uint64_t bytes,
                                       BcastAlgo algo) {
+  align_symmetric_heap();
   rebalance_subgroups();
   if (algo == BcastAlgo::kMcast) {
     McastCollective::Params p;
@@ -265,6 +276,7 @@ OpBase& Communicator::start_broadcast(std::size_t root, std::uint64_t bytes,
 
 OpBase& Communicator::start_allgather(std::uint64_t bytes,
                                       AllgatherAlgo algo) {
+  align_symmetric_heap();
   rebalance_subgroups();
   switch (algo) {
     case AllgatherAlgo::kMcast: {
@@ -296,6 +308,7 @@ OpBase& Communicator::start_allgather(std::uint64_t bytes,
 
 OpBase& Communicator::start_reduce_scatter(std::uint64_t block_bytes,
                                            ReduceScatterAlgo algo) {
+  align_symmetric_heap();
   if (algo == ReduceScatterAlgo::kRing)
     ops_.push_back(std::make_unique<RingReduceScatter>(*this, block_bytes));
   else
@@ -305,6 +318,7 @@ OpBase& Communicator::start_reduce_scatter(std::uint64_t block_bytes,
 }
 
 OpBase& Communicator::start_barrier() {
+  align_symmetric_heap();
   ops_.push_back(std::make_unique<BarrierOp>(*this));
   ops_.back()->start();
   return *ops_.back();

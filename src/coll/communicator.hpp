@@ -98,6 +98,18 @@ struct CommConfig {
   HealthConfig adapt;
 
   std::optional<exec::DatapathCosts> costs_override;  // else by engine kind
+
+  // --- multi-tenant QoS (cluster scheduler plane) ----------------------------
+  /// Tenant id every QP of this communicator charges its packets to (pool
+  /// sub-pool accounting + per-tenant fabric metrics). 0 = untenanted.
+  std::uint16_t tenant = 0;
+  /// Tenant QoS class, 0 = highest priority: selects the data virtual lane
+  /// at switch egress and the priority band at NIC injection. Only matters
+  /// once a NIC QoS policy (Nic::set_qos_policy) and/or virtual lanes are
+  /// active; with the defaults everything rides kBulkLane as before.
+  std::uint8_t qos_class = 0;
+  /// Weighted-fair share at NIC injection (QosPolicy::kWfq).
+  std::uint16_t qos_weight = 1;
 };
 
 /// Per-rank protocol phase timestamps (durations), the Fig 10 breakdown.
@@ -336,6 +348,13 @@ class OpBase {
   /// Byte-for-byte output validation (true in synthetic mode).
   virtual bool verify() const = 0;
 
+  /// Completion hook for non-blocking drivers (the cluster scheduler): runs
+  /// exactly once, from inside the engine, when the op transitions to
+  /// done() — whether it completed, failed, or was settled by crashes. Set
+  /// before or right after start(); the callback may start new ops but must
+  /// not destroy this one.
+  void set_on_done(std::function<void(OpBase&)> fn) { on_done_ = std::move(fn); }
+
   /// Physical-crash channel (from the cluster's fault plane): settle the
   /// dead rank's completion accounting so survivors alone gate done().
   /// Protocol repair is NOT triggered here — survivors act only on what
@@ -395,6 +414,7 @@ class OpBase {
   /// done() (detector deactivation is refcounted on in-flight ops).
   void maybe_note_done();
   bool done_noted_ = false;
+  std::function<void(OpBase&)> on_done_;
 };
 
 // ---------------------------------------------------------------------------
@@ -434,6 +454,13 @@ class Communicator {
   /// collective start; public so chaos drivers can force a decision point.
   void rebalance_subgroups();
   std::uint64_t subgroup_repins() const { return subgroup_repins_; }
+  /// Aligns every member rank's host-memory bump pointer to the team-wide
+  /// max before an op's symmetric buffer allocations. A single-tenant
+  /// cluster is a no-op (all cursors already equal); with N communicators
+  /// on overlapping host sets it restores the identical-offset invariant
+  /// the mcast fetch layer and UC multicast writes rely on. Called on
+  /// every collective start.
+  void align_symmetric_heap();
   /// Physical truth from the fault plane: has this rank's host crashed?
   /// Used for op accounting and result reporting only — the protocol's own
   /// membership decisions go through the detector.
@@ -480,6 +507,14 @@ class Communicator {
   /// receive queue. Returns (a-side, b-side).
   std::pair<rdma::RcQp*, rdma::RcQp*> create_qp_pair(std::size_t a,
                                                      std::size_t b);
+
+  /// Stamps a QP with this communicator's tenant/QoS attributes (every QP
+  /// creation site in the communicator goes through here). Control QPs
+  /// arbitrate at band 0 regardless of tenant class — any tenant's tokens
+  /// beat any tenant's bulk, mirroring the fabric's strict control lane.
+  void tag_qp(rdma::Qp& qp, bool ctrl) const {
+    qp.set_qos(config_.tenant, config_.qos_class, config_.qos_weight, ctrl);
+  }
 
  private:
   friend class OpBase;

@@ -89,6 +89,7 @@ void Endpoint::setup_subgroups() {
     const fabric::McastGroupId group = comm_.subgroup_group(s);
     if (cfg.transport == Transport::kUd) {
       g.ud = &nic_.create_ud_qp(g.scq, g.rcq);
+      comm_.tag_qp(*g.ud, /*ctrl=*/false);
       nic_.attach_ud_mcast(group, *g.ud);
       // Staging ring: `staging_slots` chunk-sized slots, pre-posted; a slot
       // returns to the RQ once its DMA copy to the user buffer drains.
@@ -104,6 +105,7 @@ void Endpoint::setup_subgroups() {
       g.posted = cfg.staging_slots;
     } else {
       g.uc = &nic_.create_uc_qp(g.scq, g.rcq);
+      comm_.tag_qp(*g.uc, /*ctrl=*/false);
       nic_.attach_uc_mcast(group, *g.uc);
       g.uc->set_mcast_destination(group);
       for (std::size_t i = 0; i < cfg.staging_slots; ++i)
@@ -250,6 +252,8 @@ rdma::RcQp& Communicator::ctrl_qp(std::size_t from, std::size_t to) {
   if (b.ctrl_qps_.empty()) b.ctrl_qps_.assign(eps_.size(), nullptr);
   rdma::RcQp& qa = a.nic().create_rc_qp(nullptr, a.ctrl_rcq_);
   rdma::RcQp& qb = b.nic().create_rc_qp(nullptr, b.ctrl_rcq_);
+  tag_qp(qa, /*ctrl=*/true);
+  tag_qp(qb, /*ctrl=*/true);
   qa.connect(b.host(), qb.qpn());
   qb.connect(a.host(), qa.qpn());
   for (std::size_t i = 0; i < kCtrlRecvCredits; ++i) {
@@ -267,6 +271,8 @@ std::pair<rdma::RcQp*, rdma::RcQp*> Communicator::create_qp_pair(
   Endpoint& b = ep(b_rank);
   rdma::RcQp& qa = a.nic().create_rc_qp(a.data_scq_, a.data_rcq_);
   rdma::RcQp& qb = b.nic().create_rc_qp(b.data_scq_, b.data_rcq_);
+  tag_qp(qa, /*ctrl=*/false);
+  tag_qp(qb, /*ctrl=*/false);
   qa.connect(b.host(), qb.qpn());
   qb.connect(a.host(), qa.qpn());
   return {&qa, &qb};
@@ -280,6 +286,8 @@ rdma::RcQp& Communicator::data_qp(std::size_t from, std::size_t to) {
   if (b.data_qps_.empty()) b.data_qps_.assign(eps_.size(), nullptr);
   rdma::RcQp& qa = a.nic().create_rc_qp(a.data_scq_, a.data_rcq_);
   rdma::RcQp& qb = b.nic().create_rc_qp(b.data_scq_, b.data_rcq_);
+  tag_qp(qa, /*ctrl=*/false);
+  tag_qp(qb, /*ctrl=*/false);
   qa.connect(b.host(), qb.qpn());
   qb.connect(a.host(), qa.qpn());
   a.data_qps_[to] = &qa;

@@ -192,7 +192,10 @@ void Fabric::put_on_wire(NodeId node, int /*port_idx*/, const Port& port,
     // COW: clean replicas of a multicast packet keep sharing the original
     // bytes; only the corrupted copy gets its own buffer (with one bit
     // flipped).
-    PacketPtr dup = pool_.acquire();
+    // The clone is charged to the original's tenant sub-pool; the wire-field
+    // copy below re-stamps the same tenant id, so release-side accounting
+    // stays balanced.
+    PacketPtr dup = pool_.acquire(packet->tenant);
     dup.mut() = *packet;  // wire fields only; refcount/home are preserved
     dup.mut().corrupted = true;
     if (!dup->payload.empty()) {
@@ -534,7 +537,8 @@ Fabric::TrafficSnapshot Fabric::traffic() const {
     s.packets += counters_[i].packets;
     s.drops += counters_[i].drops;
     s.ctrl_drops += counters_[i].lane_drops[kCtrlLane];
-    s.bulk_drops += counters_[i].lane_drops[kBulkLane];
+    for (std::size_t l = kBulkLane; l < kNumLanes; ++l)
+      s.bulk_drops += counters_[i].lane_drops[l];
     if (topo_.is_host(dirs[i].from))
       s.host_egress_bytes += counters_[i].bytes;
     else
@@ -568,6 +572,27 @@ void Fabric::publish_metrics(telemetry::MetricsRegistry& reg) const {
   reg.counter("fabric.switch_port_bytes").set(s.switch_port_bytes);
   reg.counter("fabric.host_egress_bytes").set(s.host_egress_bytes);
   reg.counter("fabric.ecmp_reweights").set(ecmp_reweights_);
+  // Per-tenant packet-pool accounting (the sub-pool quota plane): one gauge
+  // per tenant that ever acquired a cell, plus its exhaustion counter so a
+  // quota squeeze shows up in the snapshot even after the burst drained.
+  reg.gauge("pool.capacity").set(static_cast<double>(pool_.capacity()));
+  reg.gauge("pool.outstanding").set(static_cast<double>(pool_.outstanding()));
+  for (std::size_t t = 0; t < pool_.num_tenants(); ++t) {
+    const auto id = static_cast<std::uint16_t>(t);
+    if (pool_.tenant_acquired(id) == 0) continue;
+    const telemetry::Labels who{{"tenant", std::to_string(t)}};
+    reg.gauge("pool.tenant.outstanding", who)
+        .set(static_cast<double>(pool_.tenant_outstanding(id)));
+    reg.gauge("pool.tenant.peak", who)
+        .set(static_cast<double>(pool_.tenant_peak(id)));
+    if (pool_.tenant_quota(id) != 0)
+      reg.gauge("pool.tenant.quota", who)
+          .set(static_cast<double>(pool_.tenant_quota(id)));
+    reg.counter("pool.tenant.acquired", who).set(pool_.tenant_acquired(id));
+    if (pool_.tenant_exhausted(id) != 0)
+      reg.counter("pool.tenant.exhausted", who)
+          .set(pool_.tenant_exhausted(id));
+  }
   // Per-link-direction counters, Fig 12 style. Only directions that saw
   // traffic get a series (keeps the snapshot proportional to live links).
   const auto& dirs = topo_.dirs();

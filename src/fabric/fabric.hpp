@@ -140,6 +140,17 @@ class Fabric {
   }
   /// Number of weight transitions applied (coll.adapt cross-checks).
   std::uint64_t ecmp_reweights() const { return ecmp_reweights_; }
+  /// Link directions currently deweighted (weight != 1) by the health
+  /// plane — the admission controller's fabric-degradation signal: every
+  /// deweighted rail means some communicator's monitor judged it lossy or
+  /// slow, so new tenants should queue rather than pile on. Cold path
+  /// (admission decisions, not per packet).
+  std::size_t deweighted_dirs() const {
+    std::size_t n = 0;
+    for (const std::uint16_t w : dir_weight_)
+      if (w != 1) ++n;
+    return n;
+  }
 
   /// Sim-time this direction's serializer is booked past `now` — the
   /// queue-depth/ECN analog the health monitor samples to spot degraded

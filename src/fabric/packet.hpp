@@ -92,11 +92,23 @@ class Payload {
 };
 
 /// Virtual lanes (InfiniBand QoS, paper Section VII): lane 0 is the strict-
-/// priority control lane (ACKs, barrier/chain/handshake tokens), lane 1
-/// carries bulk data. Switch egress ports serve lane 0 first.
+/// priority control lane (ACKs, barrier/chain/handshake tokens); lanes
+/// 1..kNumLanes-1 carry bulk data, split by tenant QoS class so a high-
+/// priority tenant's chunks overtake best-effort bulk at every switch
+/// egress port. Ports serve lanes in index order (strict priority); with a
+/// single tenant class everything data rides kBulkLane and the fabric
+/// behaves exactly like the original two-lane config.
 inline constexpr std::uint8_t kCtrlLane = 0;
 inline constexpr std::uint8_t kBulkLane = 1;
-inline constexpr std::size_t kNumLanes = 2;
+inline constexpr std::size_t kNumLanes = 4;
+
+/// Data lane for a tenant QoS class (0 = highest priority). Classes beyond
+/// the lane count share the lowest-priority lane.
+inline constexpr std::uint8_t data_lane_for_class(std::uint8_t cls) {
+  constexpr std::uint8_t kLowest =
+      static_cast<std::uint8_t>(kNumLanes - 1) - kBulkLane;
+  return static_cast<std::uint8_t>(kBulkLane + (cls < kLowest ? cls : kLowest));
+}
 
 namespace detail {
 struct PacketPoolCore;
@@ -128,6 +140,10 @@ struct Packet : PacketCtl {
   std::uint32_t wire_size = 0;  // bytes serialized on each link
   std::uint64_t flow_id = 0;    // ECMP hash input
   std::uint8_t vl = kBulkLane;  // virtual lane (switch egress priority)
+  std::uint16_t tenant = 0;     // owning tenant (pool accounting + QoS);
+                                // stamped by PacketPool::acquire — builders
+                                // must not change it, or the release-side
+                                // accounting decrements the wrong sub-pool
   bool corrupted = false;  // a corruption window flipped a payload bit; in
                            // synthetic mode (no payload bytes carried) the
                            // receiver's CRC check consults this flag instead
@@ -143,13 +159,36 @@ namespace detail {
 /// itself — e.g. events still queued in the engine when a Cluster tears
 /// down its Fabric. The core self-deletes once the owning pool is gone AND
 /// the last outstanding packet returned.
+/// Per-tenant accounting row of the shared slab (ROADMAP item 4's
+/// "per-shard pool", realized as accounted sub-pools: the slab stays one
+/// arena, but every tenant's share of it is tracked and soft-quota'd so a
+/// runaway tenant is visible — and chargeable — instead of silently eating
+/// every cell).
+struct TenantPoolAcct {
+  std::uint64_t outstanding = 0;  // cells this tenant holds right now
+  std::uint64_t peak = 0;         // high-water mark of `outstanding`
+  std::uint64_t acquired = 0;     // total acquire() calls
+  std::uint64_t exhausted = 0;    // acquires observed while over quota
+  std::uint64_t quota = 0;        // soft cap on outstanding (0 = none)
+};
+
 struct PacketPoolCore {
   std::deque<Packet> slab;          // stable addresses; grows, never shrinks
   std::vector<Packet*> free_list;
   std::uint64_t outstanding = 0;    // packets handed out, not yet returned
   std::uint64_t acquired_total = 0;
+  std::vector<TenantPoolAcct> tenants;  // indexed by tenant id, grown lazily
   bool owner_alive = true;
 
+  TenantPoolAcct& tenant_row(std::uint16_t tenant) {
+    if (tenant >= tenants.size()) tenants.resize(std::size_t{tenant} + 1);
+    return tenants[tenant];
+  }
+  void tenant_release(std::uint16_t tenant) {
+    // The row always exists: acquire() created it when the cell went out.
+    if (tenant < tenants.size() && tenants[tenant].outstanding > 0)
+      --tenants[tenant].outstanding;
+  }
   void maybe_die() {
     if (!owner_alive && outstanding == 0) delete this;
   }
@@ -243,10 +282,13 @@ class PacketRef {
       return;
     }
     // Reset wire fields (drops the payload buffer ref); PacketCtl's neutral
-    // assignment keeps refs_/home_ intact.
+    // assignment keeps refs_/home_ intact. The tenant stamp must be read
+    // before the reset wipes it.
+    const std::uint16_t tenant = p->tenant;
     *p = Packet{};
     core->free_list.push_back(p);
     --core->outstanding;
+    core->tenant_release(tenant);
     core->maybe_die();
   }
 
@@ -267,9 +309,15 @@ class PacketPool {
   PacketPool(const PacketPool&) = delete;
   PacketPool& operator=(const PacketPool&) = delete;
 
-  /// Returns a fresh (default-initialized) packet; fill it through
-  /// PacketRef::mut() before handing it to the NIC/fabric.
-  PacketRef acquire() {
+  /// Returns a fresh (default-initialized) packet charged to `tenant`'s
+  /// accounted sub-pool; fill it through PacketRef::mut() before handing it
+  /// to the NIC/fabric. The tenant stamp is owned by the pool: acquire sets
+  /// it, release reads it back, builders never touch it. A tenant over its
+  /// soft quota is still granted the cell (dropping deep inside a QP's
+  /// reliability machinery would corrupt protocol invariants) but the
+  /// exhaustion counter ticks — admission control treats that as fabric
+  /// backpressure and stops admitting, which is how the cap actually binds.
+  PacketRef acquire(std::uint16_t tenant = 0) {
     Packet* p;
     if (core_->free_list.empty()) {
       core_->slab.emplace_back();
@@ -281,8 +329,45 @@ class PacketPool {
     }
     ++core_->outstanding;
     ++core_->acquired_total;
+    detail::TenantPoolAcct& acct = core_->tenant_row(tenant);
+    ++acct.acquired;
+    if (acct.quota != 0 && acct.outstanding >= acct.quota) ++acct.exhausted;
+    if (++acct.outstanding > acct.peak) acct.peak = acct.outstanding;
+    p->tenant = tenant;
     return PacketRef(p);
   }
+
+  /// Soft cap on a tenant's outstanding cells (0 clears it). Soft: see
+  /// acquire() — enforcement is by admission-control backpressure, not by
+  /// failing sends mid-protocol.
+  void set_tenant_quota(std::uint16_t tenant, std::uint64_t slots) {
+    core_->tenant_row(tenant).quota = slots;
+  }
+  std::uint64_t tenant_quota(std::uint16_t tenant) const {
+    return tenant_acct(tenant).quota;
+  }
+  /// Cells `tenant` holds right now / has ever held at once / has acquired
+  /// in total / acquired while over quota.
+  std::uint64_t tenant_outstanding(std::uint16_t tenant) const {
+    return tenant_acct(tenant).outstanding;
+  }
+  std::uint64_t tenant_peak(std::uint16_t tenant) const {
+    return tenant_acct(tenant).peak;
+  }
+  std::uint64_t tenant_acquired(std::uint16_t tenant) const {
+    return tenant_acct(tenant).acquired;
+  }
+  std::uint64_t tenant_exhausted(std::uint16_t tenant) const {
+    return tenant_acct(tenant).exhausted;
+  }
+  /// Over-quota acquires summed over every tenant (admission signal).
+  std::uint64_t total_exhausted() const {
+    std::uint64_t total = 0;
+    for (const auto& t : core_->tenants) total += t.exhausted;
+    return total;
+  }
+  /// Accounting rows allocated so far (= highest tenant id seen + 1).
+  std::size_t num_tenants() const { return core_->tenants.size(); }
 
   /// Cells ever created; plateaus at the in-flight high-water mark.
   std::size_t capacity() const { return core_->slab.size(); }
@@ -311,6 +396,15 @@ class PacketPool {
   }
 
  private:
+  static const detail::TenantPoolAcct& null_acct() {
+    static const detail::TenantPoolAcct kNull{};
+    return kNull;
+  }
+  const detail::TenantPoolAcct& tenant_acct(std::uint16_t tenant) const {
+    return tenant < core_->tenants.size() ? core_->tenants[tenant]
+                                          : null_acct();
+  }
+
   detail::PacketPoolCore* core_;
 };
 

@@ -52,6 +52,20 @@ class HostMemory {
     return base;
   }
 
+  /// Current bump pointer — the input to symmetric-team alignment.
+  std::uint64_t brk() const { return brk_; }
+
+  /// Advances the bump pointer to `watermark` (no-op if already past it).
+  /// Multi-tenant symmetric allocation: when hosts serve several
+  /// communicators, their arenas drift apart; aligning every member rank
+  /// to the team's max watermark before a symmetric alloc sequence makes
+  /// identical per-rank allocations yield identical offsets again. The
+  /// skipped range is never backed (allocation only moves forward).
+  void align_brk(std::uint64_t watermark) {
+    MCCL_CHECK_MSG(watermark <= capacity_, "host memory exhausted");
+    brk_ = std::max(brk_, watermark);
+  }
+
   /// Mutable access. Hands out a raw pointer the caller may scribble
   /// through, so every cached send snapshot is conservatively invalidated.
   std::uint8_t* at(std::uint64_t addr) {

@@ -101,7 +101,20 @@ void Nic::transmit(std::uint32_t queue, const fabric::PacketPtr& packet,
     slot = static_cast<std::size_t>(tx_slot_of_[queue]);
   }
   auto& q = tx_queues_[slot];
-  if (q.empty()) tx_ready_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+  if (q.empty()) {
+    tx_ready_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    // Refresh the slot's arbitration attributes from the owning QP as the
+    // queue turns ready — cheap (once per busy period, not per packet) and
+    // picks up set_qos calls made after the QP's first send. The INC
+    // transport has no QP; its aggregation traffic arbitrates like control.
+    if (qos_enabled_) {
+      if (queue == kIncTxQueue) {
+        qos_arbiter_.set_queue(slot, 0, 1);
+      } else if (Qp* qp = find_qp(queue)) {
+        qos_arbiter_.set_queue(slot, qp->qos_band(), qp->qos_weight());
+      }
+    }
+  }
   q.push_back(TxItem{packet, std::move(done)});
   pump_tx();
 }
@@ -136,16 +149,27 @@ std::size_t Nic::next_ready_tx(std::size_t start) const {
 
 // mccl-lint: begin-hot nic-egress
 void Nic::pump_tx() {
+  static_assert(sched::QosArbiter::kNone == kNoTxQueue,
+                "arbiter sentinel must match the NIC's");
   if (tx_active_) return;
-  // Round-robin service across non-empty TX queues.
-  const std::size_t picked = next_ready_tx(tx_rr_);
+  // Round-robin service across non-empty TX queues; with a QoS policy
+  // armed, the arbiter picks by band/weight instead (and maintains the
+  // cursor itself). sched::QosArbiter::kNone == kNoTxQueue.
+  std::size_t picked;
+  if (qos_enabled_) {
+    picked = qos_arbiter_.pick(tx_ready_.data(), tx_ready_.size(),
+                               tx_queues_.size(), tx_rr_);
+  } else {
+    picked = next_ready_tx(tx_rr_);
+    if (picked != kNoTxQueue) tx_rr_ = picked + 1;
+  }
   if (picked == kNoTxQueue) return;
-  tx_rr_ = picked + 1;
   auto& queue = tx_queues_[picked];
   TxItem item = std::move(queue.front());
   queue.pop_front();
   if (queue.empty())
     tx_ready_[picked >> 6] &= ~(std::uint64_t{1} << (picked & 63));
+  if (qos_enabled_) qos_arbiter_.on_dequeue(picked, item.packet->wire_size);
   tx_active_ = true;
   const Time departure = fabric_.inject(item.packet);
   if (item.done) item.done(departure);

@@ -15,6 +15,7 @@
 #include "src/rdma/cq.hpp"
 #include "src/rdma/memory.hpp"
 #include "src/rdma/qp.hpp"
+#include "src/sched/qos_arbiter.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/resource.hpp"
 
@@ -97,9 +98,22 @@ class Nic {
   /// the host link and services TX queues round-robin (the per-QP WQE
   /// arbitration of a real HCA) so one bulk flow cannot head-of-line-block
   /// other QPs — e.g. a Reduce-Scatter burst must not starve concurrent
-  /// Allgather multicast or control tokens.
+  /// Allgather multicast or control tokens. With a non-FIFO QoS policy the
+  /// pick is delegated to the sched::QosArbiter instead (strict priority or
+  /// weighted-fair over the per-QP bands set via Qp::set_qos).
   void transmit(std::uint32_t queue, const fabric::PacketPtr& packet,
                 TxCallback done = {});
+
+  /// Egress QoS policy. kFifo (the default) keeps the original round-robin
+  /// pick — bit-identical to the pre-QoS NIC; kStrict/kWfq arbitrate by the
+  /// per-QP band/weight attributes. Cluster-scheduler plane; set before
+  /// traffic for reproducible runs.
+  void set_qos_policy(sched::QosPolicy policy) {
+    qos_arbiter_.set_policy(policy);
+    qos_enabled_ = policy != sched::QosPolicy::kFifo;
+  }
+  sched::QosPolicy qos_policy() const { return qos_arbiter_.policy(); }
+  const sched::QosArbiter& qos_arbiter() const { return qos_arbiter_; }
 
   /// Asynchronous on-NIC DMA copy between local buffers (staging → user).
   /// Models non-blocking queuing: posting returns immediately; `done` runs
@@ -178,6 +192,8 @@ class Nic {
   std::vector<std::uint64_t> tx_ready_;     // bit per slot: queue non-empty
   std::size_t tx_rr_ = 0;
   bool tx_active_ = false;
+  sched::QosArbiter qos_arbiter_;
+  bool qos_enabled_ = false;  // true iff policy != kFifo
   telemetry::Telemetry* telem_ = nullptr;
   bool crashed_ = false;
   bool crc_enabled_ = false;

@@ -20,6 +20,12 @@ RecvWr Qp::rq_pop() {
   return rq_.pop();
 }
 
+fabric::PacketRef Qp::new_packet() {
+  fabric::PacketRef pref = nic_.fabric().pool().acquire(tenant_);
+  pref.mut().vl = data_vl_;
+  return pref;
+}
+
 void Qp::complete_send(const SendFlags& flags, std::uint32_t byte_len,
                        Time when) {
   if (!flags.signaled || send_cq_ == nullptr) return;
@@ -56,7 +62,7 @@ void Qp::complete_recv(const Cqe& cqe) {
 void UdQp::post_send(const UdDest& dest, std::uint64_t laddr,
                      std::uint32_t len, const SendFlags& flags) {
   MCCL_CHECK_MSG(len <= nic_.config().mtu, "UD datagram exceeds MTU");
-  fabric::PacketRef pref = nic_.make_packet();
+  fabric::PacketRef pref = new_packet();
   fabric::Packet* pkt = &pref.mut();
   pkt->src_host = nic_.host();
   if (dest.group != fabric::kNoMcastGroup) {
@@ -164,7 +170,7 @@ void UcQp::post_write(std::uint64_t laddr, std::uint64_t len,
     const std::uint32_t seg =
         static_cast<std::uint32_t>(std::min<std::uint64_t>(mtu, len - offset));
     const bool last = offset + seg >= len;
-    fabric::PacketRef pref = nic_.make_packet();
+    fabric::PacketRef pref = new_packet();
     fabric::Packet* pkt = &pref.mut();
     pkt->src_host = nic_.host();
     if (mcast_group_ != fabric::kNoMcastGroup)

@@ -67,7 +67,7 @@ void RcQp::enqueue_op(TxOp op) {
 
 fabric::PacketPtr RcQp::make_packet(const TxOp& op, std::uint64_t offset,
                                     std::uint32_t seg_len, bool last) {
-  fabric::PacketRef pref = nic_.make_packet();
+  fabric::PacketRef pref = new_packet();
   fabric::Packet* pkt = &pref.mut();
   pkt->src_host = nic_.host();
   pkt->dst_host = remote_host_;
@@ -259,7 +259,7 @@ void RcQp::handle_ack(std::uint32_t cum_psn, bool nak) {
 }
 
 void RcQp::send_ack(bool nak) {
-  fabric::PacketRef pref = nic_.make_packet();
+  fabric::PacketRef pref = new_packet();
   fabric::Packet* pkt = &pref.mut();
   pkt->src_host = nic_.host();
   pkt->dst_host = remote_host_;

@@ -1,0 +1,345 @@
+#include "src/sched/cluster_sched.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/debug/validate.hpp"
+
+namespace mccl::sched {
+
+namespace {
+
+// Nearest-rank percentile over a copy (cold path; samples stay unsorted in
+// the ledger so per-op order is preserved for debugging).
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = std::min(
+      v.size() - 1, static_cast<std::size_t>(p * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+}  // namespace
+
+ClusterScheduler::ClusterScheduler(coll::Cluster& cluster, SchedulerConfig cfg)
+    : cluster_(cluster), cfg_(cfg), admission_(cfg.admission) {
+  for (std::size_t h = 0; h < cluster_.num_hosts(); ++h)
+    cluster_.nic(h).set_qos_policy(cfg_.policy);
+  publisher_id_ = cluster_.telemetry().metrics.add_publisher(
+      [this](telemetry::MetricsRegistry& reg) { publish(reg); });
+}
+
+ClusterScheduler::~ClusterScheduler() {
+  cluster_.telemetry().metrics.remove_publisher(publisher_id_);
+}
+
+std::size_t ClusterScheduler::submit(JobSpec spec) {
+  MCCL_CHECK_MSG(!ran_, "submit() after run() is not supported");
+  MCCL_CHECK_MSG(spec.hosts.size() >= 2, "a job needs at least two ranks");
+  MCCL_CHECK_MSG(spec.num_ops >= 1, "a job needs at least one op");
+  MCCL_CHECK_MSG(spec.tenant != 0, "tenant 0 is reserved for untenanted");
+  const std::size_t id = jobs_.size();
+  JobRecord rec;
+  rec.spec = std::move(spec);
+  jobs_.push_back(std::move(rec));
+  return id;
+}
+
+void ClusterScheduler::run() {
+  MCCL_CHECK_MSG(!ran_, "run() may only be called once");
+  ran_ = true;
+  sim::Engine& engine = cluster_.engine();
+  for (std::size_t id = 0; id < jobs_.size(); ++id) {
+    const Time when = std::max(jobs_[id].spec.arrival, engine.now());
+    engine.schedule_at(when, [this, id] { on_arrival(id); });
+  }
+  cluster_.run_until_done([this] { return settled_ == jobs_.size(); });
+  audit();
+}
+
+void ClusterScheduler::on_arrival(std::size_t id) {
+  JobRecord& rec = jobs_[id];
+  rec.submit_time = cluster_.engine().now();
+  record("job_arrive", id);
+  // Arrivals join behind already-queued jobs: admission is FIFO-fair, a
+  // late arrival never jumps a waiting tenant.
+  if (!queue_.empty()) {
+    enqueue(id);
+    return;
+  }
+  switch (admission_.decide(rec.spec, view())) {
+    case Verdict::kAdmit:
+      admit(id);
+      break;
+    case Verdict::kQueue:
+      enqueue(id);
+      break;
+    case Verdict::kReject:
+      settle(id, JobState::kRejected);
+      break;
+  }
+}
+
+void ClusterScheduler::enqueue(std::size_t id) {
+  JobRecord& rec = jobs_[id];
+  rec.state = JobState::kQueued;
+  rec.queue_time = cluster_.engine().now();
+  queue_.push_back(id);
+  record("job_queue", id);
+  arm_tick();
+}
+
+void ClusterScheduler::admit(std::size_t id) {
+  JobRecord& rec = jobs_[id];
+  rec.state = JobState::kRunning;
+  rec.admit_time = cluster_.engine().now();
+  ++running_;
+  peak_running_ = std::max(peak_running_, running_);
+  const double wait_us = to_microseconds(rec.admit_time - rec.submit_time);
+  cluster_.telemetry()
+      .metrics.histogram("sched.queue_delay_us", {{"tenant", rec.spec.name}})
+      .observe(wait_us);
+  if (cfg_.pool_quota_per_weight != 0)
+    cluster_.fabric().pool().set_tenant_quota(
+        rec.spec.tenant,
+        cfg_.pool_quota_per_weight * rec.spec.qos_weight);
+  coll::CommConfig ccfg = rec.spec.comm;
+  ccfg.tenant = rec.spec.tenant;
+  if (cfg_.apply_classes) {
+    ccfg.qos_class = rec.spec.qos_class;
+    ccfg.qos_weight = rec.spec.qos_weight;
+  } else {
+    ccfg.qos_class = 0;
+    ccfg.qos_weight = 1;
+  }
+  rec.comm = std::make_unique<coll::Communicator>(cluster_, rec.spec.hosts,
+                                                  ccfg);
+  record("job_admit", id);
+  issue_next(id);
+}
+
+void ClusterScheduler::issue_next(std::size_t id) {
+  JobRecord& rec = jobs_[id];
+  ++ops_issued_;
+  coll::OpBase& op =
+      rec.spec.coll == CollKind::kAllgather
+          ? rec.comm->start_allgather(rec.spec.bytes, rec.spec.ag_algo)
+          : rec.comm->start_broadcast(rec.spec.bcast_root, rec.spec.bytes,
+                                      rec.spec.bc_algo);
+  op.set_on_done([this, id](coll::OpBase& o) { on_op_done(id, o); });
+}
+
+void ClusterScheduler::on_op_done(std::size_t id, coll::OpBase& op) {
+  JobRecord& rec = jobs_[id];
+  if (op.failed() || op.status() != coll::OpStatus::kOk || !op.verify()) {
+    ++rec.ops_failed;
+    record("job_fail", id);
+    settle(id, JobState::kFailed);
+    pump_queue();
+    return;
+  }
+  const double lat_us = to_microseconds(op.finish_time() - op.start_time());
+  ++rec.ops_done;
+  rec.op_latency_us.push_back(lat_us);
+  // Payload the tenant got out of the op, per rank: an allgather delivers
+  // every rank's block to every rank; a broadcast delivers the root block.
+  rec.bytes_moved += rec.spec.coll == CollKind::kAllgather
+                         ? rec.spec.bytes * rec.comm->size()
+                         : rec.spec.bytes;
+  cluster_.telemetry()
+      .metrics.histogram("sched.op_latency_us", {{"tenant", rec.spec.name}})
+      .observe(lat_us);
+  if (rec.spec.slo_target != 0 &&
+      op.finish_time() - op.start_time() > rec.spec.slo_target)
+    ++rec.slo_misses;
+  if (rec.ops_done < rec.spec.num_ops) {
+    if (rec.spec.gap == 0) {
+      issue_next(id);
+    } else {
+      cluster_.engine().schedule(rec.spec.gap,
+                                 [this, id] { issue_next(id); });
+    }
+    return;
+  }
+  settle(id, JobState::kCompleted);
+  pump_queue();
+}
+
+void ClusterScheduler::settle(std::size_t id, JobState final_state) {
+  JobRecord& rec = jobs_[id];
+  if (rec.state == JobState::kRunning) --running_;
+  rec.state = final_state;
+  rec.finish_time = cluster_.engine().now();
+  ++settled_;
+  record(final_state == JobState::kCompleted   ? "job_done"
+         : final_state == JobState::kRejected ? "job_reject"
+                                              : "job_failed",
+         id);
+}
+
+void ClusterScheduler::pump_queue() {
+  const Time now = cluster_.engine().now();
+  const Time timeout = cfg_.admission.queue_timeout;
+  while (!queue_.empty()) {
+    const std::size_t id = queue_.front();
+    JobRecord& rec = jobs_[id];
+    if (timeout != 0 && now - rec.queue_time >= timeout) {
+      queue_.pop_front();
+      settle(id, JobState::kRejected);
+      continue;
+    }
+    switch (admission_.decide(rec.spec, view())) {
+      case Verdict::kAdmit:
+        queue_.pop_front();
+        admit(id);
+        continue;
+      case Verdict::kReject:
+        queue_.pop_front();
+        settle(id, JobState::kRejected);
+        continue;
+      case Verdict::kQueue:
+        break;  // the head must keep waiting; nobody jumps it
+    }
+    break;
+  }
+  if (!queue_.empty()) arm_tick();
+}
+
+void ClusterScheduler::arm_tick() {
+  if (tick_armed_) return;
+  tick_armed_ = true;
+  cluster_.engine().schedule(cfg_.requeue_tick, [this] {
+    tick_armed_ = false;
+    pump_queue();
+  });
+}
+
+FabricView ClusterScheduler::view() const {
+  FabricView v;
+  v.running_jobs = running_;
+  v.queued_jobs = queue_.size();
+  v.deweighted_dirs = cluster_.fabric().deweighted_dirs();
+  const fabric::PacketPool& pool = cluster_.fabric().pool();
+  for (std::uint16_t t = 1; t < pool.num_tenants(); ++t) {
+    const std::uint64_t quota = pool.tenant_quota(t);
+    if (quota != 0 && pool.tenant_outstanding(t) > quota)
+      ++v.tenants_over_quota;
+  }
+  return v;
+}
+
+ClusterScheduler::TenantStats ClusterScheduler::tenant_stats(
+    TenantId tenant) const {
+  TenantStats s;
+  std::vector<double> lat;
+  double queue_us = 0;
+  Time running_time = 0;
+  std::size_t admitted = 0;
+  for (const JobRecord& rec : jobs_) {
+    if (rec.spec.tenant != tenant) continue;
+    if (s.name.empty()) s.name = rec.spec.name;
+    ++s.jobs;
+    s.jobs_completed += rec.state == JobState::kCompleted;
+    s.jobs_rejected += rec.state == JobState::kRejected;
+    s.jobs_failed += rec.state == JobState::kFailed;
+    s.ops += rec.ops_done;
+    s.slo_misses += rec.slo_misses;
+    s.bytes += rec.bytes_moved;
+    lat.insert(lat.end(), rec.op_latency_us.begin(), rec.op_latency_us.end());
+    if (rec.admit_time != 0 || rec.state == JobState::kCompleted ||
+        rec.state == JobState::kRunning || rec.state == JobState::kFailed) {
+      ++admitted;
+      queue_us += to_microseconds(rec.admit_time - rec.submit_time);
+      const Time end =
+          rec.finish_time != 0 ? rec.finish_time : cluster_.engine().now();
+      running_time += end - rec.admit_time;
+    }
+  }
+  s.p50_us = percentile(lat, 0.50);
+  s.p99_us = percentile(lat, 0.99);
+  s.max_us = lat.empty() ? 0 : *std::max_element(lat.begin(), lat.end());
+  s.mean_queue_us = admitted ? queue_us / static_cast<double>(admitted) : 0;
+  // bytes/picosecond * 8 bits... Time is in engine units; to_microseconds
+  // normalizes, so: bits / us = Mbit/s; /1000 = Gbit/s.
+  const double us = to_microseconds(running_time);
+  s.goodput_gbps =
+      us > 0 ? static_cast<double>(s.bytes) * 8.0 / us / 1000.0 : 0;
+  return s;
+}
+
+std::vector<TenantId> ClusterScheduler::tenants() const {
+  std::vector<TenantId> out;
+  for (const JobRecord& rec : jobs_) out.push_back(rec.spec.tenant);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool ClusterScheduler::conservation_ok() const {
+  if (running_ != 0 || !queue_.empty()) return false;
+  std::size_t settled = 0;
+  std::uint64_t ops = 0;
+  for (const JobRecord& rec : jobs_) {
+    if (rec.state != JobState::kCompleted && rec.state != JobState::kRejected &&
+        rec.state != JobState::kFailed)
+      return false;
+    ++settled;
+    ops += rec.ops_done + rec.ops_failed;
+    // A job's op count never exceeds its spec; a partial count means it
+    // settled early (failure), never that ops leaked past completion.
+    if (rec.state == JobState::kCompleted && rec.ops_done != rec.spec.num_ops)
+      return false;
+  }
+  return settled == settled_ && ops == ops_issued_;
+}
+
+void ClusterScheduler::audit() {
+  MCCL_VALIDATE_THAT(conservation_ok(), "sched.tenant_conservation",
+                     "job/op ledger out of balance: settled=%zu/%zu "
+                     "running=%zu queued=%zu ops_issued=%llu",
+                     settled_, jobs_.size(), running_, queue_.size(),
+                     static_cast<unsigned long long>(ops_issued_));
+}
+
+void ClusterScheduler::publish(telemetry::MetricsRegistry& reg) {
+  std::size_t completed = 0, rejected = 0, failed = 0;
+  for (const JobRecord& rec : jobs_) {
+    completed += rec.state == JobState::kCompleted;
+    rejected += rec.state == JobState::kRejected;
+    failed += rec.state == JobState::kFailed;
+  }
+  reg.counter("sched.jobs_submitted").set(jobs_.size());
+  reg.counter("sched.jobs_completed").set(completed);
+  reg.counter("sched.jobs_rejected").set(rejected);
+  reg.counter("sched.jobs_failed").set(failed);
+  reg.counter("sched.ops_issued").set(ops_issued_);
+  reg.gauge("sched.running").set(static_cast<double>(running_));
+  reg.gauge("sched.queued").set(static_cast<double>(queue_.size()));
+  reg.gauge("sched.peak_running").set(static_cast<double>(peak_running_));
+  reg.counter("sched.admission.admitted").set(admission_.admitted());
+  reg.counter("sched.admission.queued").set(admission_.queued());
+  reg.counter("sched.admission.rejected").set(admission_.rejected());
+  reg.counter("sched.admission.health_deferrals")
+      .set(admission_.health_deferrals());
+  reg.counter("sched.admission.pool_deferrals")
+      .set(admission_.pool_deferrals());
+  for (const TenantId t : tenants()) {
+    const TenantStats s = tenant_stats(t);
+    const telemetry::Labels labels = {{"tenant", s.name}};
+    reg.counter("sched.tenant.ops", labels).set(s.ops);
+    reg.counter("sched.tenant.bytes", labels).set(s.bytes);
+    reg.counter("sched.tenant.slo_misses", labels).set(s.slo_misses);
+    reg.gauge("sched.tenant.p50_us", labels).set(s.p50_us);
+    reg.gauge("sched.tenant.p99_us", labels).set(s.p99_us);
+    reg.gauge("sched.tenant.queue_delay_us", labels).set(s.mean_queue_us);
+    reg.gauge("sched.tenant.goodput_gbps", labels).set(s.goodput_gbps);
+  }
+}
+
+void ClusterScheduler::record(const char* what, std::size_t id) {
+  cluster_.telemetry().recorder.record(
+      cluster_.engine().now(), -1, telemetry::EventCat::kSched, what, id,
+      jobs_[id].spec.tenant);
+}
+
+}  // namespace mccl::sched

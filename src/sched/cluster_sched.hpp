@@ -1,0 +1,156 @@
+// ClusterScheduler: N tenants sharing one fat-tree.
+//
+// The scheduler is the event-driven driver that the blocking
+// Communicator::allgather() loop never needed: jobs (job.hpp) arrive on
+// the engine clock, pass admission control (admission.hpp) against live
+// fabric signals, get a Communicator built with their tenant/QoS identity
+// stamped onto every QP, and run their collectives back-to-back via
+// OpBase::set_on_done — no outer run loop per op, one cluster-wide
+// run_until_done for the whole workload. QoS enforcement itself lives in
+// the datapath (sched::QosArbiter at NIC injection, virtual lanes at
+// switch egress, per-tenant packet sub-pools); the scheduler's job is to
+// wire identities, meter admission, and account per-tenant SLOs.
+//
+// Everything is deterministic: arrivals are pre-seeded engine events,
+// admission decisions are pure functions of sampled signals, and queued
+// jobs are re-evaluated FIFO on every completion plus a fixed-period tick
+// — so a given (topology, workload, policy) triple replays byte-identical
+// under the dispatch-hash digest.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/coll/cluster.hpp"
+#include "src/coll/communicator.hpp"
+#include "src/common/units.hpp"
+#include "src/sched/admission.hpp"
+#include "src/sched/job.hpp"
+#include "src/sched/qos_arbiter.hpp"
+
+namespace mccl::sched {
+
+struct SchedulerConfig {
+  /// NIC injection arbitration policy, armed on every host's NIC at
+  /// construction. kFifo leaves the NICs byte-identical to the
+  /// pre-scheduler datapath.
+  QosPolicy policy = QosPolicy::kFifo;
+  /// Apply each job's qos_class/qos_weight to its QPs. When false every
+  /// job runs class 0 / weight 1 — all data on one lane, no band skew —
+  /// which is the FIFO baseline for A/B comparisons.
+  bool apply_classes = true;
+  AdmissionConfig admission;
+  /// Per-tenant packet-pool soft quota, in packets, per unit of
+  /// qos_weight (0 = no quotas). Set on the fabric pool at admission.
+  std::uint64_t pool_quota_per_weight = 0;
+  /// Queued-job re-evaluation period (also the queue_timeout clock). The
+  /// tick keeps the engine alive while jobs wait on a gate that no
+  /// completion event would reopen (e.g. the health gate).
+  Time requeue_tick = 20 * kMicrosecond;
+};
+
+/// One submitted job's full lifecycle ledger.
+struct JobRecord {
+  JobSpec spec;
+  JobState state = JobState::kPending;
+  Time submit_time = 0;  // arrival event fired
+  Time queue_time = 0;   // entered the wait queue (0 if never queued)
+  Time admit_time = 0;
+  Time finish_time = 0;  // settled: completed / rejected / failed
+  std::size_t ops_done = 0;
+  std::size_t ops_failed = 0;
+  std::uint64_t slo_misses = 0;
+  std::vector<double> op_latency_us;  // per completed op
+  std::uint64_t bytes_moved = 0;  // per-rank payload delivered
+  /// Built at admission; retained until scheduler destruction (mid-run
+  /// Communicator teardown is not supported by the protocol layer).
+  std::unique_ptr<coll::Communicator> comm;
+};
+
+class ClusterScheduler {
+ public:
+  ClusterScheduler(coll::Cluster& cluster, SchedulerConfig cfg = {});
+  ~ClusterScheduler();
+
+  ClusterScheduler(const ClusterScheduler&) = delete;
+  ClusterScheduler& operator=(const ClusterScheduler&) = delete;
+
+  /// Registers a job; its arrival event fires at spec.arrival. Must be
+  /// called before run(). Returns the job id (index into job()).
+  std::size_t submit(JobSpec spec);
+
+  /// Schedules every arrival and runs the cluster until all submitted
+  /// jobs settle (completed, rejected, or failed), then audits the
+  /// tenant-conservation invariant.
+  void run();
+
+  std::size_t num_jobs() const { return jobs_.size(); }
+  const JobRecord& job(std::size_t id) const { return jobs_[id]; }
+  std::size_t running_jobs() const { return running_; }
+  std::size_t peak_running() const { return peak_running_; }
+  const AdmissionController& admission() const { return admission_; }
+  const SchedulerConfig& config() const { return cfg_; }
+
+  /// Aggregated per-tenant SLO accounting over all of the tenant's jobs.
+  struct TenantStats {
+    std::string name;
+    std::size_t jobs = 0;
+    std::size_t jobs_completed = 0;
+    std::size_t jobs_rejected = 0;
+    std::size_t jobs_failed = 0;
+    std::size_t ops = 0;
+    std::uint64_t slo_misses = 0;
+    double p50_us = 0, p99_us = 0, max_us = 0;  // per-op latency
+    double mean_queue_us = 0;  // admission wait (admitted jobs only)
+    double goodput_gbps = 0;   // payload delivered / time running
+    std::uint64_t bytes = 0;
+  };
+  TenantStats tenant_stats(TenantId tenant) const;
+  /// Every tenant id seen across submitted jobs, ascending.
+  std::vector<TenantId> tenants() const;
+
+  /// The scheduler's books balance: every submitted job settled exactly
+  /// once, nothing still runs or waits, and every issued op is accounted
+  /// as done or failed. run() asserts this through the
+  /// `sched.tenant_conservation` validator.
+  bool conservation_ok() const;
+  /// Re-checks conservation and reports `sched.tenant_conservation` on
+  /// mismatch (validate builds). run() calls this; tests call it again
+  /// after test_corrupt_ledger() to prove the validator trips.
+  void audit();
+  /// Test hook: unbalances the issued-op ledger so audit() trips.
+  void test_corrupt_ledger() { ++ops_issued_; }
+
+ private:
+  void on_arrival(std::size_t id);
+  void enqueue(std::size_t id);
+  void admit(std::size_t id);
+  void issue_next(std::size_t id);
+  void on_op_done(std::size_t id, coll::OpBase& op);
+  void settle(std::size_t id, JobState final_state);
+  /// FIFO re-evaluation: admit from the head until a job must keep
+  /// waiting (no queue jumping; timeouts reject in order).
+  void pump_queue();
+  void arm_tick();
+  FabricView view() const;
+  void publish(telemetry::MetricsRegistry& reg);
+  void record(const char* what, std::size_t id);
+
+  coll::Cluster& cluster_;
+  SchedulerConfig cfg_;
+  AdmissionController admission_;
+  std::deque<JobRecord> jobs_;  // deque: stable refs across submit()
+  std::deque<std::size_t> queue_;
+  std::size_t running_ = 0;
+  std::size_t peak_running_ = 0;
+  std::size_t settled_ = 0;
+  std::uint64_t ops_issued_ = 0;
+  bool tick_armed_ = false;
+  bool ran_ = false;
+  std::uint64_t publisher_id_ = 0;
+};
+
+}  // namespace mccl::sched

@@ -1,0 +1,105 @@
+// Job model for the multi-tenant cluster scheduler.
+//
+// A JobSpec is one tenant's collective workload: a communicator-shaped
+// host set, a collective kind + algorithm, a per-op payload, how many ops
+// to run back-to-back, and the tenant's QoS identity (class -> virtual
+// lane + NIC priority band, weight -> WFQ share, tenant id -> packet-pool
+// sub-pool). Specs are plain data so arrival generators (arrival.hpp) can
+// build whole workloads up front and the scheduler can replay them
+// deterministically from one seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/coll/communicator.hpp"
+#include "src/common/units.hpp"
+
+namespace mccl::sched {
+
+/// Tenant id charged for every packet the job's QPs acquire. 0 is
+/// reserved for untenanted (pre-scheduler) traffic; jobs use 1+.
+using TenantId = std::uint16_t;
+
+enum class JobKind : std::uint8_t {
+  kTraining,   // long-lived, bandwidth-bound, arrives early, many ops
+  kInference,  // short, latency-bound, arrives in bursts
+};
+
+enum class CollKind : std::uint8_t { kAllgather, kBroadcast };
+
+enum class JobState : std::uint8_t {
+  kPending,    // submitted; arrival event not yet fired
+  kQueued,     // arrived; admission deferred (capacity, health, or pool)
+  kRunning,    // communicator built, ops in flight
+  kCompleted,  // every op finished and verified
+  kRejected,   // admission refused (queue overflow or queue timeout)
+  kFailed,     // an op failed (watchdog / partial delivery / bad data)
+};
+
+inline const char* to_string(JobKind k) {
+  switch (k) {
+    case JobKind::kTraining:
+      return "training";
+    case JobKind::kInference:
+      return "inference";
+  }
+  return "?";
+}
+
+inline const char* to_string(CollKind c) {
+  switch (c) {
+    case CollKind::kAllgather:
+      return "allgather";
+    case CollKind::kBroadcast:
+      return "broadcast";
+  }
+  return "?";
+}
+
+inline const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kPending:
+      return "pending";
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kRejected:
+      return "rejected";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+struct JobSpec {
+  TenantId tenant = 1;
+  std::string name;  // tenant label on metrics ("train0", "hp1")
+  JobKind kind = JobKind::kTraining;
+  /// QoS class, 0 = highest priority. Selects the data virtual lane at
+  /// switch egress and the NIC injection band (see CommConfig).
+  std::uint8_t qos_class = 2;
+  std::uint16_t qos_weight = 1;  // WFQ share at NIC injection
+  std::vector<fabric::NodeId> hosts;  // the job's ranks; >= 2
+  Time arrival = 0;  // engine time the job shows up at the scheduler
+  CollKind coll = CollKind::kAllgather;
+  coll::AllgatherAlgo ag_algo = coll::AllgatherAlgo::kMcast;
+  coll::BcastAlgo bc_algo = coll::BcastAlgo::kMcast;
+  std::size_t bcast_root = 0;
+  std::uint64_t bytes = 64 * KiB;  // per-rank block per op
+  std::size_t num_ops = 1;  // sequential collectives; next starts on done
+  Time gap = 0;  // think time between an op's completion and the next
+  /// Per-op latency SLO for accounting (0 = best effort; never gates
+  /// completion, only the sched.tenant.slo_misses counter).
+  Time slo_target = 0;
+  /// Transport configuration for the job's communicator. The scheduler
+  /// overwrites the tenant/qos_class/qos_weight fields from this spec at
+  /// admission time (or zeroes them in the FIFO baseline).
+  coll::CommConfig comm;
+};
+
+}  // namespace mccl::sched

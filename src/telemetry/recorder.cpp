@@ -20,6 +20,8 @@ const char* to_string(EventCat cat) {
       return "detector";
     case EventCat::kAdapt:
       return "adapt";
+    case EventCat::kSched:
+      return "sched";
   }
   return "?";
 }

@@ -27,6 +27,7 @@ enum class EventCat : std::uint8_t {
   kWatchdog,  // watchdog verdicts
   kDetector,  // failure-detector suspicions / confirmations
   kAdapt,     // health-plane adaptation decisions (reweights, re-roots)
+  kSched,     // cluster scheduler: job arrivals, admission verdicts, SLOs
 };
 
 const char* to_string(EventCat cat);

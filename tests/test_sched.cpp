@@ -1,0 +1,418 @@
+// Cluster-scheduler tests: QoS arbiter policies (FIFO equivalence, strict
+// bands, WFQ shares and starvation freedom), per-tenant packet sub-pool
+// accounting, admission-control gating (capacity, bounded queue, timeout,
+// health plane), multi-communicator isolation, and double-run determinism
+// of the whole scheduling plane.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/fabric/topology.hpp"
+#include "src/sched/arrival.hpp"
+#include "src/sched/cluster_sched.hpp"
+
+namespace mccl::sched {
+namespace {
+
+// --- QosArbiter unit tests (no NIC needed: the arbiter is a pure function
+// of the ready bitmap, the cursor, and the slot attributes) ---------------
+
+struct Ready {
+  explicit Ready(std::size_t nslots)
+      : n(nslots), bits((nslots + 63) / 64, 0) {}
+  void set(std::size_t s, bool on = true) {
+    if (on)
+      bits[s >> 6] |= std::uint64_t{1} << (s & 63);
+    else
+      bits[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+  }
+  std::size_t pick(QosArbiter& arb, std::size_t& rr) const {
+    return arb.pick(bits.data(), bits.size(), n, rr);
+  }
+  std::size_t n;
+  std::vector<std::uint64_t> bits;
+};
+
+TEST(QosArbiter, FifoMatchesCyclicScan) {
+  QosArbiter arb;
+  arb.set_policy(QosPolicy::kFifo);
+  Ready r(70);  // cross the word boundary
+  r.set(3);
+  r.set(65);
+  std::size_t rr = 0;
+  EXPECT_EQ(r.pick(arb, rr), 3u);
+  EXPECT_EQ(rr, 4u);  // cursor advances past the pick, like the NIC's scan
+  EXPECT_EQ(r.pick(arb, rr), 65u);
+  EXPECT_EQ(r.pick(arb, rr), 3u);  // wraps
+  r.set(3, false);
+  r.set(65, false);
+  EXPECT_EQ(r.pick(arb, rr), QosArbiter::kNone);
+}
+
+TEST(QosArbiter, StrictServesLowestBandFirst) {
+  QosArbiter arb;
+  arb.set_policy(QosPolicy::kStrict);
+  arb.set_queue(0, /*band=*/1, 1);
+  arb.set_queue(1, /*band=*/3, 1);
+  arb.set_queue(2, /*band=*/1, 1);
+  Ready r(3);
+  r.set(0);
+  r.set(1);
+  r.set(2);
+  std::size_t rr = 0;
+  // Band 1 wins over band 3, round-robin within the band.
+  EXPECT_EQ(r.pick(arb, rr), 0u);
+  EXPECT_EQ(r.pick(arb, rr), 2u);
+  EXPECT_EQ(r.pick(arb, rr), 0u);
+  // Only once band 1 drains does band 3 get the link.
+  r.set(0, false);
+  r.set(2, false);
+  EXPECT_EQ(r.pick(arb, rr), 1u);
+}
+
+TEST(QosArbiter, StrictDefaultsUnregisteredSlotsToDataBand) {
+  QosArbiter arb;
+  arb.set_policy(QosPolicy::kStrict);
+  arb.set_queue(1, /*band=*/0, 1);  // a ctrl queue
+  Ready r(4);
+  r.set(1);
+  r.set(3);  // never registered -> band 1
+  std::size_t rr = 0;
+  EXPECT_EQ(r.pick(arb, rr), 1u);
+  r.set(1, false);
+  EXPECT_EQ(r.pick(arb, rr), 3u);
+}
+
+TEST(QosArbiter, WfqSharesFollowWeights) {
+  QosArbiter arb;
+  arb.set_policy(QosPolicy::kWfq);
+  arb.set_queue(0, 1, /*weight=*/3);
+  arb.set_queue(1, 1, /*weight=*/1);
+  Ready r(2);
+  r.set(0);
+  r.set(1);
+  std::size_t rr = 0;
+  std::size_t served[2] = {0, 0};
+  for (int i = 0; i < 1800; ++i) {
+    const std::size_t s = r.pick(arb, rr);
+    ASSERT_LT(s, 2u);
+    ++served[s];
+    arb.on_dequeue(s, 1000);  // every packet the same wire size
+  }
+  const double ratio =
+      static_cast<double>(served[0]) / static_cast<double>(served[1]);
+  // Deficit round robin with quantum 4096 and 1000-byte packets serves
+  // 13:5 per replenish round for weights 3:1 — well inside [2, 3.5].
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 3.5);
+  EXPECT_GT(arb.wfq_rounds(), 0u);
+}
+
+TEST(QosArbiter, WfqNeverStarvesLightQueues) {
+  QosArbiter arb;
+  arb.set_policy(QosPolicy::kWfq);
+  arb.set_queue(0, 1, /*weight=*/100);
+  arb.set_queue(1, 1, /*weight=*/1);
+  Ready r(2);
+  r.set(0);
+  r.set(1);
+  std::size_t rr = 0;
+  std::size_t light = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t s = r.pick(arb, rr);
+    light += s == 1;
+    arb.on_dequeue(s, 1500);
+  }
+  // Weight 1 against weight 100: a trickle, but never zero — every
+  // replenish round hands the light queue one quantum of credit.
+  EXPECT_GT(light, 0u);
+}
+
+// --- Per-tenant packet sub-pool accounting -------------------------------
+
+TEST(TenantPool, AccountsPerTenantAndEnforcesSoftQuota) {
+  fabric::PacketPool pool;
+  {
+    const fabric::PacketRef a = pool.acquire(1);
+    const fabric::PacketRef b = pool.acquire(1);
+    const fabric::PacketRef c = pool.acquire(2);
+    EXPECT_EQ(a.get()->tenant, 1u);
+    EXPECT_EQ(c.get()->tenant, 2u);
+    EXPECT_EQ(pool.tenant_outstanding(1), 2u);
+    EXPECT_EQ(pool.tenant_outstanding(2), 1u);
+    EXPECT_EQ(pool.tenant_acquired(1), 2u);
+  }
+  // RAII release flows back to the right sub-pool.
+  EXPECT_EQ(pool.tenant_outstanding(1), 0u);
+  EXPECT_EQ(pool.tenant_outstanding(2), 0u);
+  EXPECT_EQ(pool.tenant_peak(1), 2u);
+
+  // Soft quota: over-quota acquires are *granted* (the datapath never
+  // fails) but counted, which is the admission controller's signal.
+  pool.set_tenant_quota(1, 1);
+  const fabric::PacketRef d = pool.acquire(1);
+  EXPECT_EQ(pool.tenant_exhausted(1), 0u);
+  const fabric::PacketRef e = pool.acquire(1);
+  EXPECT_TRUE(e.get() != nullptr);
+  EXPECT_EQ(pool.tenant_exhausted(1), 1u);
+  EXPECT_EQ(pool.total_exhausted(), 1u);
+}
+
+// --- Admission controller (pure decisions) -------------------------------
+
+TEST(Admission, CapacityQueuesAndBoundedQueueRejects) {
+  AdmissionConfig cfg;
+  cfg.max_running_jobs = 2;
+  cfg.max_queued_jobs = 1;
+  AdmissionController ac(cfg);
+  JobSpec job;
+  FabricView view;
+  view.running_jobs = 1;
+  EXPECT_EQ(ac.decide(job, view), Verdict::kAdmit);
+  view.running_jobs = 2;
+  EXPECT_EQ(ac.decide(job, view), Verdict::kQueue);
+  view.queued_jobs = 1;
+  EXPECT_EQ(ac.decide(job, view), Verdict::kReject);
+  EXPECT_EQ(ac.admitted(), 1u);
+  EXPECT_EQ(ac.queued(), 1u);
+  EXPECT_EQ(ac.rejected(), 1u);
+}
+
+TEST(Admission, HealthGateDefersEveryClass) {
+  AdmissionConfig cfg;
+  cfg.max_deweighted_dirs = 0;
+  AdmissionController ac(cfg);
+  JobSpec job;
+  job.qos_class = 0;  // even the latency class waits out a sick fabric
+  FabricView view;
+  view.deweighted_dirs = 1;
+  EXPECT_EQ(ac.decide(job, view), Verdict::kQueue);
+  EXPECT_EQ(ac.health_deferrals(), 1u);
+  view.deweighted_dirs = 0;
+  EXPECT_EQ(ac.decide(job, view), Verdict::kAdmit);
+}
+
+TEST(Admission, PoolPressureGateSparesLatencyClass) {
+  AdmissionController ac;
+  JobSpec bulk;
+  bulk.qos_class = 2;
+  JobSpec latency;
+  latency.qos_class = 0;
+  FabricView view;
+  view.tenants_over_quota = 1;
+  EXPECT_EQ(ac.decide(bulk, view), Verdict::kQueue);
+  EXPECT_EQ(ac.decide(latency, view), Verdict::kAdmit);
+  EXPECT_EQ(ac.pool_deferrals(), 1u);
+}
+
+// --- Scheduler integration on a one-leaf fat tree ------------------------
+
+JobSpec make_job(TenantId tenant, std::vector<fabric::NodeId> hosts,
+                 CollKind coll, std::uint64_t bytes, std::size_t ops) {
+  JobSpec s;
+  s.tenant = tenant;
+  s.name = "t" + std::to_string(tenant);
+  s.hosts = std::move(hosts);
+  s.coll = coll;
+  s.bytes = bytes;
+  s.num_ops = ops;
+  return s;
+}
+
+coll::Cluster one_leaf_cluster() {
+  return coll::Cluster(fabric::make_fat_tree(1, 4, 1, 1, {}, {}), {});
+}
+
+TEST(ClusterSched, DisjointTenantsMatchSoloLatency) {
+  // Solo reference: one tenant alone on hosts {0,1}.
+  std::vector<double> solo;
+  {
+    coll::Cluster cluster = one_leaf_cluster();
+    ClusterScheduler sched(cluster);
+    const std::size_t id =
+        sched.submit(make_job(1, {0, 1}, CollKind::kAllgather, 64 * KiB, 2));
+    sched.run();
+    ASSERT_EQ(sched.job(id).state, JobState::kCompleted);
+    solo = sched.job(id).op_latency_us;
+  }
+  // Two tenants on disjoint host pairs of the same leaf: no shared link,
+  // no shared NIC — per-op latencies must match solo *exactly*. Anything
+  // else means tenants leak timing into each other through shared state.
+  coll::Cluster cluster = one_leaf_cluster();
+  ClusterScheduler sched(cluster);
+  const std::size_t a =
+      sched.submit(make_job(1, {0, 1}, CollKind::kAllgather, 64 * KiB, 2));
+  const std::size_t b =
+      sched.submit(make_job(2, {2, 3}, CollKind::kAllgather, 64 * KiB, 2));
+  sched.run();
+  ASSERT_EQ(sched.job(a).state, JobState::kCompleted);
+  ASSERT_EQ(sched.job(b).state, JobState::kCompleted);
+  EXPECT_EQ(sched.peak_running(), 2u);
+  for (const std::size_t id : {a, b}) {
+    const std::vector<double>& lat = sched.job(id).op_latency_us;
+    ASSERT_EQ(lat.size(), solo.size());
+    for (std::size_t i = 0; i < lat.size(); ++i)
+      EXPECT_DOUBLE_EQ(lat[i], solo[i]) << "job " << id << " op " << i;
+  }
+}
+
+double mean(const std::vector<double>& v) {
+  double sum = 0;
+  for (const double x : v) sum += x;
+  return v.empty() ? 0 : sum / static_cast<double>(v.size());
+}
+
+// One bulk tenant and one latency tenant share hosts {0,1}; the latency
+// tenant's ops ride behind the bulk backlog in FIFO mode and jump it under
+// strict arbitration (NIC bands + egress lanes). The bulk tenant must
+// still finish: strict priority across *classes*, no starvation of the
+// bulk class because the latency tenant is bursty, not continuous.
+double contended_hp_mean(QosPolicy policy, bool apply_classes) {
+  coll::Cluster cluster = one_leaf_cluster();
+  SchedulerConfig scfg;
+  scfg.policy = policy;
+  scfg.apply_classes = apply_classes;
+  ClusterScheduler sched(cluster, scfg);
+  JobSpec bulk = make_job(1, {0, 1}, CollKind::kBroadcast, 512 * KiB, 3);
+  bulk.qos_class = 2;
+  JobSpec hp = make_job(2, {0, 1}, CollKind::kBroadcast, 16 * KiB, 4);
+  hp.qos_class = 0;
+  hp.arrival = 5 * kMicrosecond;  // land mid-backlog
+  hp.gap = 2 * kMicrosecond;
+  const std::size_t b = sched.submit(std::move(bulk));
+  const std::size_t h = sched.submit(std::move(hp));
+  sched.run();
+  EXPECT_EQ(sched.job(b).state, JobState::kCompleted);
+  EXPECT_EQ(sched.job(h).state, JobState::kCompleted);
+  return mean(sched.job(h).op_latency_us);
+}
+
+TEST(ClusterSched, StrictArbitrationProtectsLatencyTenant) {
+  const double fifo = contended_hp_mean(QosPolicy::kFifo, false);
+  const double strict = contended_hp_mean(QosPolicy::kStrict, true);
+  EXPECT_LT(strict, fifo);
+}
+
+TEST(ClusterSched, WfqWeightSpeedsUpHeavyTenant) {
+  // Two identical bulk tenants, same class, weights 3 vs 1, one shared
+  // injection host: the heavy tenant must finish its work first.
+  coll::Cluster cluster = one_leaf_cluster();
+  SchedulerConfig scfg;
+  scfg.policy = QosPolicy::kWfq;
+  ClusterScheduler sched(cluster, scfg);
+  JobSpec heavy = make_job(1, {0, 1}, CollKind::kBroadcast, 256 * KiB, 3);
+  heavy.qos_class = 1;
+  heavy.qos_weight = 3;
+  JobSpec light = make_job(2, {0, 2}, CollKind::kBroadcast, 256 * KiB, 3);
+  light.qos_class = 1;
+  light.qos_weight = 1;
+  const std::size_t hv = sched.submit(std::move(heavy));
+  const std::size_t lt = sched.submit(std::move(light));
+  sched.run();
+  ASSERT_EQ(sched.job(hv).state, JobState::kCompleted);
+  ASSERT_EQ(sched.job(lt).state, JobState::kCompleted);
+  EXPECT_LT(sched.job(hv).finish_time, sched.job(lt).finish_time);
+}
+
+TEST(ClusterSched, ConcurrencyCapQueuesFifoAndAdmitsOnCompletion) {
+  coll::Cluster cluster = one_leaf_cluster();
+  SchedulerConfig scfg;
+  scfg.admission.max_running_jobs = 1;
+  ClusterScheduler sched(cluster, scfg);
+  const std::size_t a =
+      sched.submit(make_job(1, {0, 1}, CollKind::kAllgather, 128 * KiB, 2));
+  JobSpec second = make_job(2, {2, 3}, CollKind::kAllgather, 64 * KiB, 1);
+  second.arrival = 1 * kMicrosecond;
+  const std::size_t b = sched.submit(std::move(second));
+  sched.run();
+  ASSERT_EQ(sched.job(a).state, JobState::kCompleted);
+  ASSERT_EQ(sched.job(b).state, JobState::kCompleted);
+  EXPECT_EQ(sched.peak_running(), 1u);
+  EXPECT_GE(sched.job(b).admit_time, sched.job(a).finish_time);
+  EXPECT_GT(sched.admission().queued(), 0u);
+  EXPECT_TRUE(sched.conservation_ok());
+}
+
+TEST(ClusterSched, QueueTimeoutRejects) {
+  coll::Cluster cluster = one_leaf_cluster();
+  SchedulerConfig scfg;
+  scfg.admission.max_running_jobs = 1;
+  scfg.admission.queue_timeout = 30 * kMicrosecond;
+  scfg.requeue_tick = 10 * kMicrosecond;
+  ClusterScheduler sched(cluster, scfg);
+  // A long-running foreground job pins the single slot well past the
+  // waiting job's timeout.
+  const std::size_t a =
+      sched.submit(make_job(1, {0, 1}, CollKind::kAllgather, 512 * KiB, 4));
+  JobSpec second = make_job(2, {2, 3}, CollKind::kAllgather, 64 * KiB, 1);
+  second.arrival = 1 * kMicrosecond;
+  const std::size_t b = sched.submit(std::move(second));
+  sched.run();
+  EXPECT_EQ(sched.job(a).state, JobState::kCompleted);
+  EXPECT_EQ(sched.job(b).state, JobState::kRejected);
+  EXPECT_EQ(sched.job(b).ops_done, 0u);
+  EXPECT_TRUE(sched.conservation_ok());
+}
+
+TEST(ClusterSched, HealthGateHoldsJobsUntilFabricRecovers) {
+  coll::Cluster cluster = one_leaf_cluster();
+  SchedulerConfig scfg;
+  scfg.admission.max_deweighted_dirs = 0;
+  scfg.requeue_tick = 10 * kMicrosecond;
+  ClusterScheduler sched(cluster, scfg);
+  // A degraded (health-plane-deweighted) link at t=0; it heals at 100us.
+  cluster.fabric().set_dir_weight(0, 2);
+  cluster.engine().schedule_at(100 * kMicrosecond,
+                               [&cluster] { cluster.fabric().set_dir_weight(0, 1); });
+  const std::size_t id =
+      sched.submit(make_job(1, {0, 1}, CollKind::kAllgather, 64 * KiB, 1));
+  sched.run();
+  ASSERT_EQ(sched.job(id).state, JobState::kCompleted);
+  EXPECT_GE(sched.job(id).admit_time, 100 * kMicrosecond);
+  EXPECT_GT(sched.admission().health_deferrals(), 0u);
+}
+
+TEST(ClusterSched, MixedWorkloadReplaysByteIdentical) {
+  // The whole scheduling plane — seeded arrivals, admission, QoS
+  // arbitration, completion hooks — must replay identically: two runs of
+  // the same seed produce the same ledger to the last picosecond.
+  auto run_once = [] {
+    coll::Cluster cluster = one_leaf_cluster();
+    std::vector<fabric::NodeId> hosts = {0, 1, 2, 3};
+    WorkloadConfig wl;
+    wl.seed = 7;
+    wl.training_jobs = 1;
+    wl.training_ranks = 4;
+    wl.training_ops = 2;
+    wl.training_bytes = 64 * KiB;
+    wl.inference_jobs = 3;
+    wl.inference_ranks = 2;
+    wl.inference_ops = 2;
+    wl.inference_bytes = 8 * KiB;
+    SchedulerConfig scfg;
+    scfg.policy = QosPolicy::kStrict;
+    scfg.pool_quota_per_weight = 256;
+    ClusterScheduler sched(cluster, scfg);
+    for (JobSpec& s : make_mixed_workload(wl, hosts))
+      sched.submit(std::move(s));
+    sched.run();
+    std::vector<double> ledger;
+    for (std::size_t id = 0; id < sched.num_jobs(); ++id) {
+      const JobRecord& rec = sched.job(id);
+      ledger.push_back(static_cast<double>(rec.admit_time));
+      ledger.push_back(static_cast<double>(rec.finish_time));
+      ledger.insert(ledger.end(), rec.op_latency_us.begin(),
+                    rec.op_latency_us.end());
+    }
+    return ledger;
+  };
+  const std::vector<double> first = run_once();
+  const std::vector<double> second = run_once();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_DOUBLE_EQ(first[i], second[i]) << "ledger index " << i;
+}
+
+}  // namespace
+}  // namespace mccl::sched

@@ -48,7 +48,8 @@ import os
 import re
 import sys
 
-CORE_DIRS = ("src/sim", "src/fabric", "src/rdma", "src/coll", "src/inc")
+CORE_DIRS = ("src/sim", "src/fabric", "src/rdma", "src/coll", "src/inc",
+             "src/sched")
 ALL_SRC = ("src",)
 
 ALLOW_RE = re.compile(r"//\s*mccl-lint:\s*allow\(([\w\-, ]+)\)\s*\S")
@@ -359,6 +360,8 @@ SELF_TESTS = [
      "// mccl-lint: begin-hot test-region\n"
      "void step() { auto* p = new int(7); (void)p; }\n"
      "// mccl-lint: end-hot\n"),
+    ("no-wallclock", "src/sched/bad.cpp",
+     "unsigned f() { return std::random_device{}(); }\n"),
     ("capture-budget", "src/sim/bad3.cpp",
      "void f() {\n"
      "  int a, b, c, d, e, g, h, i, j;\n"
