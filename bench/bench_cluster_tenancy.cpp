@@ -10,6 +10,13 @@
 // slashes hp p99 at near-zero training cost (training is
 // bandwidth-bound, hp bursts are small); wfq lands between fifo and
 // strict on both axes.
+//
+// A fourth row (strict_chaos) reruns strict with a degraded trunk and a
+// mid-storm host crash under per-class failure policies, so the
+// robustness counters in every --mccl_json row (jobs by terminal state,
+// retries, requeues, degraded ops, shrunk ranks) have a non-zero
+// reference: the fault-free rows must report all-zero robustness
+// activity, the chaos row must not.
 #include <algorithm>
 #include <vector>
 
@@ -28,14 +35,8 @@ double percentile(std::vector<double> v, double p) {
 }
 
 void BM_Tenancy(benchmark::State& state, sched::QosPolicy policy,
-                bool classes) {
+                bool classes, bool chaos) {
   for (auto _ : state) {
-    coll::Cluster cluster(
-        fabric::make_multi_rail_fat_tree(2, 4, 4, 4, 1, {}, {}),
-        bench::synthetic_cluster());
-    std::vector<fabric::NodeId> hosts;
-    for (std::size_t h = 0; h < cluster.num_hosts(); ++h)
-      hosts.push_back(static_cast<fabric::NodeId>(h));
     sched::WorkloadConfig wl;
     wl.seed = 42;
     wl.training_bytes = 256 * KiB;
@@ -43,6 +44,37 @@ void BM_Tenancy(benchmark::State& state, sched::QosPolicy policy,
     wl.inference_bytes = 32 * KiB;
     wl.inference_mean_gap = 10 * kMicrosecond;
     wl.comm.cutoff_alpha = 100 * kMicrosecond;
+    coll::ClusterConfig kcfg = bench::synthetic_cluster();
+    if (chaos) {
+      // Same per-class robustness posture as example_cluster_chaos_storm:
+      // training rides out a crashed rank as degraded progress, inference
+      // retries over the shrunk survivor set with a tight detector.
+      wl.training_policy.accept_partial = true;
+      wl.training_policy.max_requeues = 1;
+      wl.inference_policy.max_retries = 2;
+      wl.inference_policy.retry_backoff = 15 * kMicrosecond;
+      wl.inference_policy.retry_budget = 1 * kMillisecond;
+      wl.inference_policy.max_requeues = 1;
+      wl.high_priority_policy = wl.inference_policy;
+      wl.inference_heartbeat = 20 * kMicrosecond;
+      wl.inference_lease = 80 * kMicrosecond;
+      fabric::FaultConfig fc;
+      fc.events = {
+          fabric::FaultEvent::degrade(30 * kMicrosecond, 16, 20, 0.08,
+                                      15 * kMicrosecond),
+          // Host 15 sits outside the seed-42 high-priority windows; its
+          // death lands mid-storm on the wide training tenants.
+          fabric::FaultEvent::node_crash(60 * kMicrosecond, 15),
+      };
+      fc.seed = wl.seed ^ 0xc4a05ull;
+      kcfg.fabric.faults = fc;
+      kcfg.nic.rc_rto = 20 * kMicrosecond;
+    }
+    coll::Cluster cluster(
+        fabric::make_multi_rail_fat_tree(2, 4, 4, 4, 1, {}, {}), kcfg);
+    std::vector<fabric::NodeId> hosts;
+    for (std::size_t h = 0; h < cluster.num_hosts(); ++h)
+      hosts.push_back(static_cast<fabric::NodeId>(h));
     sched::SchedulerConfig scfg;
     scfg.policy = policy;
     scfg.apply_classes = classes;
@@ -55,12 +87,22 @@ void BM_Tenancy(benchmark::State& state, sched::QosPolicy policy,
     std::vector<double> hp_lat;
     double train_goodput = 0;
     Time makespan = 0;
+    std::size_t completed = 0, degraded = 0, failed = 0, rejected = 0;
+    std::uint64_t retries = 0, requeues = 0, ops_degraded = 0, shrunk = 0;
     for (std::size_t id = 0; id < scheduler.num_jobs(); ++id) {
       const sched::JobRecord& rec = scheduler.job(id);
       if (rec.spec.qos_class == 0)
         hp_lat.insert(hp_lat.end(), rec.op_latency_us.begin(),
                       rec.op_latency_us.end());
       makespan = std::max(makespan, rec.finish_time);
+      completed += rec.state == sched::JobState::kCompleted;
+      degraded += rec.state == sched::JobState::kDegraded;
+      failed += rec.state == sched::JobState::kFailed;
+      rejected += rec.state == sched::JobState::kRejected;
+      retries += rec.retries_used;
+      requeues += rec.requeues_used;
+      ops_degraded += rec.ops_degraded;
+      shrunk += rec.shrunk_ranks;
     }
     for (const sched::TenantId t : scheduler.tenants()) {
       const auto s = scheduler.tenant_stats(t);
@@ -71,20 +113,34 @@ void BM_Tenancy(benchmark::State& state, sched::QosPolicy policy,
     state.counters["train_goodput_gbps"] = train_goodput;
     state.counters["peak_tenants"] =
         static_cast<double>(scheduler.peak_running());
+    // Robustness accounting: terminal-state census plus the failure-policy
+    // ledger. Fault-free rows must be all-zero past jobs_completed.
+    state.counters["jobs_completed"] = static_cast<double>(completed);
+    state.counters["jobs_degraded"] = static_cast<double>(degraded);
+    state.counters["jobs_failed"] = static_cast<double>(failed);
+    state.counters["jobs_rejected"] = static_cast<double>(rejected);
+    state.counters["retries"] = static_cast<double>(retries);
+    state.counters["requeues"] = static_cast<double>(requeues);
+    state.counters["ops_degraded"] = static_cast<double>(ops_degraded);
+    state.counters["shrunk_ranks"] = static_cast<double>(shrunk);
   }
 }
 
 void register_all() {
   benchmark::RegisterBenchmark("Tenancy/fifo", BM_Tenancy,
-                               sched::QosPolicy::kFifo, false)
+                               sched::QosPolicy::kFifo, false, false)
       ->UseManualTime()
       ->Iterations(1);
   benchmark::RegisterBenchmark("Tenancy/strict", BM_Tenancy,
-                               sched::QosPolicy::kStrict, true)
+                               sched::QosPolicy::kStrict, true, false)
       ->UseManualTime()
       ->Iterations(1);
   benchmark::RegisterBenchmark("Tenancy/wfq", BM_Tenancy,
-                               sched::QosPolicy::kWfq, true)
+                               sched::QosPolicy::kWfq, true, false)
+      ->UseManualTime()
+      ->Iterations(1);
+  benchmark::RegisterBenchmark("Tenancy/strict_chaos", BM_Tenancy,
+                               sched::QosPolicy::kStrict, true, true)
       ->UseManualTime()
       ->Iterations(1);
 }

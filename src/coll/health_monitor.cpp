@@ -15,6 +15,11 @@ HealthMonitor::HealthMonitor(Communicator& comm, HealthConfig cfg)
   MCCL_CHECK(cfg_.slow_enter > cfg_.slow_exit);
   MCCL_CHECK(cfg_.backlog_enter > cfg_.backlog_exit);
   MCCL_CHECK(cfg_.dwell >= 1 && cfg_.link_dwell >= 1);
+  if (cfg_.predictive) {
+    MCCL_CHECK(cfg_.severity_alpha > 0.0 && cfg_.severity_alpha <= 1.0);
+    MCCL_CHECK(cfg_.trend_alpha > 0.0 && cfg_.trend_alpha <= 1.0);
+    MCCL_CHECK(cfg_.risk_enter > cfg_.risk_exit);
+  }
   peers_.assign(n_ * n_, PeerHealth{});
   links_.assign(comm_.cluster().fabric().topology().num_dirs(), LinkHealth{});
   // Sampler phase: decorrelated from the detector ticks and the fabric's
@@ -27,6 +32,8 @@ HealthMonitor::HealthMonitor(Communicator& comm, HealthConfig cfg)
   ctr_slow_clears_ = &reg.counter("coll.adapt.slow_clears");
   ctr_link_deweights_ = &reg.counter("coll.adapt.link_deweights");
   ctr_link_restores_ = &reg.counter("coll.adapt.link_restores");
+  ctr_predict_marks_ = &reg.counter("coll.adapt.predict_marks");
+  ctr_predict_clears_ = &reg.counter("coll.adapt.predict_clears");
 }
 
 void HealthMonitor::note_op_started() {
@@ -150,6 +157,21 @@ void HealthMonitor::sample_links() {
     // bursts that can drain entirely between two sampler ticks.
     const Time backlog = fab.take_peak_backlog(dir);
 
+    // Window severity for the predictive scorer: distance to the reactive
+    // thresholds, normalized so 1.0 means "this window alone would count as
+    // bad". Thin windows contribute no drop signal (same min-packets guard
+    // as the reactive path), but backlog is traffic-independent. Scored
+    // after the reactive hysteresis below so a direction that crosses into
+    // unhealthy drops its advisory at-risk flag in the same window.
+    const double drop_frac =
+        pkt_delta >= cfg_.min_window_packets && cfg_.drop_enter > 0.0
+            ? static_cast<double>(drop_delta) /
+                  static_cast<double>(pkt_delta) / cfg_.drop_enter
+            : 0.0;
+    const double severity =
+        std::max(drop_frac, static_cast<double>(backlog) /
+                                static_cast<double>(cfg_.backlog_enter));
+
     const bool drops_bad =
         pkt_delta >= cfg_.min_window_packets &&
         static_cast<double>(drop_delta) >=
@@ -206,7 +228,46 @@ void HealthMonitor::sample_links() {
         lh.good_windows = 0;
       }
     }
+    if (cfg_.predictive) score_trend(dir, severity);
   }
+}
+
+void HealthMonitor::score_trend(std::size_t dir, double severity) {
+  LinkHealth& lh = links_[dir];
+  const double prev = lh.sev_ewma;
+  lh.sev_ewma = cfg_.severity_alpha * severity +
+                (1.0 - cfg_.severity_alpha) * lh.sev_ewma;
+  lh.slope_ewma = cfg_.trend_alpha * (lh.sev_ewma - prev) +
+                  (1.0 - cfg_.trend_alpha) * lh.slope_ewma;
+  const double projected = lh.sev_ewma + cfg_.risk_horizon * lh.slope_ewma;
+  bool want = lh.at_risk;
+  if (lh.unhealthy) {
+    // The reactive plane owns a deweighted direction: "about to go sick"
+    // is moot once it is sick, and admission already gates on the
+    // deweighted-dir count.
+    want = false;
+  } else if (!lh.at_risk) {
+    // Mark only on a rising trend. A high-but-flat projection is a steady
+    // state the reactive thresholds will judge on their own; the forecast
+    // earns its keep strictly on the way up.
+    want = projected >= cfg_.risk_enter && lh.slope_ewma > 0.0;
+  } else {
+    want = projected > cfg_.risk_exit;
+  }
+  if (want == lh.at_risk) return;
+  lh.at_risk = want;
+  comm_.cluster().fabric().set_dir_at_risk(dir, want);
+  if (want) {
+    ++predict_marks_;
+    ctr_predict_marks_->add(1);
+  } else {
+    ++predict_clears_;
+    ctr_predict_clears_->add(1);
+  }
+  comm_.cluster().telemetry().recorder.record(
+      comm_.cluster().engine().now(), -1, telemetry::EventCat::kAdapt,
+      want ? "link_at_risk" : "link_risk_clear", dir,
+      static_cast<std::uint64_t>(std::max(0.0, projected) * 100.0));
 }
 
 std::size_t HealthMonitor::unhealthy_dirs_on_rail(int rail) const {

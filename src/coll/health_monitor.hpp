@@ -99,6 +99,27 @@ struct HealthConfig {
   std::uint16_t healthy_weight = 15;
   std::uint16_t lossy_weight = 1;
 
+  // --- predictive (trend) link scoring -------------------------------------
+  /// The reactive plane above reacts *after* a direction has been bad for
+  /// `link_dwell` windows. The predictive scorer runs on the same window
+  /// samples but projects forward: each window's severity (how close the
+  /// direction sits to its unhealthy thresholds, 1.0 = at threshold) feeds
+  /// a level EWMA and a slope EWMA, and a direction whose projected
+  /// severity `level + risk_horizon * slope` crosses `risk_enter` while
+  /// still trending up is flagged *at risk* in the fabric
+  /// (Fabric::set_dir_at_risk). The flag is advisory: routing never
+  /// changes, but the cluster scheduler's admission controller defers new
+  /// placements while too many directions are about to go sick. Cleared
+  /// when the projection falls back through `risk_exit`, or the moment the
+  /// reactive plane takes over (unhealthy implies deweighted, which
+  /// admission already gates on).
+  bool predictive = true;
+  double severity_alpha = 0.5;  // EWMA weight of a window's severity
+  double trend_alpha = 0.5;     // EWMA weight of the severity slope
+  double risk_horizon = 3.0;    // windows of lookahead in the projection
+  double risk_enter = 1.0;      // projected severity to mark at-risk
+  double risk_exit = 0.5;       // projected severity to clear the mark
+
   /// Validator bound ("adapt.oscillation"): state flips per peer pair or
   /// per direction beyond this report a violation in MCCL_VALIDATE builds.
   std::uint32_t max_transitions = 8;
@@ -145,6 +166,7 @@ class HealthMonitor {
     return peers_[observer * n_ + peer].ewma;
   }
   bool dir_unhealthy(std::size_t dir) const { return links_[dir].unhealthy; }
+  bool dir_at_risk(std::size_t dir) const { return links_[dir].at_risk; }
   /// Unhealthy link directions on `rail`'s plane (host links count toward
   /// their switch endpoint's rail). Drives multicast subgroup re-balancing.
   std::size_t unhealthy_dirs_on_rail(int rail) const;
@@ -154,11 +176,19 @@ class HealthMonitor {
   std::uint64_t slow_clears() const { return slow_clears_; }
   std::uint64_t link_deweights() const { return link_deweights_; }
   std::uint64_t link_restores() const { return link_restores_; }
+  std::uint64_t predict_marks() const { return predict_marks_; }
+  std::uint64_t predict_clears() const { return predict_clears_; }
 
   /// Validate-build fault-injection hook: forces `n` mark/clear flips on
   /// one pair, tripping "adapt.oscillation" once the bound is exceeded.
   void test_force_flap(std::size_t observer, std::size_t peer,
                        std::uint32_t n);
+  /// Test hook: feeds one synthetic severity window into the predictive
+  /// trend scorer for `dir` (the same path sample_links() drives), so unit
+  /// tests can replay an exact degradation ramp without shaping traffic.
+  void test_observe_link(std::size_t dir, double severity) {
+    score_trend(dir, severity);
+  }
 
  private:
   struct PeerHealth {
@@ -176,12 +206,18 @@ class HealthMonitor {
     std::uint32_t good_windows = 0;
     bool unhealthy = false;
     std::uint32_t transitions = 0;
+    // Predictive trend state (see HealthConfig::predictive).
+    double sev_ewma = 0.0;    // smoothed window severity
+    double slope_ewma = 0.0;  // smoothed severity delta per window
+    bool at_risk = false;
   };
 
   void observe(std::size_t observer, std::size_t peer, double sample,
                double alpha);
   void set_slow(std::size_t observer, std::size_t peer, bool slow);
   void sample_links();
+  /// One predictive-scorer step for `dir` on a fresh window severity.
+  void score_trend(std::size_t dir, double severity);
   void schedule_sample(std::uint64_t gen);
   /// Applies ECMP weights for every egress direction of the node that owns
   /// `dir` (siblings included; see HealthConfig weight semantics).
@@ -207,11 +243,15 @@ class HealthMonitor {
   std::uint64_t slow_clears_ = 0;
   std::uint64_t link_deweights_ = 0;
   std::uint64_t link_restores_ = 0;
+  std::uint64_t predict_marks_ = 0;
+  std::uint64_t predict_clears_ = 0;
   // Registry references resolved once at wiring time.
   telemetry::Counter* ctr_slow_marks_ = nullptr;
   telemetry::Counter* ctr_slow_clears_ = nullptr;
   telemetry::Counter* ctr_link_deweights_ = nullptr;
   telemetry::Counter* ctr_link_restores_ = nullptr;
+  telemetry::Counter* ctr_predict_marks_ = nullptr;
+  telemetry::Counter* ctr_predict_clears_ = nullptr;
 };
 
 }  // namespace mccl::coll

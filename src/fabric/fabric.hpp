@@ -152,6 +152,25 @@ class Fabric {
     return n;
   }
 
+  // --- Predictive at-risk register (health-plane trend scoring) ------------
+  /// A direction the health plane's trend scorer projects to cross its
+  /// unhealthy threshold within the risk horizon — degrading, but not yet
+  /// deweighted. Advisory only: at-risk never changes routing (ECMP
+  /// weights stay untouched), it feeds forward into admission so new
+  /// tenants are deferred off a link *about* to go sick instead of being
+  /// placed onto it and then rescued. Cold path; monitors write at
+  /// sampling cadence, the scheduler reads per admission decision.
+  void set_dir_at_risk(std::size_t dir_index, bool at_risk) {
+    if (dir_at_risk_[dir_index] == static_cast<char>(at_risk)) return;
+    dir_at_risk_[dir_index] = static_cast<char>(at_risk);
+    at_risk_dirs_ += at_risk ? 1 : -1;
+  }
+  bool dir_at_risk(std::size_t dir_index) const {
+    return dir_at_risk_[dir_index] != 0;
+  }
+  /// Directions currently flagged at-risk across all monitors.
+  std::size_t at_risk_dirs() const { return at_risk_dirs_; }
+
   /// Sim-time this direction's serializer is booked past `now` — the
   /// queue-depth/ECN analog the health monitor samples to spot degraded
   /// (slow but not dropping) links.
@@ -267,6 +286,8 @@ class Fabric {
   // "any weight differs from 1" so the unweighted hot path stays a single
   // predictable branch.
   std::vector<std::uint16_t> dir_weight_;
+  std::vector<char> dir_at_risk_;  // predictive advisory flags, per dir
+  std::size_t at_risk_dirs_ = 0;
   bool weighted_ = false;
   std::uint64_t ecmp_reweights_ = 0;
   /// Cached FaultPlane::passthrough(): when set, every per-packet fault

@@ -32,6 +32,11 @@ Verdict AdmissionController::decide(const JobSpec& job,
     ++health_deferrals_;
     return Verdict::kQueue;
   }
+  if (view.at_risk_dirs > cfg_.max_at_risk_dirs) {
+    ++queued_;
+    ++predictive_deferrals_;
+    return Verdict::kQueue;
+  }
   if (cfg_.gate_on_pool_pressure && view.tenants_over_quota > 0 &&
       job.qos_class != 0) {
     ++queued_;

@@ -33,6 +33,14 @@ struct AdmissionConfig {
   /// plane), new jobs queue instead of admitting — don't pile tenants onto
   /// a degraded fabric. ~0 disables the gate.
   std::size_t max_deweighted_dirs = ~std::size_t{0};
+  /// Predictive gate: while the health plane's trend scorer flags more
+  /// than this many directions *at risk* (Fabric::at_risk_dirs() —
+  /// projected to cross their unhealthy thresholds within the risk
+  /// horizon, but not yet deweighted), defer new placements. This is the
+  /// forward-looking sibling of the deweight gate: it holds tenants off a
+  /// link about to go sick instead of admitting onto it and rescuing them
+  /// a few windows later. ~0 disables the gate.
+  std::size_t max_at_risk_dirs = ~std::size_t{0};
   /// Pool gate: while any tenant sub-pool sits above its soft packet
   /// quota, defer new admissions until the pressure clears. Class-0
   /// (highest-priority) jobs bypass this gate — a latency tenant should
@@ -48,6 +56,7 @@ struct FabricView {
   std::size_t running_jobs = 0;
   std::size_t queued_jobs = 0;  // excluding the job being decided
   std::size_t deweighted_dirs = 0;  // health plane: reweighted link dirs
+  std::size_t at_risk_dirs = 0;  // predictive: trending toward unhealthy
   std::size_t tenants_over_quota = 0;  // sub-pools above their soft quota
 };
 
@@ -68,6 +77,7 @@ class AdmissionController {
   std::uint64_t queued() const { return queued_; }
   std::uint64_t rejected() const { return rejected_; }
   std::uint64_t health_deferrals() const { return health_deferrals_; }
+  std::uint64_t predictive_deferrals() const { return predictive_deferrals_; }
   std::uint64_t pool_deferrals() const { return pool_deferrals_; }
 
  private:
@@ -76,6 +86,7 @@ class AdmissionController {
   std::uint64_t queued_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t health_deferrals_ = 0;
+  std::uint64_t predictive_deferrals_ = 0;
   std::uint64_t pool_deferrals_ = 0;
 };
 

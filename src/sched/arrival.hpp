@@ -71,6 +71,23 @@ struct WorkloadConfig {
   std::uint16_t high_priority_weight = 8;
   Time high_priority_slo = 0;
 
+  // --- per-class failure handling ------------------------------------------
+  /// Failure policies stamped per class (JobSpec::on_failure). The
+  /// defaults keep the pre-policy fail-fast scheduler: any non-ok op
+  /// fails the job immediately.
+  FailurePolicy training_policy;
+  FailurePolicy inference_policy;
+  FailurePolicy high_priority_policy;
+  /// Per-class failure-detector overrides (0 = keep cfg.comm's value).
+  /// Bursty inference tenants run ops shorter than the default lease, so
+  /// they need tight heartbeat/lease windows to confirm a crashed peer
+  /// within an op or two; bulk training tenants can afford the laxer
+  /// default and save the heartbeat traffic.
+  Time training_heartbeat = 0;
+  Time training_lease = 0;
+  Time inference_heartbeat = 0;
+  Time inference_lease = 0;
+
   /// Base transport config stamped onto every job (tenant/qos fields are
   /// filled per job by the scheduler at admission).
   coll::CommConfig comm;
@@ -106,7 +123,12 @@ inline std::vector<JobSpec> make_mixed_workload(
     s.coll = CollKind::kAllgather;
     s.bytes = cfg.training_bytes;
     s.num_ops = cfg.training_ops;
+    s.on_failure = cfg.training_policy;
     s.comm = cfg.comm;
+    if (cfg.training_heartbeat != 0)
+      s.comm.detector.heartbeat_interval = cfg.training_heartbeat;
+    if (cfg.training_lease != 0)
+      s.comm.detector.lease_timeout = cfg.training_lease;
     jobs.push_back(std::move(s));
   }
 
@@ -137,7 +159,12 @@ inline std::vector<JobSpec> make_mixed_workload(
     s.bytes = cfg.inference_bytes;
     s.num_ops = cfg.inference_ops;
     s.gap = cfg.inference_think;
+    s.on_failure = hp ? cfg.high_priority_policy : cfg.inference_policy;
     s.comm = cfg.comm;
+    if (cfg.inference_heartbeat != 0)
+      s.comm.detector.heartbeat_interval = cfg.inference_heartbeat;
+    if (cfg.inference_lease != 0)
+      s.comm.detector.lease_timeout = cfg.inference_lease;
     jobs.push_back(std::move(s));
   }
   return jobs;

@@ -58,16 +58,32 @@ struct JobRecord {
   JobState state = JobState::kPending;
   Time submit_time = 0;  // arrival event fired
   Time queue_time = 0;   // entered the wait queue (0 if never queued)
-  Time admit_time = 0;
-  Time finish_time = 0;  // settled: completed / rejected / failed
-  std::size_t ops_done = 0;
-  std::size_t ops_failed = 0;
+  Time admit_time = 0;   // latest admission (moves forward on requeue)
+  Time finish_time = 0;  // settled: completed / degraded / rejected / failed
+  std::size_t ops_done = 0;      // clean (kOk, verified) op completions
+  std::size_t ops_degraded = 0;  // kPartial completions accepted by policy
+  std::size_t ops_failed = 0;    // failed op attempts (each retried,
+                                 // requeued, or terminal per the policy)
   std::uint64_t slo_misses = 0;
-  std::vector<double> op_latency_us;  // per completed op
+  std::vector<double> op_latency_us;  // per completed (ok/degraded) op
   std::uint64_t bytes_moved = 0;  // per-rank payload delivered
+  // --- failure-policy ledger (audited by sched.retry_conservation) --------
+  std::uint32_t retries_used = 0;   // in-place re-issues, all cycles
+  std::uint32_t requeues_used = 0;  // trips back through admission
+  std::uint32_t cycle_retries = 0;  // re-issues this admission cycle
+  Time cycle_first_failure = 0;     // starts the retry_budget clock
+  std::size_t shrunk_ranks = 0;     // ranks dropped across (re)launches
+  /// Host set of the current communicator (spec.hosts minus ranks that
+  /// were presumed dead at the latest launch/shrink).
+  std::vector<fabric::NodeId> launch_hosts;
+  /// spec.bcast_root remapped into launch_hosts (0 if the root died).
+  std::size_t launch_root = 0;
   /// Built at admission; retained until scheduler destruction (mid-run
-  /// Communicator teardown is not supported by the protocol layer).
+  /// Communicator teardown is not supported by the protocol layer). A
+  /// shrink or requeue retires the old communicator into `retired_comms`
+  /// rather than destroying it.
   std::unique_ptr<coll::Communicator> comm;
+  std::vector<std::unique_ptr<coll::Communicator>> retired_comms;
 };
 
 class ClusterScheduler {
@@ -83,8 +99,8 @@ class ClusterScheduler {
   std::size_t submit(JobSpec spec);
 
   /// Schedules every arrival and runs the cluster until all submitted
-  /// jobs settle (completed, rejected, or failed), then audits the
-  /// tenant-conservation invariant.
+  /// jobs settle (completed, degraded, rejected, or failed), then audits
+  /// the tenant- and retry-conservation invariants.
   void run();
 
   std::size_t num_jobs() const { return jobs_.size(); }
@@ -99,9 +115,14 @@ class ClusterScheduler {
     std::string name;
     std::size_t jobs = 0;
     std::size_t jobs_completed = 0;
+    std::size_t jobs_degraded = 0;  // finished with accepted-partial ops
     std::size_t jobs_rejected = 0;
     std::size_t jobs_failed = 0;
-    std::size_t ops = 0;
+    std::size_t ops = 0;           // clean op completions
+    std::size_t ops_degraded = 0;  // accepted-partial op completions
+    std::uint64_t retries = 0;
+    std::uint64_t requeues = 0;
+    std::size_t shrunk_ranks = 0;
     std::uint64_t slo_misses = 0;
     double p50_us = 0, p99_us = 0, max_us = 0;  // per-op latency
     double mean_queue_us = 0;  // admission wait (admitted jobs only)
@@ -114,22 +135,42 @@ class ClusterScheduler {
 
   /// The scheduler's books balance: every submitted job settled exactly
   /// once, nothing still runs or waits, and every issued op is accounted
-  /// as done or failed. run() asserts this through the
+  /// as done, degraded, or failed. run() asserts this through the
   /// `sched.tenant_conservation` validator.
   bool conservation_ok() const;
-  /// Re-checks conservation and reports `sched.tenant_conservation` on
-  /// mismatch (validate builds). run() calls this; tests call it again
-  /// after test_corrupt_ledger() to prove the validator trips.
+  /// The failure-policy books balance: every failed op attempt is matched
+  /// by exactly one escalation — a retry, a requeue, or the job's terminal
+  /// failure — and no job spent more retries or requeues than its policy
+  /// granted. run() asserts this through `sched.retry_conservation`.
+  bool retry_ledger_ok() const;
+  /// Re-checks both ledgers and reports `sched.tenant_conservation` /
+  /// `sched.retry_conservation` on mismatch (validate builds). run() calls
+  /// this; tests call it again after a test_corrupt_* hook to prove the
+  /// validators trip.
   void audit();
   /// Test hook: unbalances the issued-op ledger so audit() trips.
   void test_corrupt_ledger() { ++ops_issued_; }
+  /// Test hook: books a retry that never happened on job `id`, so the
+  /// retry-budget conservation audit trips.
+  void test_corrupt_retry_ledger(std::size_t id) { ++jobs_[id].retries_used; }
 
  private:
   void on_arrival(std::size_t id);
   void enqueue(std::size_t id);
   void admit(std::size_t id);
+  /// Builds (or rebuilds) the job's communicator over `hosts`.
+  void build_comm(std::size_t id, std::vector<fabric::NodeId> hosts);
+  /// spec.hosts minus ranks currently presumed dead (host crashed, or —
+  /// given a prior communicator — confirmed by its failure detector).
+  std::vector<fabric::NodeId> surviving_hosts(const JobRecord& rec) const;
   void issue_next(std::size_t id);
   void on_op_done(std::size_t id, coll::OpBase& op);
+  /// Escalation ladder for a failed op attempt: accept-partial was already
+  /// refused upstream, so shrink+retry, requeue, or settle kFailed.
+  void on_op_failure(std::size_t id, coll::OpBase& op);
+  /// Shrinks the communicator off presumed-dead ranks ahead of a retry.
+  /// Returns false when fewer than two ranks survive (job unsalvageable).
+  bool shrink_for_retry(std::size_t id);
   void settle(std::size_t id, JobState final_state);
   /// FIFO re-evaluation: admit from the head until a job must keep
   /// waiting (no queue jumping; timeouts reject in order).

@@ -34,9 +34,16 @@ enum class JobState : std::uint8_t {
   kQueued,     // arrived; admission deferred (capacity, health, or pool)
   kRunning,    // communicator built, ops in flight
   kCompleted,  // every op finished and verified
-  kRejected,   // admission refused (queue overflow or queue timeout)
-  kFailed,     // an op failed (watchdog / partial delivery / bad data)
+  kDegraded,   // finished, but >= 1 op settled kPartial under accept_partial
+  kRejected,   // admission refused (queue overflow, timeout, unplaceable)
+  kFailed,     // an op failed and the failure policy's budget ran out
 };
+
+/// Terminal (settled) states: the job will never run another op.
+inline bool is_terminal(JobState s) {
+  return s == JobState::kCompleted || s == JobState::kDegraded ||
+         s == JobState::kRejected || s == JobState::kFailed;
+}
 
 inline const char* to_string(JobKind k) {
   switch (k) {
@@ -68,6 +75,8 @@ inline const char* to_string(JobState s) {
       return "running";
     case JobState::kCompleted:
       return "completed";
+    case JobState::kDegraded:
+      return "degraded";
     case JobState::kRejected:
       return "rejected";
     case JobState::kFailed:
@@ -75,6 +84,33 @@ inline const char* to_string(JobState s) {
   }
   return "?";
 }
+
+/// Per-tenant policy for ops that settle kPartial / kFailed. The defaults
+/// reproduce the pre-policy scheduler: any non-ok op fails the job on the
+/// spot. The three escalation rungs are tried in order:
+///
+///   1. accept_partial — a verified kPartial op (survivors correct, some
+///      blocks lost with their crashed root) counts as degraded progress;
+///      the job keeps running and settles kDegraded instead of kCompleted.
+///   2. retry — re-issue the op after an exponential backoff
+///      (retry_backoff << attempt), up to max_retries per admission and
+///      within retry_budget of the admission cycle's first failure. Before
+///      each retry the scheduler shrinks the communicator off ranks now
+///      presumed dead (elastic recovery).
+///   3. requeue — tear the job back to the admission queue (fresh
+///      communicator, fresh host filter, back of the FIFO), up to
+///      max_requeues per job.
+///
+/// Only when every rung is exhausted does the job settle kFailed.
+struct FailurePolicy {
+  std::uint32_t max_retries = 0;  // in-place re-issues per admission cycle
+  Time retry_backoff = 20 * kMicrosecond;  // doubles every consecutive retry
+  /// Wall budget for retries, measured from the first failed attempt of
+  /// the current admission cycle (0 = no deadline, count cap only).
+  Time retry_budget = 0;
+  bool accept_partial = false;  // kPartial with verified survivors is ok
+  std::uint32_t max_requeues = 0;  // full re-admissions per job
+};
 
 struct JobSpec {
   TenantId tenant = 1;
@@ -96,9 +132,13 @@ struct JobSpec {
   /// Per-op latency SLO for accounting (0 = best effort; never gates
   /// completion, only the sched.tenant.slo_misses counter).
   Time slo_target = 0;
+  /// What to do when an op settles kPartial or kFailed (default: fail).
+  FailurePolicy on_failure;
   /// Transport configuration for the job's communicator. The scheduler
   /// overwrites the tenant/qos_class/qos_weight fields from this spec at
-  /// admission time (or zeroes them in the FIFO baseline).
+  /// admission time (or zeroes them in the FIFO baseline). The embedded
+  /// detector config is per-job: arrival generators give bursty inference
+  /// tenants tighter heartbeat/lease windows than bulk training tenants.
   coll::CommConfig comm;
 };
 

@@ -316,6 +316,57 @@ TEST(Health, SubgroupsRepinOffTheSickRail) {
 
 // --- determinism ----------------------------------------------------------
 
+// --- predictive (trend) link scoring --------------------------------------
+
+TEST(Health, PredictiveTrendMarksRisingLinkThenClears) {
+  // Defaults: severity_alpha 0.5, trend_alpha 0.5, risk_horizon 3,
+  // risk_enter 1.0, risk_exit 0.5. A 0.3 / 0.6 / 0.9 severity ramp walks
+  // the projection 0.375 -> 0.825 -> 1.256: still below threshold after
+  // two windows, marked at-risk on the third while the reactive plane
+  // (which needs the direction actually *over* its thresholds for
+  // link_dwell windows) has not fired. One clean window collapses the
+  // projection to 0.15 and clears the mark.
+  World w(4, adapt_on());
+  HealthMonitor* hm = w.comm->health();
+  ASSERT_NE(hm, nullptr);
+  fabric::Fabric& fab = w.cluster->fabric();
+  const std::size_t dir = 0;
+  hm->test_observe_link(dir, 0.3);
+  hm->test_observe_link(dir, 0.6);
+  EXPECT_FALSE(hm->dir_at_risk(dir));
+  EXPECT_EQ(fab.at_risk_dirs(), 0u);
+  hm->test_observe_link(dir, 0.9);
+  EXPECT_TRUE(hm->dir_at_risk(dir));
+  EXPECT_TRUE(fab.dir_at_risk(dir));
+  EXPECT_EQ(fab.at_risk_dirs(), 1u);
+  EXPECT_EQ(hm->predict_marks(), 1u);
+  EXPECT_FALSE(hm->dir_unhealthy(dir));  // advisory only: no deweight
+  hm->test_observe_link(dir, 0.0);
+  EXPECT_FALSE(hm->dir_at_risk(dir));
+  EXPECT_FALSE(fab.dir_at_risk(dir));
+  EXPECT_EQ(fab.at_risk_dirs(), 0u);
+  EXPECT_EQ(hm->predict_clears(), 1u);
+  const telemetry::Snapshot snap =
+      w.cluster->telemetry().metrics.snapshot();
+  EXPECT_EQ(snap.at("coll.adapt.predict_marks").count, 1u);
+  EXPECT_EQ(snap.at("coll.adapt.predict_clears").count, 1u);
+}
+
+TEST(Health, PredictiveTrendIgnoresHighButFlatSeverity) {
+  // A steady sub-threshold severity (0.4 forever) converges the level
+  // EWMA toward 0.4 with a vanishing slope: the projection peaks at 0.6
+  // and decays, so the forecast never fires — a flat state is the
+  // reactive thresholds' call, not the trend scorer's.
+  World w(4, adapt_on());
+  HealthMonitor* hm = w.comm->health();
+  ASSERT_NE(hm, nullptr);
+  const std::size_t dir = 0;
+  for (int i = 0; i < 10; ++i) hm->test_observe_link(dir, 0.4);
+  EXPECT_FALSE(hm->dir_at_risk(dir));
+  EXPECT_EQ(hm->predict_marks(), 0u);
+  EXPECT_EQ(w.cluster->fabric().at_risk_dirs(), 0u);
+}
+
 TEST(Health, AdaptiveTimelineReplaysIdentically) {
   // The whole adaptation loop — sampler phase, EWMA updates, deweights,
   // repins, detours — is driven by seeded sim-time events: two runs of the

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
+#include "src/fabric/faults.hpp"
 #include "src/fabric/topology.hpp"
 #include "src/sched/arrival.hpp"
 #include "src/sched/cluster_sched.hpp"
@@ -412,6 +414,345 @@ TEST(ClusterSched, MixedWorkloadReplaysByteIdentical) {
   ASSERT_EQ(first.size(), second.size());
   for (std::size_t i = 0; i < first.size(); ++i)
     EXPECT_DOUBLE_EQ(first[i], second[i]) << "ledger index " << i;
+}
+
+// --- Fault tolerance: failure policies, elastic admission, predictive gate
+
+coll::Cluster faulty_cluster(std::vector<fabric::FaultEvent> events) {
+  coll::ClusterConfig kcfg;
+  kcfg.fabric.faults.events = std::move(events);
+  return coll::Cluster(fabric::make_fat_tree(1, 4, 1, 1, {}, {}), kcfg);
+}
+
+// Tight per-job detector (a crash confirms within ~150us instead of the
+// ~600us default) and a low quiescence cutoff so a lossy op settles its
+// census promptly. Crash-path tests stay fast and, more importantly, the
+// failure timestamps stay well inside the margins the two-crash budget
+// test below reasons about.
+void tune_for_crash(JobSpec& s) {
+  s.comm.cutoff_alpha = 50 * kMicrosecond;
+  s.comm.detector.heartbeat_interval = 20 * kMicrosecond;
+  s.comm.detector.lease_timeout = 60 * kMicrosecond;
+}
+
+std::uint64_t metric_count(coll::Cluster& cluster, const std::string& key) {
+  const telemetry::Snapshot snap = cluster.telemetry().metrics.snapshot();
+  const auto it = snap.find(key);
+  return it == snap.end() ? 0 : it->second.count;
+}
+
+TEST(FaultTolerance, DefaultPolicyFailsJobOnCrashPartial) {
+  // Rank 3 dies mid-injection of a 512 KiB allgather (injection alone is
+  // ~21us at 200G), so no survivor holds its full block: the op settles
+  // kPartial, and the default fail-fast policy turns that into kFailed.
+  coll::Cluster cluster =
+      faulty_cluster({fabric::FaultEvent::node_crash(10 * kMicrosecond, 3)});
+  ClusterScheduler sched(cluster);
+  JobSpec s = make_job(1, {0, 1, 2, 3}, CollKind::kAllgather, 512 * KiB, 1);
+  tune_for_crash(s);
+  const std::size_t id = sched.submit(std::move(s));
+  sched.run();
+  const JobRecord& rec = sched.job(id);
+  EXPECT_EQ(rec.state, JobState::kFailed);
+  EXPECT_EQ(rec.ops_failed, 1u);
+  EXPECT_EQ(rec.ops_done, 0u);
+  EXPECT_EQ(rec.ops_degraded, 0u);
+  EXPECT_EQ(rec.retries_used, 0u);
+  EXPECT_EQ(rec.requeues_used, 0u);
+  EXPECT_TRUE(sched.conservation_ok());
+  EXPECT_TRUE(sched.retry_ledger_ok());
+  EXPECT_EQ(metric_count(cluster, "sched.jobs_failed"), 1u);
+}
+
+TEST(FaultTolerance, AcceptPartialSettlesDegradedWithVerifiedProgress) {
+  // Same crash, but the tenant opted into partial progress: the op that
+  // loses the dead rank's block settles kPartial and counts as degraded
+  // progress, the job keeps running (ops started after the detector
+  // confirmed the death enroll only survivors and complete clean), and
+  // it lands kDegraded with every op accounted.
+  coll::Cluster cluster =
+      faulty_cluster({fabric::FaultEvent::node_crash(10 * kMicrosecond, 3)});
+  ClusterScheduler sched(cluster);
+  JobSpec s = make_job(1, {0, 1, 2, 3}, CollKind::kAllgather, 512 * KiB, 2);
+  tune_for_crash(s);
+  s.on_failure.accept_partial = true;
+  const std::size_t id = sched.submit(std::move(s));
+  sched.run();
+  const JobRecord& rec = sched.job(id);
+  EXPECT_EQ(rec.state, JobState::kDegraded);
+  EXPECT_EQ(rec.ops_done + rec.ops_degraded, 2u);
+  EXPECT_GE(rec.ops_degraded, 1u);
+  EXPECT_EQ(rec.ops_failed, 0u);
+  EXPECT_EQ(rec.op_latency_us.size(), 2u);
+  // Degraded ops still move at least the survivors' payload (3 of 4
+  // blocks); a clean post-confirmation op is charged at full comm width.
+  EXPECT_GE(rec.bytes_moved, 2u * 3u * 512 * KiB);
+  EXPECT_LE(rec.bytes_moved, 2u * 4u * 512 * KiB);
+  EXPECT_TRUE(sched.conservation_ok());
+  EXPECT_TRUE(sched.retry_ledger_ok());
+  EXPECT_EQ(metric_count(cluster, "sched.jobs_degraded"), 1u);
+  EXPECT_EQ(metric_count(
+                cluster, telemetry::MetricsRegistry::key(
+                             "sched.tenant.ops_degraded", {{"tenant", "t1"}})),
+            rec.ops_degraded);
+}
+
+TEST(FaultTolerance, RetryShrinksCommAndRemapsDeadRoot) {
+  // The broadcast root itself dies mid-injection. One retry is granted:
+  // the scheduler shrinks the communicator off the confirmed-dead rank,
+  // hands the root role to the first survivor, and the re-issued op
+  // completes clean.
+  coll::Cluster cluster =
+      faulty_cluster({fabric::FaultEvent::node_crash(10 * kMicrosecond, 0)});
+  ClusterScheduler sched(cluster);
+  JobSpec s = make_job(1, {0, 1, 2, 3}, CollKind::kBroadcast, 512 * KiB, 1);
+  tune_for_crash(s);
+  s.bcast_root = 0;
+  s.on_failure.max_retries = 1;
+  s.on_failure.retry_backoff = 5 * kMicrosecond;
+  const std::size_t id = sched.submit(std::move(s));
+  sched.run();
+  const JobRecord& rec = sched.job(id);
+  EXPECT_EQ(rec.state, JobState::kCompleted);
+  EXPECT_EQ(rec.ops_done, 1u);
+  EXPECT_EQ(rec.ops_failed, 1u);
+  EXPECT_EQ(rec.retries_used, 1u);
+  EXPECT_EQ(rec.requeues_used, 0u);
+  EXPECT_EQ(rec.shrunk_ranks, 1u);
+  ASSERT_TRUE(rec.comm != nullptr);
+  EXPECT_EQ(rec.comm->size(), 3u);
+  EXPECT_EQ(rec.launch_hosts, (std::vector<fabric::NodeId>{1, 2, 3}));
+  EXPECT_EQ(rec.launch_root, 0u);  // dead root's role fell to host 1
+  EXPECT_EQ(rec.retired_comms.size(), 1u);
+  EXPECT_TRUE(sched.conservation_ok());
+  EXPECT_TRUE(sched.retry_ledger_ok());
+  EXPECT_EQ(metric_count(cluster, "sched.retries"), 1u);
+  EXPECT_EQ(metric_count(cluster, "sched.shrunk_ranks"), 1u);
+}
+
+TEST(FaultTolerance, RetryBudgetDeadlineEndsTheCycle) {
+  // Two crashes, one admission cycle. The first (the root, mid-injection
+  // of a 4 MiB broadcast, ~170us of wire time) confirms at ~160us and is
+  // retried inside the 100us budget — the budget clock starts at that
+  // first failure. The replacement root then dies mid-retry; by the time
+  // its death confirms, the cycle is far past the budget, so the second
+  // failure cannot retry (and with no requeues granted the job fails),
+  // even though the retry *count* still had headroom.
+  coll::Cluster cluster =
+      faulty_cluster({fabric::FaultEvent::node_crash(20 * kMicrosecond, 0),
+                      fabric::FaultEvent::node_crash(270 * kMicrosecond, 1)});
+  ClusterScheduler sched(cluster);
+  JobSpec s = make_job(1, {0, 1, 2, 3}, CollKind::kBroadcast, 4 * MiB, 1);
+  tune_for_crash(s);
+  s.bcast_root = 0;
+  s.on_failure.max_retries = 3;
+  s.on_failure.retry_backoff = 5 * kMicrosecond;
+  s.on_failure.retry_budget = 100 * kMicrosecond;
+  const Time budget = s.on_failure.retry_budget;
+  const std::size_t id = sched.submit(std::move(s));
+  sched.run();
+  const JobRecord& rec = sched.job(id);
+  EXPECT_EQ(rec.state, JobState::kFailed);
+  EXPECT_EQ(rec.ops_failed, 2u);
+  EXPECT_EQ(rec.retries_used, 1u);  // count cap was 3; the deadline bound
+  EXPECT_EQ(rec.requeues_used, 0u);
+  EXPECT_EQ(rec.shrunk_ranks, 1u);  // only the first failure shrank
+  EXPECT_GT(rec.finish_time - rec.cycle_first_failure, budget);
+  EXPECT_TRUE(sched.conservation_ok());
+  EXPECT_TRUE(sched.retry_ledger_ok());
+}
+
+TEST(FaultTolerance, RequeueReadmitsOverSurvivorsAfterRetriesExhausted) {
+  // No in-place retries granted, one requeue: the root's death sends the
+  // job back through admission, where the crash filter drops the dead
+  // host and a fresh three-rank communicator finishes the work.
+  coll::Cluster cluster =
+      faulty_cluster({fabric::FaultEvent::node_crash(10 * kMicrosecond, 0)});
+  ClusterScheduler sched(cluster);
+  JobSpec s = make_job(1, {0, 1, 2, 3}, CollKind::kBroadcast, 512 * KiB, 1);
+  tune_for_crash(s);
+  s.bcast_root = 0;
+  s.on_failure.max_requeues = 1;
+  const std::size_t id = sched.submit(std::move(s));
+  sched.run();
+  const JobRecord& rec = sched.job(id);
+  EXPECT_EQ(rec.state, JobState::kCompleted);
+  EXPECT_EQ(rec.ops_done, 1u);
+  EXPECT_EQ(rec.ops_failed, 1u);
+  EXPECT_EQ(rec.retries_used, 0u);
+  EXPECT_EQ(rec.requeues_used, 1u);
+  EXPECT_EQ(rec.shrunk_ranks, 1u);
+  ASSERT_TRUE(rec.comm != nullptr);
+  EXPECT_EQ(rec.comm->size(), 3u);
+  EXPECT_EQ(rec.retired_comms.size(), 1u);
+  // The re-admission happened after the crash confirmed (lease floor).
+  EXPECT_GE(rec.admit_time, 70 * kMicrosecond);
+  EXPECT_TRUE(sched.conservation_ok());
+  EXPECT_TRUE(sched.retry_ledger_ok());
+  EXPECT_EQ(metric_count(cluster, "sched.requeues"), 1u);
+}
+
+TEST(FaultTolerance, UnsalvageableShrinkFailsDespiteRetryBudget) {
+  // Three of four ranks die: fewer than two survive the shrink, so the
+  // retry rung refuses regardless of the generous retry budget, and with
+  // no requeues the job settles kFailed after its single failed attempt.
+  coll::Cluster cluster =
+      faulty_cluster({fabric::FaultEvent::node_crash(10 * kMicrosecond, 1),
+                      fabric::FaultEvent::node_crash(10 * kMicrosecond, 2),
+                      fabric::FaultEvent::node_crash(10 * kMicrosecond, 3)});
+  ClusterScheduler sched(cluster);
+  JobSpec s = make_job(1, {0, 1, 2, 3}, CollKind::kAllgather, 512 * KiB, 1);
+  tune_for_crash(s);
+  s.on_failure.max_retries = 3;
+  const std::size_t id = sched.submit(std::move(s));
+  sched.run();
+  const JobRecord& rec = sched.job(id);
+  EXPECT_EQ(rec.state, JobState::kFailed);
+  EXPECT_EQ(rec.ops_failed, 1u);
+  EXPECT_EQ(rec.retries_used, 0u);
+  EXPECT_EQ(rec.shrunk_ranks, 0u);  // the shrink was refused, not taken
+  EXPECT_TRUE(sched.conservation_ok());
+  EXPECT_TRUE(sched.retry_ledger_ok());
+}
+
+TEST(FaultTolerance, AdmissionShrinksCrashedRanksBeforeLaunch) {
+  // The host is already dead when the job arrives: crash-aware placement
+  // drops it up front, so the job launches on three ranks and never sees
+  // a failure at all.
+  coll::Cluster cluster =
+      faulty_cluster({fabric::FaultEvent::node_crash(5 * kMicrosecond, 3)});
+  ClusterScheduler sched(cluster);
+  JobSpec s = make_job(1, {0, 1, 2, 3}, CollKind::kAllgather, 64 * KiB, 1);
+  s.arrival = 50 * kMicrosecond;
+  const std::size_t id = sched.submit(std::move(s));
+  sched.run();
+  const JobRecord& rec = sched.job(id);
+  EXPECT_EQ(rec.state, JobState::kCompleted);
+  EXPECT_EQ(rec.ops_failed, 0u);
+  EXPECT_EQ(rec.shrunk_ranks, 1u);
+  ASSERT_TRUE(rec.comm != nullptr);
+  EXPECT_EQ(rec.comm->size(), 3u);
+  EXPECT_EQ(rec.launch_hosts, (std::vector<fabric::NodeId>{0, 1, 2}));
+  EXPECT_TRUE(sched.conservation_ok());
+  EXPECT_EQ(metric_count(cluster, "sched.shrunk_ranks"), 1u);
+}
+
+TEST(FaultTolerance, RecoveredHostReentersPlacement) {
+  // Crash, then recover, then arrive: host_crashed() has flipped back by
+  // arrival time, so the job launches at full width with no shrink.
+  coll::Cluster cluster =
+      faulty_cluster({fabric::FaultEvent::node_crash(5 * kMicrosecond, 3),
+                      fabric::FaultEvent::node_recover(100 * kMicrosecond, 3)});
+  ClusterScheduler sched(cluster);
+  JobSpec s = make_job(1, {0, 1, 2, 3}, CollKind::kAllgather, 64 * KiB, 1);
+  s.arrival = 200 * kMicrosecond;
+  const std::size_t id = sched.submit(std::move(s));
+  sched.run();
+  const JobRecord& rec = sched.job(id);
+  EXPECT_EQ(rec.state, JobState::kCompleted);
+  EXPECT_EQ(rec.shrunk_ranks, 0u);
+  ASSERT_TRUE(rec.comm != nullptr);
+  EXPECT_EQ(rec.comm->size(), 4u);
+  EXPECT_TRUE(sched.conservation_ok());
+}
+
+TEST(FaultTolerance, UnplaceableJobIsRejected) {
+  // Fewer than two ranks survive the crash filter: the job cannot form a
+  // communicator and is rejected at admission, never launched.
+  coll::Cluster cluster =
+      faulty_cluster({fabric::FaultEvent::node_crash(5 * kMicrosecond, 1),
+                      fabric::FaultEvent::node_crash(5 * kMicrosecond, 2),
+                      fabric::FaultEvent::node_crash(5 * kMicrosecond, 3)});
+  ClusterScheduler sched(cluster);
+  JobSpec s = make_job(1, {0, 1, 2, 3}, CollKind::kAllgather, 64 * KiB, 1);
+  s.arrival = 50 * kMicrosecond;
+  const std::size_t id = sched.submit(std::move(s));
+  sched.run();
+  const JobRecord& rec = sched.job(id);
+  EXPECT_EQ(rec.state, JobState::kRejected);
+  EXPECT_EQ(rec.ops_done, 0u);
+  EXPECT_TRUE(rec.comm == nullptr);
+  EXPECT_TRUE(sched.conservation_ok());
+  EXPECT_EQ(metric_count(cluster, "sched.jobs_rejected"), 1u);
+}
+
+TEST(Admission, PredictiveGateDefersOnAtRiskDirs) {
+  AdmissionConfig cfg;
+  cfg.max_at_risk_dirs = 0;
+  AdmissionController ac(cfg);
+  JobSpec job;
+  job.qos_class = 0;  // like the reactive gate, it holds every class
+  FabricView view;
+  view.at_risk_dirs = 1;
+  EXPECT_EQ(ac.decide(job, view), Verdict::kQueue);
+  EXPECT_EQ(ac.predictive_deferrals(), 1u);
+  view.at_risk_dirs = 0;
+  EXPECT_EQ(ac.decide(job, view), Verdict::kAdmit);
+}
+
+TEST(Admission, PredictiveGateDisabledByDefault) {
+  AdmissionController ac;
+  JobSpec job;
+  FabricView view;
+  view.at_risk_dirs = 100;
+  EXPECT_EQ(ac.decide(job, view), Verdict::kAdmit);
+  EXPECT_EQ(ac.predictive_deferrals(), 0u);
+}
+
+TEST(ClusterSched, PredictiveGateHoldsJobsUntilRiskClears) {
+  // A direction flagged at-risk by the trend scorer defers placement just
+  // like a deweighted one; the flag clearing (here at 100us) reopens the
+  // door on the next queue tick.
+  coll::Cluster cluster = one_leaf_cluster();
+  SchedulerConfig scfg;
+  scfg.admission.max_at_risk_dirs = 0;
+  scfg.requeue_tick = 10 * kMicrosecond;
+  ClusterScheduler sched(cluster, scfg);
+  cluster.fabric().set_dir_at_risk(0, true);
+  cluster.engine().schedule_at(100 * kMicrosecond, [&cluster] {
+    cluster.fabric().set_dir_at_risk(0, false);
+  });
+  const std::size_t id =
+      sched.submit(make_job(1, {0, 1}, CollKind::kAllgather, 64 * KiB, 1));
+  sched.run();
+  ASSERT_EQ(sched.job(id).state, JobState::kCompleted);
+  EXPECT_GE(sched.job(id).admit_time, 100 * kMicrosecond);
+  EXPECT_GT(sched.admission().predictive_deferrals(), 0u);
+  EXPECT_EQ(metric_count(cluster, "sched.admission.predictive_deferrals"),
+            sched.admission().predictive_deferrals());
+}
+
+TEST(Workload, StampsPerClassFailurePolicyAndDetector) {
+  // The arrival generator hands each class its own failure policy and
+  // failure-detector timing; a zero override keeps the base comm value.
+  WorkloadConfig wl;
+  wl.training_jobs = 1;
+  wl.inference_jobs = 2;
+  wl.high_priority_jobs = 1;
+  wl.training_policy.accept_partial = true;
+  wl.inference_policy.max_retries = 2;
+  wl.high_priority_policy.max_retries = 5;
+  wl.high_priority_policy.retry_budget = 500 * kMicrosecond;
+  wl.training_heartbeat = 50 * kMicrosecond;
+  wl.training_lease = 200 * kMicrosecond;
+  wl.inference_heartbeat = 20 * kMicrosecond;  // lease left at 0 = default
+  const std::vector<fabric::NodeId> hosts = {0, 1, 2, 3};
+  const std::vector<JobSpec> jobs = make_mixed_workload(wl, hosts);
+  ASSERT_EQ(jobs.size(), 3u);
+  const JobSpec& train = jobs[0];
+  EXPECT_TRUE(train.on_failure.accept_partial);
+  EXPECT_EQ(train.comm.detector.heartbeat_interval, 50 * kMicrosecond);
+  EXPECT_EQ(train.comm.detector.lease_timeout, 200 * kMicrosecond);
+  const JobSpec& hp = jobs[1];  // the first inference job is the SLO class
+  EXPECT_EQ(hp.qos_class, 0u);
+  EXPECT_EQ(hp.on_failure.max_retries, 5u);
+  EXPECT_EQ(hp.on_failure.retry_budget, 500 * kMicrosecond);
+  EXPECT_EQ(hp.comm.detector.heartbeat_interval, 20 * kMicrosecond);
+  EXPECT_EQ(hp.comm.detector.lease_timeout,
+            coll::DetectorConfig{}.lease_timeout);
+  const JobSpec& bulk = jobs[2];
+  EXPECT_FALSE(bulk.on_failure.accept_partial);
+  EXPECT_EQ(bulk.on_failure.max_retries, 2u);
 }
 
 }  // namespace

@@ -294,6 +294,28 @@ TEST(Validate, SchedConservationDetected) {
   EXPECT_TRUE(trap.tripped("sched.tenant_conservation"));
 }
 
+TEST(Validate, RetryConservationDetected) {
+  SKIP_UNLESS_VALIDATE();
+  // The failure-policy ledger demands every failed op attempt map to
+  // exactly one escalation (retry, requeue, or terminal failure). A
+  // booked retry with no matching failed attempt is a structured
+  // violation — the same audit that stays silent on the clean run.
+  coll::Cluster cluster(fabric::make_fat_tree(1, 2, 1, 1, {}, {}), {});
+  sched::ClusterScheduler scheduler(cluster);
+  sched::JobSpec job;
+  job.tenant = 1;
+  job.name = "t1";
+  job.hosts = {0, 1};
+  job.bytes = 16 * KiB;
+  const std::size_t id = scheduler.submit(std::move(job));
+  scheduler.run();
+  EXPECT_TRUE(scheduler.retry_ledger_ok());
+  scheduler.test_corrupt_retry_ledger(id);
+  debug::ViolationTrap trap;
+  scheduler.audit();
+  EXPECT_TRUE(trap.tripped("sched.retry_conservation"));
+}
+
 // --- determinism auditor ----------------------------------------------------
 
 std::uint64_t run_hash(std::uint64_t seed, double drop) {
