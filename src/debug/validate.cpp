@@ -3,12 +3,17 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace mccl::debug {
 namespace {
 
-// Single-threaded by construction (the simulator has one event loop), so a
-// plain pointer stack suffices.
+// Reporting must be thread-safe since the ParallelEngine runs shard cores
+// on worker threads and any of them may trip a validator. Trap install /
+// uninstall still happens on the driving thread only (traps are scoped
+// objects in tests), but the mutex makes concurrent reports — and reports
+// racing a trap's caught_ push — well defined.
+std::mutex g_mu;
 ViolationTrap* g_trap = nullptr;
 std::uint64_t g_count = 0;
 
@@ -20,20 +25,32 @@ void report(const char* checker, const char* fmt, ...) {
   va_start(ap, fmt);
   std::vsnprintf(buf, sizeof buf, fmt, ap);
   va_end(ap);
+  std::unique_lock<std::mutex> lock(g_mu);
   ++g_count;
   if (g_trap != nullptr) {
     g_trap->caught_.push_back(Violation{checker, buf});
     return;
   }
+  lock.unlock();
   std::fprintf(stderr, "mccl validate violation: [%s] %s\n", checker, buf);
   std::abort();
 }
 
-std::uint64_t violation_count() { return g_count; }
+std::uint64_t violation_count() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_count;
+}
 
-ViolationTrap::ViolationTrap() : prev_(g_trap) { g_trap = this; }
+ViolationTrap::ViolationTrap() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  prev_ = g_trap;
+  g_trap = this;
+}
 
-ViolationTrap::~ViolationTrap() { g_trap = prev_; }
+ViolationTrap::~ViolationTrap() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_trap = prev_;
+}
 
 bool ViolationTrap::tripped(std::string_view checker) const {
   for (const Violation& v : caught_) {

@@ -1,0 +1,86 @@
+#include "src/fabric/partition.hpp"
+
+#include <limits>
+
+#include "src/common/check.hpp"
+
+namespace mccl::fabric {
+
+Partition Partition::single(const Topology& topo) {
+  Partition p;
+  p.num_shards = 1;
+  p.shard_of_node.assign(topo.num_nodes(), 0);
+  p.nodes_per_shard.assign(1, topo.num_nodes());
+  return p;
+}
+
+Partition make_partition(const Topology& topo, int shards) {
+  MCCL_CHECK(shards >= 1);
+  const std::size_t n = topo.num_nodes();
+  const std::size_t h = topo.num_hosts();
+  MCCL_CHECK(h >= 1);
+  if (static_cast<std::size_t>(shards) > h)
+    shards = static_cast<int>(h);
+  if (shards == 1) return Partition::single(topo);
+  MCCL_CHECK_MSG(topo.routes_ready(),
+                 "partitioner needs compute_routes() distances");
+
+  Partition p;
+  p.num_shards = shards;
+  p.shard_of_node.assign(n, -1);
+
+  // Hosts: contiguous equal blocks by host index (pod-major for the
+  // fat-tree builders, so blocks align with pods when shards | pods).
+  const std::vector<NodeId>& hosts = topo.hosts();
+  for (std::size_t hi = 0; hi < h; ++hi)
+    p.shard_of_node[static_cast<std::size_t>(hosts[hi])] =
+        static_cast<int>(hi * static_cast<std::size_t>(shards) / h);
+
+  // Switches: follow the nearest hosts when they agree on a shard;
+  // otherwise (top tier) deal round-robin in node-id order.
+  int rr = 0;
+  for (std::size_t node = 0; node < n; ++node) {
+    if (topo.is_host(static_cast<NodeId>(node))) continue;
+    int best_dist = std::numeric_limits<int>::max();
+    int shard = -1;
+    bool split = false;
+    for (std::size_t hi = 0; hi < h; ++hi) {
+      const int d =
+          topo.distance(static_cast<NodeId>(node), hosts[hi]);
+      const int hs = p.shard_of_node[static_cast<std::size_t>(hosts[hi])];
+      if (d < best_dist) {
+        best_dist = d;
+        shard = hs;
+        split = false;
+      } else if (d == best_dist && hs != shard) {
+        split = true;
+      }
+    }
+    MCCL_CHECK_MSG(shard >= 0, "switch reaches no host");
+    if (split) {
+      shard = rr;
+      rr = (rr + 1) % shards;
+    }
+    p.shard_of_node[node] = shard;
+  }
+
+  p.nodes_per_shard.assign(static_cast<std::size_t>(shards), 0);
+  for (const int s : p.shard_of_node)
+    ++p.nodes_per_shard[static_cast<std::size_t>(s)];
+
+  // Conservative lookahead: the tightest latency on any cut link.
+  Time lookahead = std::numeric_limits<Time>::max();
+  for (const LinkDir& d : topo.dirs()) {
+    if (!p.cross(d.from, d.to)) continue;
+    ++p.cross_dirs;
+    if (d.params.latency < lookahead) lookahead = d.params.latency;
+  }
+  if (p.cross_dirs == 0) return Partition::single(topo);
+  MCCL_CHECK_MSG(lookahead > 0,
+                 "cross-shard links need a positive latency for conservative "
+                 "parallelism");
+  p.lookahead = lookahead;
+  return p;
+}
+
+}  // namespace mccl::fabric

@@ -1,0 +1,53 @@
+// Topology partitioner for the sharded parallel engine.
+//
+// Maps every node (host and switch) to one of N shards and derives the
+// conservative lookahead — the minimum latency of any link whose endpoints
+// land in different shards. The ParallelEngine's epoch width is exactly
+// that lookahead: any event crossing a shard boundary rides a wire of at
+// least that latency, so it can never land inside the epoch that sent it.
+//
+// The placement rule is topology-generic but tuned for fat trees:
+//  * Hosts split into contiguous equal blocks by host index. Fat-tree
+//    builders number hosts pod-major, so blocks align with pods whenever
+//    shards <= pods divides evenly.
+//  * A switch follows its hosts: it takes the shard of the hosts nearest to
+//    it (by hop count) when they agree — edge and agg switches end up with
+//    their pod. Switches whose nearest hosts span shards (core layer,
+//    2-level spines) are dealt round-robin so the top tier spreads evenly.
+// Every cut link is then a fabric link (never a host uplink) with full link
+// latency of lookahead, which is what makes the epochs wide enough to be
+// worth the barrier.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/units.hpp"
+#include "src/fabric/topology.hpp"
+
+namespace mccl::fabric {
+
+struct Partition {
+  int num_shards = 1;
+  std::vector<int> shard_of_node;  // node id -> shard
+  /// Minimum cross-shard link latency (0 when nothing crosses — one shard).
+  Time lookahead = 0;
+  std::size_t cross_dirs = 0;  // link directions crossing a shard boundary
+  std::vector<std::size_t> nodes_per_shard;
+
+  int shard_of(NodeId n) const {
+    return shard_of_node[static_cast<std::size_t>(n)];
+  }
+  bool cross(NodeId a, NodeId b) const { return shard_of(a) != shard_of(b); }
+
+  /// Everything in shard 0 — the degenerate sequential partition.
+  static Partition single(const Topology& topo);
+};
+
+/// Partitions `topo` into (at most) `shards` shards. Requires
+/// compute_routes() (hop distances drive switch placement). `shards` is
+/// clamped to the host count; the result's num_shards reports the value
+/// actually used.
+Partition make_partition(const Topology& topo, int shards);
+
+}  // namespace mccl::fabric

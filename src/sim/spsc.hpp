@@ -1,0 +1,91 @@
+// Single-producer / single-consumer ring for cross-shard event batches.
+//
+// One ring exists per ordered shard pair (src, dst). During an epoch's run
+// phase only the thread running shard `src` pushes; during the exchange
+// phase only the thread running shard `dst` drains. The epoch barrier
+// between the two phases already provides the happens-before edge, but the
+// cursors are still release/acquire atomics so the ring is independently
+// race-free (and TSan-clean) even if a future coordinator overlaps the
+// phases.
+//
+// Capacity is bounded; a full ring spills to a producer-side vector. Once a
+// push spills, every later push in the same epoch spills too (`spilling_`),
+// so drain order — ring first, then spill — is exactly push order. The
+// spill vector is produced and consumed under the same ownership discipline
+// as the ring slots, separated by the epoch barrier.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.hpp"
+
+namespace mccl::sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity_pow2 = 1024)
+      : mask_(capacity_pow2 - 1), slots_(new T[capacity_pow2]) {
+    MCCL_CHECK_MSG((capacity_pow2 & mask_) == 0 && capacity_pow2 >= 2,
+                   "SpscRing capacity must be a power of two");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Never fails: overflow goes to the spill vector.
+  void push(T v) {
+    if (!spilling_) {
+      const std::uint64_t head = head_.load(std::memory_order_relaxed);
+      const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+      if (head - tail <= mask_) {
+        slots_[head & mask_] = std::move(v);
+        head_.store(head + 1, std::memory_order_release);
+        return;
+      }
+      spilling_ = true;  // keep FIFO order: all later pushes spill too
+    }
+    spill_.push_back(std::move(v));
+  }
+
+  /// Consumer side: drains everything pushed so far, in push order, into
+  /// `out` (appended). Resets the spill state; producer must be quiescent
+  /// past the epoch barrier when the spill vector is touched.
+  void drain_into(std::vector<T>& out) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    while (tail != head) {
+      out.push_back(std::move(slots_[tail & mask_]));
+      ++tail;
+    }
+    tail_.store(tail, std::memory_order_release);
+    if (spilling_) {
+      for (T& v : spill_) out.push_back(std::move(v));
+      spill_.clear();
+      spilling_ = false;
+    }
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire) &&
+           !spilling_;
+  }
+
+  std::uint64_t spilled() const { return spilling_ ? spill_.size() : 0; }
+
+ private:
+  const std::uint64_t mask_;
+  std::unique_ptr<T[]> slots_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // producer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // consumer cursor
+  bool spilling_ = false;        // producer-owned during the run phase,
+  std::vector<T> spill_;         // consumer-owned during the exchange phase
+};
+
+}  // namespace mccl::sim

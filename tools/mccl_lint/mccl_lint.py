@@ -30,6 +30,16 @@ encodes the repo's determinism rules as machine-checked source rules:
                      schedule_at stay within the 64-byte inline-callback
                      budget (<= 8 captured entities at ~8 bytes each);
                      larger captures silently fall back to heap allocation.
+  no-unguarded-shared-state
+                     src/sim only. The sharded parallel engine's thread
+                     safety is by ownership: the only cross-shard mutable
+                     state is the SPSC mailbox plane (rings_/scratch_),
+                     and it may only be touched inside regions marked
+                     `// mccl-lint: begin-shard-exchange` ... `// mccl-lint:
+                     end-shard-exchange` (the epoch-barrier exchange path).
+                     Mutable function/namespace statics are banned outright:
+                     any worker thread may dispatch any shard's events, so
+                     a mutable static is a data race and a determinism leak.
 
 Suppression: append `// mccl-lint: allow(<rule>[,<rule>...]) <reason>` on
 the offending line or the line directly above it. A reason is required.
@@ -55,6 +65,8 @@ ALL_SRC = ("src",)
 ALLOW_RE = re.compile(r"//\s*mccl-lint:\s*allow\(([\w\-, ]+)\)\s*\S")
 BEGIN_HOT_RE = re.compile(r"//\s*mccl-lint:\s*begin-hot\s+[\w\-]+")
 END_HOT_RE = re.compile(r"//\s*mccl-lint:\s*end-hot")
+BEGIN_EXCHANGE_RE = re.compile(r"//\s*mccl-lint:\s*begin-shard-exchange")
+END_EXCHANGE_RE = re.compile(r"//\s*mccl-lint:\s*end-shard-exchange")
 
 WALLCLOCK_PATTERNS = [
     (re.compile(r"std::chrono::(system|steady|high_resolution)_clock"),
@@ -81,6 +93,14 @@ HOT_ALLOC_RE = re.compile(
     r"\bnew\b|\bmake_unique\b|\bmake_shared\b"
     r"|\b(?:malloc|calloc|realloc)\s*\(|std::function\s*<")
 SCHEDULE_RE = re.compile(r"\bschedule(_at)?\s*\(")
+
+# The cross-shard mailbox plane: the ParallelEngine's SPSC ring array and
+# per-destination sort buffers. Any indexed/member access outside a
+# begin-shard-exchange region is a potential cross-thread touch.
+SHARED_STATE_TOUCH_RE = re.compile(r"\b(rings_|scratch_)\s*(\[|\.|->)")
+# Mutable statics: `static` without const/constexpr and without a parameter
+# list on the line (static member *functions* are fine).
+MUTABLE_STATIC_RE = re.compile(r"\bstatic\b(?!_assert)")
 
 CAPTURE_BUDGET = 8  # entities * 8 bytes = the 64-byte inline budget
 
@@ -181,7 +201,9 @@ class FileContext:
         # (1-indexed; an allow() covers its own line and the next).
         self.allowed = {}
         self.hot = [False] * (len(self.raw_lines) + 2)
+        self.exchange = [False] * (len(self.raw_lines) + 2)
         in_hot = False
+        in_exchange = False
         for idx, line in enumerate(self.raw_lines, start=1):
             m = ALLOW_RE.search(line)
             if m:
@@ -192,7 +214,12 @@ class FileContext:
                 in_hot = True
             elif END_HOT_RE.search(line):
                 in_hot = False
+            if BEGIN_EXCHANGE_RE.search(line):
+                in_exchange = True
+            elif END_EXCHANGE_RE.search(line):
+                in_exchange = False
             self.hot[idx] = in_hot
+            self.exchange[idx] = in_exchange
 
     def suppressed(self, lineno, rule):
         return rule in self.allowed.get(lineno, set())
@@ -286,6 +313,21 @@ def check_capture_budget(ctx, violations):
                  "inline-callback budget" % (len(captures), CAPTURE_BUDGET))
 
 
+def check_unguarded_shared_state(ctx, violations):
+    for idx, line in enumerate(ctx.code_lines, start=1):
+        m = SHARED_STATE_TOUCH_RE.search(line)
+        if m and not ctx.exchange[idx]:
+            emit(violations, ctx, idx, "no-unguarded-shared-state",
+                 "'%s' touched outside a begin-shard-exchange region "
+                 "(the epoch-barrier exchange path is the only legal "
+                 "cross-shard access)" % m.group(1))
+        if (MUTABLE_STATIC_RE.search(line) and "constexpr" not in line and
+                not re.search(r"\bconst\b", line) and "(" not in line):
+            emit(violations, ctx, idx, "no-unguarded-shared-state",
+                 "mutable static: any worker thread may run this code; "
+                 "shared mutable state must be per-shard or barrier-guarded")
+
+
 RULES = [
     ("no-wallclock", CORE_DIRS, check_wallclock),
     ("no-unordered-iter", CORE_DIRS, check_unordered_iter),
@@ -293,6 +335,7 @@ RULES = [
     ("no-shared-packet", ALL_SRC, check_shared_packet),
     ("no-hot-alloc", ALL_SRC, check_hot_alloc),
     ("capture-budget", CORE_DIRS, check_capture_budget),
+    ("no-unguarded-shared-state", ("src/sim",), check_unguarded_shared_state),
 ]
 
 
@@ -368,6 +411,10 @@ SELF_TESTS = [
      "  engine.schedule(5, [this, a, b, c, d, e, g, h, i, j] {\n"
      "    use(a); });\n"
      "}\n"),
+    ("no-unguarded-shared-state", "src/sim/bad4.cpp",
+     "static std::uint64_t g_dispatch_count = 0;\n"),
+    ("no-unguarded-shared-state", "src/sim/bad5.cpp",
+     "void peek() { if (!rings_[0]->empty()) steal(); }\n"),
 ]
 
 CLEAN_TESTS = [
@@ -383,6 +430,21 @@ CLEAN_TESTS = [
      "int f(int k) { return table_.at(k); }  // point lookup: fine\n"),
     ("src/sim/ok2.cpp",
      "void warm() { auto* p = new int(7); (void)p; }  // not in a hot region\n"),
+    # Mailbox touches inside the exchange region, const/constexpr statics,
+    # static member functions, and suppressed setup code all stay quiet.
+    ("src/sim/ok3.cpp",
+     "static constexpr int kShards = 8;\n"
+     "static const char* name() { return \"ok\"; }\n"
+     "void exchange() {\n"
+     "  // mccl-lint: begin-shard-exchange\n"
+     "  rings_[0]->drain_into(scratch_[0]);\n"
+     "  // mccl-lint: end-shard-exchange\n"
+     "}\n"
+     "void setup() {\n"
+     "  // mccl-lint: allow(no-unguarded-shared-state) ctor runs "
+     "single-threaded\n"
+     "  rings_.resize(64);\n"
+     "}\n"),
 ]
 
 
