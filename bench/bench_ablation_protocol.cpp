@@ -52,6 +52,7 @@ void BM_StagingDepth(benchmark::State& state) {
     coll::OpBase& op =
         w.comm->start_broadcast(0, 8 * MiB, coll::BcastAlgo::kMcast);
     w.cluster->run_until_done([&op] { return op.done(); });
+    MCCL_CHECK(!op.failed());
     dur = op.finish_time() - op.start_time();
     rnr = w.comm->ep(1).rnr_drops();
     fetched = op.fetched_chunks();
@@ -76,6 +77,7 @@ void BM_Chains(benchmark::State& state) {
                    bench::synthetic_cluster(), cfg, ranks);
     const coll::OpResult res =
         w.comm->allgather(256 * KiB, coll::AllgatherAlgo::kMcast);
+    MCCL_CHECK(res.data_verified);
     dur = res.duration();
     bench::record_sim_time(state, dur);
   }
@@ -107,6 +109,7 @@ void BM_VirtualLanes(benchmark::State& state) {
     coll::OpBase& rs =
         w.comm->start_reduce_scatter(bytes, coll::ReduceScatterAlgo::kInc);
     w.cluster->run_until_done([&] { return ag.done() && rs.done(); });
+    MCCL_CHECK(!ag.failed() && !rs.failed());
     dur = std::max(ag.finish_time(), rs.finish_time()) -
           std::min(ag.start_time(), rs.start_time());
     bench::record_sim_time(state, dur);

@@ -51,13 +51,15 @@ void BM_ModelVsSimulator(benchmark::State& state) {
     bench::World ring(fabric::make_fat_tree_for_hosts(hosts, 32, {}),
                       bench::synthetic_cluster(), {}, hosts);
     ring.cluster->fabric().reset_counters();
-    ring.comm->allgather(N, coll::AllgatherAlgo::kRing);
+    MCCL_CHECK(
+        ring.comm->allgather(N, coll::AllgatherAlgo::kRing).data_verified);
     const auto rt = ring.cluster->fabric().traffic();
 
     bench::World mc(fabric::make_fat_tree_for_hosts(hosts, 32, {}),
                     bench::synthetic_cluster(), {}, hosts);
     mc.cluster->fabric().reset_counters();
-    mc.comm->allgather(N, coll::AllgatherAlgo::kMcast);
+    MCCL_CHECK(
+        mc.comm->allgather(N, coll::AllgatherAlgo::kMcast).data_verified);
     const auto mt = mc.cluster->fabric().traffic();
     sim_savings = static_cast<double>(rt.total_bytes) /
                   static_cast<double>(mt.total_bytes);

@@ -25,6 +25,7 @@ void BM_Bcast(benchmark::State& state) {
     bench::World w(bench::ucc_testbed_topology(), bench::ucc_testbed_cluster(),
                    cfg, kRanks);
     const coll::OpResult res = w.comm->broadcast(0, bytes, algo);
+    MCCL_CHECK(res.data_verified);
     MCCL_CHECK(res.fetched_chunks == 0);
     dur = res.duration();
     bench::record_sim_time(state, dur);
@@ -42,6 +43,7 @@ void BM_Allgather(benchmark::State& state) {
     bench::World w(bench::ucc_testbed_topology(), bench::ucc_testbed_cluster(),
                    cfg, kRanks);
     const coll::OpResult res = w.comm->allgather(bytes, algo);
+    MCCL_CHECK(res.data_verified);
     MCCL_CHECK(res.fetched_chunks == 0);
     dur = res.duration();
     bench::record_sim_time(state, dur);

@@ -7,6 +7,7 @@
 // placement) datapaths, plus the single-CPU-core baseline — the Fig 5 /
 // Fig 13 story in one run.
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/coll/communicator.hpp"
 #include "src/coll/mcast_coll.hpp"
@@ -36,6 +37,10 @@ double run_once(coll::Transport transport, coll::EngineKind engine,
 
   coll::OpBase& op = comm.start_broadcast(0, 8 * MiB, coll::BcastAlgo::kMcast);
   cluster.run_until_done([&op] { return op.done(); });
+  if (op.failed()) {
+    std::fprintf(stderr, "dpa_offload: broadcast failed\n");
+    std::exit(1);
+  }
   return gbps(8 * MiB, op.rank_phases(1).transfer);
 }
 

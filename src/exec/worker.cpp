@@ -100,6 +100,8 @@ void Worker::on_cqe(rdma::Cq& cq) {
   const rdma::Cqe cqe = cq.pop();
   ++cqes_seen_;
   Subscription& sub = it->second;
+  // sub aliases a node-stable subs_ slot that outlives every posted task.
+  // mccl-lint: allow(lambda-escape) node-stable slot owned by this Worker
   post(sub.cost_of(cqe), [&sub, cqe] { sub.handler(cqe); });
 }
 

@@ -8,6 +8,7 @@
 
 namespace mccl::fabric {
 
+// mccl: quiescent ctor runs before the engine starts
 ShardedFabric::ShardedFabric(sim::ParallelEngine& engine, const Topology& topo,
                              const Partition& part, Config cfg)
     : engine_(engine), topo_(topo), part_(part), cfg_(cfg) {
@@ -94,6 +95,7 @@ void ShardedFabric::build_tree(McastGroup& group, int rail) const {
   }
 }
 
+// mccl: shard-context the window toggles run on each direction's owner core
 void ShardedFabric::add_link_down(NodeId a, NodeId b, Time down, Time up) {
   MCCL_CHECK(down >= 0 && up > down);
   const auto& ports = topo_.ports(a);
@@ -115,6 +117,7 @@ void ShardedFabric::add_link_down(NodeId a, NodeId b, Time down, Time up) {
   MCCL_CHECK_MSG(found, "add_link_down: nodes not connected");
 }
 
+// mccl: shard-context the window toggles run on the node's owner core
 void ShardedFabric::add_node_down(NodeId node, Time down, Time up) {
   MCCL_CHECK(down >= 0 && up > down);
   sim::ShardCore& core = engine_.shard(part_.shard_of(node));
@@ -132,6 +135,7 @@ void ShardedFabric::inject_at(NodeId host, Time when, StormPacket pkt) {
       .schedule_at(when, [this, host, pkt] { host_send(host, pkt); });
 }
 
+// mccl: shard-context scheduled on the shard owning `host`
 void ShardedFabric::host_send(NodeId host, const StormPacket& pkt) {
   NodeState& st = nodes_[static_cast<std::size_t>(host)];
   if (st.down > 0) {  // crashed host: the injection evaporates
@@ -166,6 +170,7 @@ int ShardedFabric::pick_next_hop(NodeId node, const StormPacket& pkt) const {
 }
 
 // mccl-lint: begin-hot sharded-wire
+// mccl: shard-context every caller runs on the shard owning `node`
 void ShardedFabric::send_out(NodeId node, int port_idx,
                              const StormPacket& pkt) {
   const Port& port = topo_.ports(node)[static_cast<std::size_t>(port_idx)];
@@ -212,6 +217,7 @@ void ShardedFabric::fold_arrival(NodeState& st, Time t,
   st.digest_window ^= key;
 }
 
+// mccl: shard-context the cross-shard post lands on the shard owning `node`
 void ShardedFabric::arrive(NodeId node, int in_port, const StormPacket& pkt) {
   NodeState& st = nodes_[static_cast<std::size_t>(node)];
   if (st.down > 0) {  // crashed node eats the packet
@@ -246,6 +252,7 @@ void ShardedFabric::forward(NodeId node, int in_port, const StormPacket& pkt) {
 }
 // mccl-lint: end-hot
 
+// mccl: quiescent post-run accessor; workers have joined
 ShardedFabric::Traffic ShardedFabric::traffic() const {
   Traffic t;
   for (const DirState& d : dirs_) {
@@ -261,6 +268,7 @@ ShardedFabric::Traffic ShardedFabric::traffic() const {
   return t;
 }
 
+// mccl: quiescent post-run accessor; workers have joined
 std::uint64_t ShardedFabric::data_hash() const {
   std::uint64_t h = debug::kHashSeed;
   for (const NodeId host : topo_.hosts()) {
@@ -275,14 +283,17 @@ std::uint64_t ShardedFabric::data_hash() const {
   return h;
 }
 
+// mccl: quiescent post-run accessor; workers have joined
 std::uint64_t ShardedFabric::delivered(NodeId host) const {
   return nodes_[static_cast<std::size_t>(host)].delivered;
 }
 
+// mccl: quiescent post-run accessor; workers have joined
 Time ShardedFabric::last_arrival(NodeId host) const {
   return nodes_[static_cast<std::size_t>(host)].last_arrival;
 }
 
+// mccl: quiescent post-run accessor; workers have joined
 Time ShardedFabric::max_arrival() const {
   Time t = 0;
   for (const NodeId host : topo_.hosts())

@@ -145,8 +145,8 @@ class ShardedFabric {
   const Topology& topo_;
   const Partition part_;
   Config cfg_;
-  std::vector<DirState> dirs_;    // owner: shard of dir.from
-  std::vector<NodeState> nodes_;  // owner: shard of node
+  std::vector<DirState> dirs_;    // mccl: shard-owned owner = shard of dir.from
+  std::vector<NodeState> nodes_;  // mccl: shard-owned owner = shard of node
   std::vector<McastGroup> groups_;  // frozen after setup
   Delivery delivery_;               // frozen after setup
 };

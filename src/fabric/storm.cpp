@@ -71,6 +71,7 @@ EngineStormResult run_engine_storm(const EngineStormConfig& cfg) {
       const std::uint64_t rng =
           (cfg.seed + static_cast<std::uint64_t>(s) * 7919 + i) * kLcgMul +
           kLcgAdd;
+      // mccl-lint: allow(lambda-escape) eng.run() below drains every tick
       eng.shard(s).schedule_at(
           static_cast<Time>(1 + i),
           [&storm, s, rng] { storm.tick(s, rng); });

@@ -130,6 +130,8 @@ void ClusterScheduler::build_comm(std::size_t id,
         break;
       }
   }
+  // Kept alive until settle() so in-flight completion callbacks stay valid.
+  // mccl: comm-retire superseded by the rebuilt communicator below
   if (rec.comm) rec.retired_comms.push_back(std::move(rec.comm));
   coll::CommConfig ccfg = rec.spec.comm;
   ccfg.tenant = rec.spec.tenant;
@@ -274,6 +276,7 @@ void ClusterScheduler::on_op_failure(std::size_t id, coll::OpBase& op) {
     --running_;
     rec.cycle_retries = 0;
     rec.cycle_first_failure = 0;
+    // mccl: comm-retire requeue rung; build_comm() mints a fresh one
     if (rec.comm) rec.retired_comms.push_back(std::move(rec.comm));
     record("job_requeue", id);
     enqueue(id);

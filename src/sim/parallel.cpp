@@ -5,6 +5,7 @@
 
 namespace mccl::sim {
 
+// mccl: quiescent ctor runs before the workers exist
 ParallelEngine::ParallelEngine(ParallelConfig cfg) : cfg_(cfg) {
   shards_ = cfg_.shards < 1 ? 1 : cfg_.shards;
   threads_ = cfg_.threads < 1 ? 1 : cfg_.threads;
@@ -173,6 +174,7 @@ std::uint64_t ParallelEngine::ring_spills() const {
   return n;
 }
 
+// mccl: quiescent only called between epochs / after run()
 bool ParallelEngine::validate_quiescent(const char* ctx) const {
   bool ok = true;
   for (const auto& core : cores_) ok = core->validate_quiescent(ctx) && ok;

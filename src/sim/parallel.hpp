@@ -149,10 +149,11 @@ class ParallelEngine {
   int shards_ = 1;
   int threads_ = 1;
   std::vector<std::unique_ptr<ShardCore>> cores_;
-  std::vector<std::unique_ptr<SpscRing<CrossMsg>>> rings_;  // src * S + dst
+  // mccl: shard-owned SPSC mailbox plane, indexed src * S + dst
+  std::vector<std::unique_ptr<SpscRing<CrossMsg>>> rings_;
   std::vector<PadCounter> post_seq_;      // per-src cross-post seq stream
   std::vector<PadCounter> spills_;        // per-dst ring-overflow tallies
-  std::vector<std::vector<CrossMsg>> scratch_;  // per-dst sort buffer
+  std::vector<std::vector<CrossMsg>> scratch_;  // mccl: shard-owned per-dst sort buffer
   // Epoch state: written by the barrier completion (one thread, all others
   // blocked in the barrier), read by every worker after release.
   Time epoch_end_ = 0;

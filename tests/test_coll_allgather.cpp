@@ -103,7 +103,8 @@ TEST(McastAllgather, SendPathIsConstantInP) {
   for (const std::size_t P : {4u, 8u}) {
     World w(P);
     w.cluster->fabric().reset_counters();
-    w.comm->allgather(64 * 1024, AllgatherAlgo::kMcast);
+    ASSERT_TRUE(
+        w.comm->allgather(64 * 1024, AllgatherAlgo::kMcast).data_verified);
     const auto& topo = w.cluster->fabric().topology();
     for (std::size_t r = 0; r < P; ++r) {
       std::uint64_t egress = 0;
@@ -127,7 +128,7 @@ TEST(RingAllgather, Correctness) {
 TEST(RingAllgather, SendPathScalesWithP) {
   World w(6);
   w.cluster->fabric().reset_counters();
-  w.comm->allgather(64 * 1024, AllgatherAlgo::kRing);
+  ASSERT_TRUE(w.comm->allgather(64 * 1024, AllgatherAlgo::kRing).data_verified);
   const auto& topo = w.cluster->fabric().topology();
   std::uint64_t egress0 = 0;
   for (std::size_t d = 0; d < topo.num_dirs(); ++d)
@@ -151,12 +152,12 @@ TEST(McastAllgather, HalvesFabricTrafficVsRing) {
   const std::uint64_t N = 64 * 1024;
   World a(8, {}, {}, /*fat_tree=*/true);
   a.cluster->fabric().reset_counters();
-  a.comm->allgather(N, AllgatherAlgo::kMcast);
+  ASSERT_TRUE(a.comm->allgather(N, AllgatherAlgo::kMcast).data_verified);
   const auto mc = a.cluster->fabric().traffic();
 
   World b(8, {}, {}, /*fat_tree=*/true);
   b.cluster->fabric().reset_counters();
-  b.comm->allgather(N, AllgatherAlgo::kRing);
+  ASSERT_TRUE(b.comm->allgather(N, AllgatherAlgo::kRing).data_verified);
   const auto ring = b.cluster->fabric().traffic();
 
   const double ratio = static_cast<double>(ring.total_bytes) /
@@ -187,6 +188,7 @@ TEST(McastAllgather, PhaseBreakdownSumsToDuration) {
   World w(6);
   OpBase& op = w.comm->start_allgather(64 * 1024, AllgatherAlgo::kMcast);
   w.cluster->run_until_done([&] { return op.done(); });
+  ASSERT_TRUE(op.verify());
   for (std::size_t r = 0; r < 6; ++r) {
     const Phases& ph = op.rank_phases(r);
     const Time sum = ph.total();

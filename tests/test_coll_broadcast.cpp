@@ -85,6 +85,7 @@ TEST(McastBroadcast, FatTreeTopology) {
 TEST(McastBroadcast, PhasesAreRecorded) {
   World w(6);
   const OpResult res = w.comm->broadcast(0, 128 * 1024, BcastAlgo::kMcast);
+  ASSERT_TRUE(res.data_verified);
   EXPECT_GT(res.max_phases.barrier, 0);
   EXPECT_GT(res.max_phases.transfer, 0);
   EXPECT_EQ(res.max_phases.reliability, 0);
@@ -96,7 +97,7 @@ TEST(McastBroadcast, TrafficIsBandwidthOptimal) {
   // bytes ~= tree_edges * N, and critically the root injects only ~N.
   World w(8);
   w.cluster->fabric().reset_counters();
-  w.comm->broadcast(0, 64 * 1024, BcastAlgo::kMcast);
+  ASSERT_TRUE(w.comm->broadcast(0, 64 * 1024, BcastAlgo::kMcast).data_verified);
   const auto t = w.cluster->fabric().traffic();
   // Host 0 egress = data (64 KiB) + control; far below 2N.
   std::uint64_t root_egress = 0;
@@ -141,7 +142,8 @@ TEST(P2PBroadcast, LinearDelivers) {
 TEST(P2PBroadcast, LinearRootInjectsPMinus1TimesTheBuffer) {
   World w(6);
   w.cluster->fabric().reset_counters();
-  w.comm->broadcast(0, 64 * 1024, BcastAlgo::kLinear);
+  ASSERT_TRUE(
+      w.comm->broadcast(0, 64 * 1024, BcastAlgo::kLinear).data_verified);
   std::uint64_t root_egress = 0;
   const auto& topo = w.cluster->fabric().topology();
   for (std::size_t d = 0; d < topo.num_dirs(); ++d)

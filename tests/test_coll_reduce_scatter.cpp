@@ -52,7 +52,7 @@ TEST(IncReduceScatter, NodeBoundaryTrafficMatchesFig3) {
   const std::size_t P = 4;
   World w(P);
   w.cluster->fabric().reset_counters();
-  w.comm->reduce_scatter(N, ReduceScatterAlgo::kInc);
+  ASSERT_TRUE(w.comm->reduce_scatter(N, ReduceScatterAlgo::kInc).data_verified);
   const auto& topo = w.cluster->fabric().topology();
   std::uint64_t egress0 = 0, ingress0 = 0;
   for (std::size_t d = 0; d < topo.num_dirs(); ++d) {
@@ -71,7 +71,8 @@ TEST(RingReduceScatter, NodeBoundaryTrafficMatchesFig3) {
   const std::size_t P = 4;
   World w(P);
   w.cluster->fabric().reset_counters();
-  w.comm->reduce_scatter(N, ReduceScatterAlgo::kRing);
+  ASSERT_TRUE(
+      w.comm->reduce_scatter(N, ReduceScatterAlgo::kRing).data_verified);
   const auto& topo = w.cluster->fabric().topology();
   std::uint64_t egress0 = 0, ingress0 = 0;
   for (std::size_t d = 0; d < topo.num_dirs(); ++d) {

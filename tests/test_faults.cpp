@@ -222,6 +222,7 @@ TEST(Faults, DegradedLinkSlowsButDeliversEverything) {
 
   World clean(4, quick_recovery());
   const OpResult fast = clean.comm->broadcast(0, 128 * 1024, BcastAlgo::kMcast);
+  ASSERT_TRUE(fast.data_verified);
   EXPECT_GT(res.duration(), fast.duration());
 }
 

@@ -63,6 +63,7 @@ TEST(Integration, PhasesExposedForBaselines) {
   testing::World w(4);
   OpBase& op = w.comm->start_allgather(16 * 1024, AllgatherAlgo::kRing);
   w.cluster->run_until_done([&] { return op.done(); });
+  ASSERT_TRUE(op.verify());
   for (std::size_t r = 0; r < 4; ++r)
     EXPECT_GT(op.rank_phases(r).transfer, 0) << "rank " << r;
 }

@@ -84,7 +84,7 @@ TEST(TrafficModel, McastMatchesSimulatorExactly) {
   using namespace coll;
   testing::World w(6);
   w.cluster->fabric().reset_counters();
-  w.comm->broadcast(0, 64 * KiB, BcastAlgo::kMcast);
+  ASSERT_TRUE(w.comm->broadcast(0, 64 * KiB, BcastAlgo::kMcast).data_verified);
   const auto t = w.cluster->fabric().traffic();
   // Data bytes: 6 links x 64 KiB; the remainder is control traffic.
   const std::uint64_t data = 6ull * 64 * KiB;
@@ -97,12 +97,12 @@ TEST(TrafficModel, RingSimulatorRatioTracksModel) {
   const std::uint64_t N = 64 * KiB;
   testing::World a(16, {}, {}, /*fat_tree=*/true);
   a.cluster->fabric().reset_counters();
-  a.comm->allgather(N, AllgatherAlgo::kRing);
+  ASSERT_TRUE(a.comm->allgather(N, AllgatherAlgo::kRing).data_verified);
   const auto ring = a.cluster->fabric().traffic();
 
   testing::World b(16, {}, {}, /*fat_tree=*/true);
   b.cluster->fabric().reset_counters();
-  b.comm->allgather(N, AllgatherAlgo::kMcast);
+  ASSERT_TRUE(b.comm->allgather(N, AllgatherAlgo::kMcast).data_verified);
   const auto mc = b.cluster->fabric().traffic();
 
   const double sim = static_cast<double>(ring.total_bytes) /

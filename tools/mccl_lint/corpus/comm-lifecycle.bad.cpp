@@ -1,0 +1,19 @@
+// lint-path: src/sched/corpus_case.cpp
+// Retirement without the comm-retire annotation documenting the hand-off.
+void retire_unannotated(JobRecord& rec) {
+  rec.retired_comms.push_back(std::move(rec.comm));
+}
+
+// Start-after-retire: the moved-from communicator is used before any
+// reassignment rebuilds it.
+void use_after_retire(JobRecord& rec) {
+  // mccl: comm-retire handing off to the retirement list
+  rec.retired_comms.push_back(std::move(rec.comm));
+  rec.comm->align_symmetric_heap();
+}
+
+// OpBase reuse past terminal state.
+void restart(coll::OpBase& op) {
+  op.start();
+  op.start();
+}

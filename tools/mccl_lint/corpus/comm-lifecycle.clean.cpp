@@ -1,0 +1,11 @@
+// lint-path: src/sched/corpus_case.cpp
+// The legal shrink/retry path: annotated retire, immediate rebuild, fresh
+// collective on the new communicator.
+void relaunch(JobRecord& rec, coll::Cluster& cluster) {
+  // mccl: comm-retire superseded by the shrink relaunch below
+  rec.retired_comms.push_back(std::move(rec.comm));
+  rec.comm = std::make_unique<coll::Communicator>(cluster, rec.hosts);
+  coll::OpBase& op =
+      rec.comm->start_allgather(64, coll::AllgatherAlgo::kMcast);
+  op.set_on_done([&rec](coll::OpBase& o) { on_done(rec, o); });
+}

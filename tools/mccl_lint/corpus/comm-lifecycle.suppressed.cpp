@@ -1,0 +1,5 @@
+// lint-path: src/sched/corpus_case.cpp
+void teardown(JobRecord& rec) {
+  // mccl-lint: allow(comm-lifecycle) process exit path; no rebuild follows
+  rec.retired_comms.push_back(std::move(rec.comm));
+}

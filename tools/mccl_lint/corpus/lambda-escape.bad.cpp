@@ -1,0 +1,6 @@
+// lint-path: src/coll/corpus_case.cpp
+// `&local` dangles once f() returns: the engine runs the callback later.
+void f(sim::Engine& engine) {
+  int local = 7;
+  engine.schedule(5, [&local] { use(local); });
+}

@@ -1,0 +1,13 @@
+// lint-path: src/coll/corpus_case.cpp
+// Value captures (and `this`) are safe in escaping callbacks.
+void f(sim::Engine& engine) {
+  int local = 7;
+  engine.schedule(5, [local] { use(local); });
+}
+
+struct S {
+  void g(sim::Engine& engine) {
+    engine.schedule_at(10, [this] { tick(); });
+  }
+  void tick();
+};

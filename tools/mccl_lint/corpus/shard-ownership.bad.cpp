@@ -1,0 +1,7 @@
+// lint-path: src/fabric/corpus_case.cpp
+// dir_state_ is shard-owned but touched from an unannotated function: the
+// analyzer cannot prove the access runs on the owning shard.
+struct S {
+  std::vector<int> dir_state_;  // mccl: shard-owned
+  void touch() { dir_state_[0] += 1; }
+};

@@ -1,0 +1,13 @@
+// lint-path: src/fabric/corpus_case.cpp
+struct S {
+  std::vector<int> dir_state_;  // mccl: shard-owned
+  // mccl: quiescent ctor runs before the workers exist
+  S() { dir_state_.resize(8); }
+  // mccl: shard-context owner-shard datapath
+  void touch(int shard) { dir_state_[shard] += 1; }
+  void exchange() {
+    // mccl-lint: begin-shard-exchange
+    dir_state_.clear();
+    // mccl-lint: end-shard-exchange
+  }
+};

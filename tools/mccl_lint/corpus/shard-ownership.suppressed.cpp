@@ -1,0 +1,8 @@
+// lint-path: src/fabric/corpus_case.cpp
+struct S {
+  std::vector<int> dir_state_;  // mccl: shard-owned
+  void audit() {
+    // mccl-lint: allow(shard-ownership) read-only debug dump; races benign
+    dump(dir_state_[0]);
+  }
+};
